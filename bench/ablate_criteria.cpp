@@ -1,0 +1,72 @@
+// Ablation: the one-time-access criteria (§4.3).
+//
+// The rudimentary criteria ("accessed exactly once in the whole trace")
+// misses photos whose reaccess lies beyond their cache life. The paper's
+// reaccess-distance criteria M = C/[S(1-h)(1-p)] also excludes those. We
+// compare oracle admission under the two criteria (and no admission) at
+// several capacities.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "cachesim/simulator.h"
+#include "core/intelligent_cache.h"
+
+int main() {
+  using namespace otac;
+  const double scale = std::min(global_scale(), 0.5);
+  bench::BenchContext ctx;
+  ctx.trace = load_bench_trace(scale, global_seed());
+  ctx.info = describe(ctx.trace, scale, global_seed());
+  bench::print_banner("Ablation: one-time-access criteria (4.3)", ctx);
+
+  const IntelligentCache system{ctx.trace};
+
+  TablePrinter table{{"capacity(GB)", "criteria", "M", "hit rate",
+                      "write rate", "rejected"}};
+  for (const double paper_gb : {2.0, 10.0, 20.0}) {
+    const std::uint64_t capacity =
+        map_paper_gb(paper_gb, system.total_object_bytes());
+    const double h = system.estimate_hit_rate(capacity);
+    const CriteriaResult criteria =
+        compute_criteria(ctx.trace, system.oracle(), capacity, h);
+
+    struct Variant {
+      const char* label;
+      double threshold;
+    };
+    // "trace-once" == infinite threshold: only photos never accessed again
+    // are excluded (the rudimentary criteria).
+    const Variant variants[] = {
+        {"none (Original)", -1.0},
+        {"trace-once", std::numeric_limits<double>::infinity()},
+        {"reaccess distance M", criteria.m},
+    };
+    for (const Variant& variant : variants) {
+      const auto policy = make_policy(PolicyKind::lru, capacity);
+      Simulator sim{ctx.trace};
+      sim.set_oracle(system.oracle());
+      CacheStats stats;
+      if (variant.threshold < 0) {
+        AlwaysAdmit admission;
+        stats = sim.run(*policy, admission);
+      } else {
+        OracleAdmission admission{system.oracle(), variant.threshold};
+        stats = sim.run(*policy, admission);
+      }
+      table.add_row({TablePrinter::fmt(paper_gb, 0), variant.label,
+                     variant.threshold < 0 ? "-"
+                     : std::isinf(variant.threshold)
+                         ? "inf"
+                         : TablePrinter::fmt(variant.threshold, 0),
+                     TablePrinter::fmt(stats.file_hit_rate(), 4),
+                     TablePrinter::fmt(stats.file_write_rate(), 4),
+                     std::to_string(stats.rejected)});
+    }
+  }
+  std::cout << table.to_string()
+            << "\nexpected: trace-once already removes many writes; the M "
+               "criteria removes beyond-cache-life photos too, cutting "
+               "writes further and raising the hit rate, most visibly at "
+               "small capacities.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation: deployed feature subsets (§3.2.2).
+//
+// The paper forward-selects five of the nine candidate features for the
+// deployed model {avg owner views, recency, age, access hour, type}. This
+// ablation deploys different subsets in the live admission loop and
+// measures end-to-end cache outcomes — showing how much signal each slice
+// of the feature space actually buys.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/features.h"
+#include "core/intelligent_cache.h"
+
+int main() {
+  using namespace otac;
+  const double scale = std::min(global_scale(), 0.5);
+  bench::BenchContext ctx;
+  ctx.trace = load_bench_trace(scale, global_seed());
+  ctx.info = describe(ctx.trace, scale, global_seed());
+  bench::print_banner("Ablation: deployed feature subsets (3.2.2)", ctx);
+
+  const IntelligentCache system{ctx.trace};
+  const std::uint64_t capacity =
+      map_paper_gb(10.0, system.total_object_bytes());
+
+  RunConfig config;
+  config.policy = PolicyKind::lru;
+  config.capacity_bytes = capacity;
+  config.mode = AdmissionMode::original;
+  const RunResult original = system.run(config);
+
+  using FX = FeatureExtractor;
+  struct Subset {
+    const char* label;
+    std::vector<std::size_t> features;
+  };
+  const Subset subsets[] = {
+      {"all nine", {}},
+      {"paper's five (views,recency,age,hour,type)",
+       {FX::kAvgOwnerViews, FX::kRecency, FX::kPhotoAge, FX::kAccessHour,
+        FX::kPhotoType}},
+      {"top-2 by info gain (recency,views)",
+       {FX::kRecency, FX::kAvgOwnerViews}},
+      {"recency only", {FX::kRecency}},
+      {"social only (friends,views)",
+       {FX::kActiveFriends, FX::kAvgOwnerViews}},
+      {"context only (terminal,load,hour)",
+       {FX::kTerminal, FX::kRecentRequests, FX::kAccessHour}},
+  };
+
+  TablePrinter table{
+      {"deployed features", "hit rate", "write cut", "mean accuracy"}};
+  table.add_row({"(none / Original)",
+                 TablePrinter::fmt(original.stats.file_hit_rate(), 4), "-",
+                 "-"});
+  for (const Subset& subset : subsets) {
+    config.mode = AdmissionMode::proposal;
+    config.ota.feature_subset = subset.features;
+    const RunResult run = system.run(config);
+    double accuracy = 0.0;
+    std::size_t days = 0;
+    for (const auto& day : run.daily) {
+      if (day.day == 0) continue;
+      accuracy += day.raw.accuracy();
+      ++days;
+    }
+    table.add_row(
+        {subset.label, TablePrinter::fmt(run.stats.file_hit_rate(), 4),
+         TablePrinter::pct(
+             1.0 - static_cast<double>(run.stats.insertions) /
+                       static_cast<double>(original.stats.insertions)),
+         days ? TablePrinter::fmt(accuracy / static_cast<double>(days), 4)
+              : std::string{"-"}});
+  }
+  std::cout << table.to_string()
+            << "\nexpected: recency + owner views carry most of the signal; "
+               "the paper's five and all nine are equivalent end-to-end; "
+               "social/context-only slices filter much less accurately.\n";
+  return 0;
+}

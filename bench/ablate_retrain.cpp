@@ -1,0 +1,142 @@
+// Ablation: why retrain daily? (§4.4.3)
+//
+// The paper observes that "classifying performance drops down significantly
+// over time" with a static model. A stationary workload hides this (a day-0
+// model stays valid), so this ablation runs on a *drifting* variant of the
+// workload — the type->popularity mapping rotates every 2 days, the way
+// content fashions shift in a real social network — and compares three
+// schedules on identical evaluation sets (every request, ground-truth
+// labels): frozen day-0 model, the paper's daily 05:00 retrain, and 6-hour
+// incremental refits.
+#include <iostream>
+#include <optional>
+
+#include "bench/bench_common.h"
+#include "core/features.h"
+#include "core/ota_criteria.h"
+#include "core/trainer.h"
+#include "core/intelligent_cache.h"
+
+namespace {
+
+using namespace otac;
+
+struct Schedule {
+  const char* label;
+  double interval_hours;  // <0: never retrain after day 0; 0: daily @05:00
+};
+
+std::vector<double> per_day_accuracy(const Trace& trace,
+                                     const NextAccessInfo& oracle, double m,
+                                     const Schedule& schedule,
+                                     std::int64_t max_day) {
+  OtaConfig config;
+  DailyTrainer trainer{oracle, config, m, 2.0};
+  FeatureExtractor fx{trace.catalog};
+  std::array<float, FeatureExtractor::kFeatureCount> row{};
+  std::optional<ml::DecisionTree> model;
+
+  std::vector<std::uint64_t> correct(static_cast<std::size_t>(max_day) + 1, 0);
+  std::vector<std::uint64_t> total(static_cast<std::size_t>(max_day) + 1, 0);
+
+  std::int64_t last_trained_day = std::numeric_limits<std::int64_t>::min();
+  std::int64_t last_trained_time = std::numeric_limits<std::int64_t>::min();
+  bool frozen = false;
+
+  for (std::uint64_t i = 0; i < trace.requests.size(); ++i) {
+    const Request& request = trace.requests[i];
+    const PhotoMeta& photo = trace.catalog.photo(request.photo);
+    fx.extract(request, photo, row);
+
+    if (model) {
+      const int predicted = model->predict(row);
+      const int actual =
+          DailyTrainer::label_of(oracle, i, m, trace.requests.size());
+      const auto day = static_cast<std::size_t>(day_index(request.time));
+      correct[day] += (predicted == actual);
+      total[day] += 1;
+    }
+
+    trainer.offer(i, request, row);
+    fx.observe(request, photo);
+
+    bool due = false;
+    if (schedule.interval_hours > 0.0) {
+      const auto interval = static_cast<std::int64_t>(
+          schedule.interval_hours * kSecondsPerHour);
+      due = last_trained_time == std::numeric_limits<std::int64_t>::min() ||
+            request.time.seconds - last_trained_time >= interval;
+    } else {
+      const std::int64_t day = day_index(request.time);
+      due = !frozen && hour_of_day(request.time) >= 5 &&
+            day > last_trained_day;
+      if (due) last_trained_day = day;
+    }
+    if (due) {
+      if (auto tree = trainer.train(i, request.time)) model = std::move(tree);
+      last_trained_time = request.time.seconds;
+      if (schedule.interval_hours < 0.0) frozen = true;  // train once only
+    }
+  }
+
+  std::vector<double> accuracy(total.size(), 0.0);
+  for (std::size_t d = 0; d < total.size(); ++d) {
+    accuracy[d] = total[d] ? static_cast<double>(correct[d]) /
+                                 static_cast<double>(total[d])
+                           : 0.0;
+  }
+  return accuracy;
+}
+
+}  // namespace
+
+int main() {
+  using namespace otac;
+  // Drifting variant of the bench workload (not the shared cached trace).
+  WorkloadConfig workload =
+      bench_workload_config(std::min(global_scale(), 0.5), global_seed());
+  workload.type_popularity_rotation_days = 2;
+  workload.weight_type = 1.4;  // make the drifting signal load-bearing
+  const Trace trace = TraceGenerator{workload}.generate();
+  bench::BenchContext ctx;
+  ctx.info = describe(trace, std::min(global_scale(), 0.5), global_seed());
+  std::cout << "=== Ablation: retraining schedule (4.4.3) ===\n"
+            << "drifting workload: type->popularity rotates every "
+            << workload.type_popularity_rotation_days << " days; "
+            << ctx.info.requests << " requests\n\n";
+
+  const NextAccessInfo oracle = compute_next_access(trace);
+  const IntelligentCache system{trace};
+  const std::uint64_t capacity =
+      map_paper_gb(10.0, system.total_object_bytes());
+  const CriteriaResult criteria = compute_criteria(
+      trace, oracle, capacity, system.estimate_hit_rate(capacity));
+
+  const std::int64_t max_day = day_index(SimTime{trace.horizon.seconds - 1});
+  std::vector<std::string> headers{"schedule"};
+  for (std::int64_t d = 0; d <= max_day; ++d) {
+    headers.push_back("d" + std::to_string(d));
+  }
+  TablePrinter table{std::move(headers)};
+
+  const Schedule schedules[] = {
+      {"frozen day-0 model", -1.0},
+      {"daily @ 05:00 (paper)", 0.0},
+      {"every 6h (incremental)", 6.0},
+  };
+  for (const Schedule& schedule : schedules) {
+    const auto accuracy =
+        per_day_accuracy(trace, oracle, criteria.m, schedule, max_day);
+    std::vector<std::string> cells{schedule.label};
+    for (std::int64_t d = 0; d <= max_day; ++d) {
+      const double a = accuracy[static_cast<std::size_t>(d)];
+      cells.push_back(a > 0.0 ? TablePrinter::fmt(a, 3) : std::string{"-"});
+    }
+    table.add_row(std::move(cells));
+  }
+  std::cout << table.to_string()
+            << "\npaper claim (4.4.3): a static model decays as the workload "
+               "drifts; daily retraining tracks it, frequent refits track "
+               "it slightly faster.\n";
+  return 0;
+}

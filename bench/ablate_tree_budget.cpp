@@ -1,0 +1,80 @@
+// Ablation: the 30-split budget (§3.1.2).
+//
+// The paper caps the CART tree at 30 splits (~3x the feature count) to
+// avoid over-fitting, observing height ~5. We sweep the budget and report
+// held-out accuracy, height, and prediction cost.
+#include <chrono>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "experiments/classifier_experiments.h"
+#include "ml/decision_tree.h"
+
+int main() {
+  using namespace otac;
+  const double scale = std::min(global_scale(), 0.5);
+  bench::BenchContext ctx;
+  ctx.trace = load_bench_trace(scale, global_seed());
+  ctx.info = describe(ctx.trace, scale, global_seed());
+  bench::print_banner("Ablation: decision-tree split budget (3.1.2)", ctx);
+
+  const NextAccessInfo oracle = compute_next_access(ctx.trace);
+  const IntelligentCache system{ctx.trace};
+  const std::uint64_t capacity =
+      map_paper_gb(10.0, system.total_object_bytes());
+  const CriteriaResult criteria = compute_criteria(
+      ctx.trace, oracle, capacity, system.estimate_hit_rate(capacity));
+  const ml::Dataset data =
+      build_classifier_dataset(ctx.trace, oracle, criteria.m, 100);
+  Rng rng{global_seed()};
+  const auto split = data.train_test_split(0.3, rng);
+
+  TablePrinter table{{"max splits", "train acc", "test acc", "height",
+                      "mean cmps", "predict ns"}};
+  for (const std::size_t budget : {1UL, 3UL, 10UL, 30UL, 100UL, 1000UL}) {
+    ml::DecisionTreeConfig config;
+    config.max_splits = budget;
+    config.max_depth = 40;
+    ml::DecisionTree tree{config};
+    tree.fit(split.train);
+
+    const auto accuracy_on = [&](const ml::Dataset& part) {
+      std::size_t correct = 0;
+      for (std::size_t i = 0; i < part.num_rows(); ++i) {
+        correct += tree.predict(part.row(i)) == part.label(i);
+      }
+      return static_cast<double>(correct) /
+             static_cast<double>(part.num_rows());
+    };
+    double comparisons = 0.0;
+    for (std::size_t i = 0; i < split.test.num_rows(); ++i) {
+      comparisons +=
+          static_cast<double>(tree.decision_path_length(split.test.row(i)));
+    }
+    comparisons /= static_cast<double>(split.test.num_rows());
+
+    const auto start = std::chrono::steady_clock::now();
+    double sink = 0.0;
+    for (std::size_t i = 0; i < split.test.num_rows(); ++i) {
+      sink += tree.predict_proba(split.test.row(i));
+    }
+    const double ns =
+        std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - start)
+            .count() /
+        static_cast<double>(split.test.num_rows());
+    (void)sink;
+
+    table.add_row({std::to_string(budget),
+                   TablePrinter::fmt(accuracy_on(split.train), 4),
+                   TablePrinter::fmt(accuracy_on(split.test), 4),
+                   std::to_string(tree.height()),
+                   TablePrinter::fmt(comparisons, 2),
+                   TablePrinter::fmt(ns, 1)});
+  }
+  std::cout << table.to_string()
+            << "\nexpected: test accuracy saturates near the paper's 30-split "
+               "budget while cost keeps growing — the paper's operating "
+               "point is on the knee.\n";
+  return 0;
+}

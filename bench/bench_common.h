@@ -1,0 +1,118 @@
+// Shared plumbing for the figure/table harnesses: workload loading, the
+// common sweep configuration (Figs. 6-10 share one simulation matrix and
+// its disk cache), and banner printing.
+#pragma once
+
+#include <iostream>
+
+#include "experiments/capacity_sweep.h"
+#include "experiments/workloads.h"
+#include "util/env_config.h"
+#include "util/table.h"
+
+namespace otac::bench {
+
+struct BenchContext {
+  Trace trace;
+  BenchWorkloadInfo info;
+};
+
+inline BenchContext load_context() {
+  const double scale = global_scale();
+  const std::uint64_t seed = global_seed();
+  BenchContext ctx;
+  ctx.trace = load_bench_trace(scale, seed);
+  ctx.info = describe(ctx.trace, scale, seed);
+  return ctx;
+}
+
+inline void print_banner(const char* title, const BenchContext& ctx) {
+  std::cout << "=== " << title << " ===\n"
+            << "workload: seed=" << ctx.info.seed << " scale=" << ctx.info.scale
+            << " requests=" << ctx.info.requests
+            << " objects=" << ctx.info.photos << " dataset="
+            << TablePrinter::fmt(ctx.info.total_object_bytes / 1e9, 2)
+            << " GB (paper axis maps 2-20 GB of its ~450 GB dataset to the "
+               "same fraction of ours)\n\n";
+}
+
+/// The sweep shared by Figs. 6, 7, 8, 9 and 10.
+inline SweepConfig default_sweep_config() {
+  return SweepConfig{};
+}
+
+/// Wider, Original-only sweep for Fig. 2 (shows the Belady plateau).
+inline SweepConfig fig2_sweep_config() {
+  SweepConfig config;
+  config.paper_gb = {2, 5, 10, 20, 40, 80, 160};
+  config.policies = {PolicyKind::lru, PolicyKind::s3lru, PolicyKind::arc,
+                     PolicyKind::lirs};
+  config.modes = {AdmissionMode::original};
+  config.include_belady = true;
+  return config;
+}
+
+inline const char* metric_name(double SweepCell::* metric) {
+  if (metric == &SweepCell::file_hit_rate) return "file hit rate";
+  if (metric == &SweepCell::byte_hit_rate) return "byte hit rate";
+  if (metric == &SweepCell::file_write_rate) return "file write rate";
+  if (metric == &SweepCell::byte_write_rate) return "byte write rate";
+  if (metric == &SweepCell::latency_us) return "mean latency (us)";
+  return "metric";
+}
+
+/// Print one paper figure: per policy, a capacity-indexed table of the
+/// metric for Original / Proposal / Ideal / Belady.
+inline void print_figure(const SweepResult& sweep, const SweepConfig& config,
+                         double SweepCell::* metric, int precision = 4) {
+  for (const PolicyKind policy : config.policies) {
+    TablePrinter table{{"capacity(GB)", "Belady", "Ideal", "Proposal",
+                        "Original"}};
+    for (const double gb : config.paper_gb) {
+      const auto belady =
+          sweep.find(PolicyKind::belady, AdmissionMode::original, gb);
+      const auto ideal = sweep.find(policy, AdmissionMode::ideal, gb);
+      const auto proposal = sweep.find(policy, AdmissionMode::proposal, gb);
+      const auto original = sweep.find(policy, AdmissionMode::original, gb);
+      const auto fmt = [&](const std::optional<SweepCell>& cell) {
+        return cell ? TablePrinter::fmt((*cell).*metric, precision)
+                    : std::string{"-"};
+      };
+      table.add_row({TablePrinter::fmt(gb, 0), fmt(belady), fmt(ideal),
+                     fmt(proposal), fmt(original)});
+    }
+    std::cout << "-- " << policy_name(policy) << " : " << metric_name(metric)
+              << " --\n"
+              << table.to_string() << "\n";
+  }
+}
+
+/// Relative change Proposal vs Original per policy, min..max over capacities.
+inline void print_improvement_summary(const SweepResult& sweep,
+                                      const SweepConfig& config,
+                                      double SweepCell::* metric,
+                                      bool lower_is_better) {
+  TablePrinter table{{"policy", "min change", "max change"}};
+  for (const PolicyKind policy : config.policies) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const double gb : config.paper_gb) {
+      const auto proposal = sweep.find(policy, AdmissionMode::proposal, gb);
+      const auto original = sweep.find(policy, AdmissionMode::original, gb);
+      if (!proposal || !original) continue;
+      const double base = (*original).*metric;
+      if (base == 0.0) continue;
+      double change = ((*proposal).*metric - base) / base;
+      if (lower_is_better) change = -change;  // report as "reduction"
+      lo = std::min(lo, change);
+      hi = std::max(hi, change);
+    }
+    table.add_row({policy_name(policy), TablePrinter::pct(lo),
+                   TablePrinter::pct(hi)});
+  }
+  std::cout << (lower_is_better ? "Reduction (Proposal vs Original):\n"
+                                : "Improvement (Proposal vs Original):\n")
+            << table.to_string() << "\n";
+}
+
+}  // namespace otac::bench

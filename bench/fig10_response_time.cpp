@@ -1,0 +1,31 @@
+// Figure 10 reproduction: mean response time via Eqs. 3-6 with the paper's
+// constants (t_query=1us, t_classify=0.4us, t_hddr=3ms; t_ssdr=100us for
+// 32 KB — see DESIGN.md). Paper shape: FIFO improves most (8-11%), ARC
+// least (1.5-2.5%).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "storage/latency_model.h"
+
+int main() {
+  using namespace otac;
+  const auto ctx = bench::load_context();
+  bench::print_banner("Figure 10: response time (Eq. 3-6)", ctx);
+
+  const LatencyModel latency{};
+  std::cout << "constants: hit cost = "
+            << TablePrinter::fmt(latency.hit_cost_us(), 1)
+            << " us, miss penalty = "
+            << TablePrinter::fmt(latency.miss_penalty_original_us(), 1)
+            << " us (+" << latency.config().t_classify_us
+            << " us classify on the proposal path)\n\n";
+
+  const SweepConfig config = bench::default_sweep_config();
+  const SweepResult sweep = load_or_run_sweep(ctx.trace, config, ctx.info);
+  bench::print_figure(sweep, config, &SweepCell::latency_us, 1);
+  bench::print_improvement_summary(sweep, config, &SweepCell::latency_us,
+                                   /*lower_is_better=*/true);
+  std::cout << "paper shape: FIFO -8..-11%, LRU ~-7.5% headline, ARC "
+               "-1.5..-2.5%.\n";
+  return 0;
+}

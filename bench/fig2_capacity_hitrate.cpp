@@ -1,0 +1,41 @@
+// Figure 2 reproduction: hit rate vs cache capacity for LRU, S3LRU, ARC,
+// LIRS and Belady across a wide capacity range. The paper observes (1) an
+// inflection point X beyond which Belady flattens, (2) the advanced
+// algorithms clustering ~1% above LRU, (3) the Belady gap shrinking from
+// ~9% at X to ~4% at 4X.
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace otac;
+  const auto ctx = bench::load_context();
+  bench::print_banner("Figure 2: hit rate vs cache capacity", ctx);
+
+  const SweepConfig config = bench::fig2_sweep_config();
+  const SweepResult sweep = load_or_run_sweep(ctx.trace, config, ctx.info);
+
+  TablePrinter table{
+      {"capacity(GB)", "LRU", "S3LRU", "ARC", "LIRS", "Belady", "Belady-LRU"}};
+  for (const double gb : config.paper_gb) {
+    const auto cell = [&](PolicyKind kind) {
+      return sweep.find(kind, AdmissionMode::original, gb);
+    };
+    const auto lru = cell(PolicyKind::lru);
+    const auto belady = cell(PolicyKind::belady);
+    const auto fmt = [](const std::optional<SweepCell>& c) {
+      return c ? TablePrinter::fmt(c->file_hit_rate, 4) : std::string{"-"};
+    };
+    std::string gap = "-";
+    if (lru && belady) {
+      gap = TablePrinter::pct(belady->file_hit_rate - lru->file_hit_rate);
+    }
+    table.add_row({TablePrinter::fmt(gb, 0), fmt(lru),
+                   fmt(cell(PolicyKind::s3lru)), fmt(cell(PolicyKind::arc)),
+                   fmt(cell(PolicyKind::lirs)), fmt(belady), gap});
+  }
+  std::cout << table.to_string()
+            << "\npaper shape: advanced algorithms ~= LRU + ~1%; Belady gap "
+               "~9% at the inflection point, shrinking with capacity.\n";
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 6 reproduction: file hit rate of LRU/FIFO/S3LRU/ARC/LIRS at
+// 2-20 GB (paper axis) under Original / Proposal / Ideal / Belady.
+// Paper shape: FIFO +5-20%, LRU +3-17%, S3LRU only +0.7-4%; gains shrink
+// as capacity grows.
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace otac;
+  const auto ctx = bench::load_context();
+  bench::print_banner("Figure 6: file hit rate", ctx);
+
+  const SweepConfig config = bench::default_sweep_config();
+  const SweepResult sweep = load_or_run_sweep(ctx.trace, config, ctx.info);
+  bench::print_figure(sweep, config, &SweepCell::file_hit_rate);
+  bench::print_improvement_summary(sweep, config, &SweepCell::file_hit_rate,
+                                   /*lower_is_better=*/false);
+  std::cout << "paper shape: FIFO/LRU gain most (5-20% / 3-17% relative), "
+               "advanced algorithms least; gains shrink with capacity.\n";
+  return 0;
+}

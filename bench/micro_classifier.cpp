@@ -1,0 +1,96 @@
+// Micro-benchmarks backing the §5.3.5 constants: t_classify (decision-tree
+// prediction + history-table consultation) and the cost of online feature
+// extraction. The paper measures t_classify = 0.4 us; a 30-split tree of
+// height ~5 should land in that ballpark on modern hardware.
+#include <benchmark/benchmark.h>
+
+#include "core/classifier_system.h"
+#include "core/features.h"
+#include "core/history_table.h"
+#include "experiments/classifier_experiments.h"
+#include "experiments/workloads.h"
+#include "ml/decision_tree.h"
+#include "util/env_config.h"
+
+namespace {
+
+using namespace otac;
+
+struct MicroContext {
+  Trace trace;
+  NextAccessInfo oracle;
+  ml::Dataset dataset{FeatureExtractor::feature_names()};
+  ml::DecisionTree tree;
+
+  MicroContext() {
+    trace = load_bench_trace(std::min(global_scale(), 0.25), global_seed());
+    oracle = compute_next_access(trace);
+    dataset = build_classifier_dataset(trace, oracle, 20'000.0, 100);
+    ml::DecisionTreeConfig config;
+    config.max_splits = 30;
+    tree = ml::DecisionTree{config};
+    tree.fit(dataset);
+  }
+};
+
+MicroContext& context() {
+  static MicroContext ctx;
+  return ctx;
+}
+
+void BM_TreePredict(benchmark::State& state) {
+  MicroContext& ctx = context();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.tree.predict_proba(ctx.dataset.row(i)));
+    i = (i + 1) % ctx.dataset.num_rows();
+  }
+  state.SetLabel("t_classify core; paper: 0.4us incl. history table");
+}
+BENCHMARK(BM_TreePredict);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  MicroContext& ctx = context();
+  FeatureExtractor fx{ctx.trace.catalog};
+  std::array<float, FeatureExtractor::kFeatureCount> row{};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Request& request = ctx.trace.requests[i];
+    const PhotoMeta& photo = ctx.trace.catalog.photo(request.photo);
+    fx.extract(request, photo, row);
+    benchmark::DoNotOptimize(row);
+    fx.observe(request, photo);
+    i = (i + 1) % ctx.trace.requests.size();
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_HistoryTableRecordRectify(benchmark::State& state) {
+  HistoryTable table{4096};
+  std::uint64_t index = 0;
+  for (auto _ : state) {
+    const auto photo = static_cast<PhotoId>(index % 8192);
+    if (!table.rectify(photo, index, 1000.0)) {
+      table.record(photo, index);
+    }
+    ++index;
+  }
+}
+BENCHMARK(BM_HistoryTableRecordRectify);
+
+void BM_TreeTrainDailySample(benchmark::State& state) {
+  MicroContext& ctx = context();
+  ml::DecisionTreeConfig config;
+  config.max_splits = 30;
+  for (auto _ : state) {
+    ml::DecisionTree tree{config};
+    tree.fit(ctx.dataset);
+    benchmark::DoNotOptimize(tree.split_count());
+  }
+  state.SetLabel("daily retraining cost; paper: 'a few minutes' on 144k rows");
+}
+BENCHMARK(BM_TreeTrainDailySample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Supporting micro-benchmark: synthetic-trace generation and next-access
+// oracle throughput (the preprocessing every experiment pays once).
+#include <benchmark/benchmark.h>
+
+#include "trace/next_access.h"
+#include "trace/trace_generator.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace {
+
+using namespace otac;
+
+void BM_TraceGenerate(benchmark::State& state) {
+  WorkloadConfig config;
+  config.num_owners = 2'000;
+  config.num_photos = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t requests = 0;
+  for (auto _ : state) {
+    const Trace trace = TraceGenerator{config}.generate();
+    requests = trace.requests.size();
+    benchmark::DoNotOptimize(trace.requests.data());
+  }
+  state.counters["requests"] = static_cast<double>(requests);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(requests));
+}
+BENCHMARK(BM_TraceGenerate)->Arg(10'000)->Arg(40'000)->Arg(160'000);
+
+void BM_NextAccessOracle(benchmark::State& state) {
+  WorkloadConfig config;
+  config.num_owners = 2'000;
+  config.num_photos = 100'000;
+  const Trace trace = TraceGenerator{config}.generate();
+  for (auto _ : state) {
+    const NextAccessInfo info = compute_next_access(trace);
+    benchmark::DoNotOptimize(info.next.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.requests.size()));
+}
+BENCHMARK(BM_NextAccessOracle);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const ZipfSampler zipf{1'000'000, 0.9};
+  Rng rng{42};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Table 1 reproduction: precision / recall / accuracy / AUC of the seven
+// candidate classifiers under cross-validation on the sampled, labeled
+// dataset (§3.1.1), plus the §3.1.2 tree-configuration facts and the
+// §3.2.2 information-gain feature-selection study.
+//
+// Paper shape: decision tree ~= AdaBoost ~= random forest (ensembles buy
+// ~1% accuracy for ~30x prediction cost); Naive Bayes recalls everything
+// with poor precision; logistic regression has high precision but
+// negligible recall; BP NN and kNN sit in between.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "experiments/classifier_experiments.h"
+#include "ml/decision_tree.h"
+
+int main() {
+  using namespace otac;
+  const auto ctx = bench::load_context();
+  bench::print_banner("Table 1: classifier comparison", ctx);
+
+  const NextAccessInfo oracle = compute_next_access(ctx.trace);
+  const IntelligentCache system{ctx.trace};
+  const std::uint64_t reference_capacity =
+      map_paper_gb(10.0, system.total_object_bytes());
+  const CriteriaResult criteria =
+      compute_criteria(ctx.trace, oracle, reference_capacity,
+                       system.estimate_hit_rate(reference_capacity));
+  std::cout << "labeling criteria: M = " << TablePrinter::fmt(criteria.m, 0)
+            << " requests (10 GB paper-equivalent capacity), p = "
+            << TablePrinter::pct(criteria.p) << "\n\n";
+
+  const ml::Dataset data =
+      build_classifier_dataset(ctx.trace, oracle, criteria.m, 100);
+  std::cout << "dataset: " << data.num_rows() << " sampled records, "
+            << TablePrinter::pct(data.positive_weight() / data.total_weight())
+            << " one-time\n\n";
+
+  const auto rows = run_table1(data, Table1Config{});
+  TablePrinter table{{"Algorithm", "Precision", "Recall", "Accuracy", "AUC",
+                      "fit(s)", "predict(s)"}};
+  for (const auto& row : rows) {
+    table.add_row({row.algorithm, TablePrinter::fmt(row.metrics.precision, 4),
+                   TablePrinter::fmt(row.metrics.recall, 4),
+                   TablePrinter::fmt(row.metrics.accuracy, 4),
+                   TablePrinter::fmt(row.metrics.auc, 4),
+                   TablePrinter::fmt(row.metrics.fit_seconds, 2),
+                   TablePrinter::fmt(row.metrics.predict_seconds, 2)});
+  }
+  std::cout << table.to_string() << "\n";
+
+  const TreeConfigFacts facts = tree_config_facts(data, 30);
+  std::cout << "tree configuration (3.1.2): splits=" << facts.splits
+            << " (cap 30), height=" << facts.height
+            << " (paper ~5), mean comparisons/prediction="
+            << TablePrinter::fmt(facts.mean_comparisons, 2) << "\n\n";
+
+  const ml::ForwardSelectionResult selection = ml::forward_select(
+      data, [] { return std::make_unique<ml::DecisionTree>(); });
+  TablePrinter gains{{"feature", "information gain", "selected"}};
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    const bool selected =
+        std::find(selection.selected.begin(), selection.selected.end(), f) !=
+        selection.selected.end();
+    gains.add_row({data.feature_names()[f],
+                   TablePrinter::fmt(selection.gains[f], 4),
+                   selected ? "yes" : "no"});
+  }
+  std::cout << "feature selection (3.2.2) — paper keeps {avg views, recency, "
+               "age, access hour, type}:\n"
+            << gains.to_string();
+  return 0;
+}

@@ -1,0 +1,42 @@
+# Bench targets are defined from the top-level CMakeLists via include() so
+# that ${CMAKE_BINARY_DIR}/bench contains *only* the benchmark executables —
+# `for b in build/bench/*; do $b; done` then runs the whole harness cleanly.
+
+function(otac_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE otac_experiments)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR})
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+# One binary per paper table/figure.
+otac_add_bench(section2_trace_stats)
+otac_add_bench(fig2_capacity_hitrate)
+otac_add_bench(fig3_photo_types)
+otac_add_bench(fig5_classification_perf)
+otac_add_bench(fig6_file_hitrate)
+otac_add_bench(fig7_byte_hitrate)
+otac_add_bench(fig8_file_writes)
+otac_add_bench(fig9_byte_writes)
+otac_add_bench(fig10_response_time)
+otac_add_bench(table1_classifiers)
+
+# Ablations of the paper's design choices.
+otac_add_bench(ablate_retrain)
+otac_add_bench(ablate_cost_matrix)
+otac_add_bench(ablate_history_table)
+otac_add_bench(ablate_tree_budget)
+otac_add_bench(ablate_criteria)
+otac_add_bench(ablate_deployed_classifier)
+otac_add_bench(ablate_feature_sets)
+
+# google-benchmark micro-benchmarks.
+function(otac_add_micro name)
+  otac_add_bench(${name})
+  target_link_libraries(${name} PRIVATE benchmark::benchmark)
+endfunction()
+
+otac_add_micro(micro_classifier)
+otac_add_micro(micro_cache_ops)
+otac_add_micro(micro_tracegen)

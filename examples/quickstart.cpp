@@ -1,0 +1,57 @@
+// Quickstart: synthesize a small photo workload, run an LRU cache with and
+// without the ML one-time-access-exclusion admission policy, and compare.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "core/intelligent_cache.h"
+#include "trace/trace_generator.h"
+#include "util/table.h"
+
+int main() {
+  using namespace otac;
+
+  // 1. A small synthetic trace (~60k photos, ~240k requests, 9 days).
+  WorkloadConfig workload;
+  workload.seed = 42;
+  workload.num_owners = 3'000;
+  workload.num_photos = 60'000;
+  const Trace trace = TraceGenerator{workload}.generate();
+  std::cout << "trace: " << trace.requests.size() << " requests over "
+            << trace.catalog.photo_count() << " photos\n";
+
+  // 2. The intelligent-cache runner (computes the reuse oracle once).
+  const IntelligentCache system{trace};
+
+  // 3. Run the same LRU cache in three modes at ~1.5% of the dataset.
+  RunConfig config;
+  config.policy = PolicyKind::lru;
+  config.capacity_bytes =
+      static_cast<std::uint64_t>(system.total_object_bytes() * 0.015);
+
+  TablePrinter table{{"mode", "file hit rate", "byte hit rate",
+                      "SSD writes", "mean latency (us)"}};
+  for (const AdmissionMode mode :
+       {AdmissionMode::original, AdmissionMode::proposal,
+        AdmissionMode::ideal}) {
+    config.mode = mode;
+    const RunResult run = system.run(config);
+    table.add_row({admission_mode_name(mode),
+                   TablePrinter::fmt(run.stats.file_hit_rate(), 4),
+                   TablePrinter::fmt(run.stats.byte_hit_rate(), 4),
+                   std::to_string(run.stats.insertions),
+                   TablePrinter::fmt(run.mean_latency_us, 1)});
+    if (mode == AdmissionMode::proposal) {
+      std::cout << "proposal internals: M="
+                << TablePrinter::fmt(run.criteria.m, 0)
+                << " requests, cost v=" << run.cost_v
+                << ", history table=" << run.history_capacity
+                << " entries, " << run.trainings << " daily trainings\n";
+    }
+  }
+  std::cout << "\n" << table.to_string();
+  std::cout << "\nThe Proposal row should show a higher hit rate and a "
+               "fraction of the SSD writes of Original.\n";
+  return 0;
+}

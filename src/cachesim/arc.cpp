@@ -1,0 +1,130 @@
+#include "cachesim/arc.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace otac {
+
+bool ArcCache::contains(PhotoId key) const {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  const ListId list = it->second->list;
+  return list == kT1 || list == kT2;
+}
+
+std::size_t ArcCache::object_count() const {
+  return lists_[kT1].size() + lists_[kT2].size();
+}
+
+void ArcCache::move_to(List::iterator it, ListId to) {
+  const ListId from = it->list;
+  bytes_[from] -= it->size;
+  bytes_[to] += it->size;
+  it->list = to;
+  lists_[to].splice(lists_[to].begin(), lists_[from], it);
+}
+
+void ArcCache::drop(List::iterator it) {
+  bytes_[it->list] -= it->size;
+  index_.erase(it->key);
+  lists_[it->list].erase(it);
+}
+
+bool ArcCache::access(PhotoId key, std::uint32_t /*size_bytes*/) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  const ListId list = it->second->list;
+  if (list != kT1 && list != kT2) return false;  // ghost: still a miss
+  move_to(it->second, kT2);
+  return true;
+}
+
+void ArcCache::replace(bool ghost_hit_in_b2, std::uint32_t incoming) {
+  const std::uint64_t c = capacity_bytes();
+  while (bytes_[kT1] + bytes_[kT2] + incoming > c) {
+    const bool t1_over =
+        !lists_[kT1].empty() &&
+        (static_cast<double>(bytes_[kT1]) > p_ ||
+         (ghost_hit_in_b2 && static_cast<double>(bytes_[kT1]) >= p_) ||
+         lists_[kT2].empty());
+    if (t1_over) {
+      const auto victim = std::prev(lists_[kT1].end());
+      notify_evict(victim->key, victim->size);
+      move_to(victim, kB1);
+    } else if (!lists_[kT2].empty()) {
+      const auto victim = std::prev(lists_[kT2].end());
+      notify_evict(victim->key, victim->size);
+      move_to(victim, kB2);
+    } else {
+      break;  // nothing resident to evict
+    }
+  }
+}
+
+void ArcCache::trim_ghosts() {
+  const std::uint64_t c = capacity_bytes();
+  // ARC invariants in byte form: |T1|+|B1| <= c and everything <= 2c.
+  while (!lists_[kB1].empty() && bytes_[kT1] + bytes_[kB1] > c) {
+    drop(std::prev(lists_[kB1].end()));
+  }
+  while (!lists_[kB2].empty() &&
+         bytes_[kT1] + bytes_[kT2] + bytes_[kB1] + bytes_[kB2] > 2 * c) {
+    drop(std::prev(lists_[kB2].end()));
+  }
+}
+
+bool ArcCache::insert(PhotoId key, std::uint32_t size_bytes) {
+  if (size_bytes > capacity_bytes()) return false;
+  const auto found = index_.find(key);
+  const double c = static_cast<double>(capacity_bytes());
+
+  if (found != index_.end()) {
+    const ListId list = found->second->list;
+    assert(list == kB1 || list == kB2);
+    if (list == kB1) {
+      // Recency ghost hit: grow T1's target.
+      const double ratio =
+          bytes_[kB1] > 0 ? std::max(1.0, static_cast<double>(bytes_[kB2]) /
+                                              static_cast<double>(bytes_[kB1]))
+                          : 1.0;
+      p_ = std::min(c, p_ + ratio * size_bytes);
+      replace(false, size_bytes);
+    } else {
+      // Frequency ghost hit: shrink T1's target.
+      const double ratio =
+          bytes_[kB2] > 0 ? std::max(1.0, static_cast<double>(bytes_[kB1]) /
+                                              static_cast<double>(bytes_[kB2]))
+                          : 1.0;
+      p_ = std::max(0.0, p_ - ratio * size_bytes);
+      replace(true, size_bytes);
+    }
+    found->second->size = size_bytes;  // sizes are stable, but be safe
+    move_to(found->second, kT2);
+    trim_ghosts();
+    return true;
+  }
+
+  // Brand-new object (ARC Case IV).
+  if (bytes_[kT1] + bytes_[kB1] >= capacity_bytes()) {
+    if (bytes_[kT1] < capacity_bytes() && !lists_[kB1].empty()) {
+      drop(std::prev(lists_[kB1].end()));
+      replace(false, size_bytes);
+    } else if (!lists_[kT1].empty()) {
+      // B1 empty and T1 at capacity: delete T1's LRU outright (no ghost).
+      const auto victim = std::prev(lists_[kT1].end());
+      notify_evict(victim->key, victim->size);
+      drop(victim);
+    }
+  } else {
+    replace(false, size_bytes);
+  }
+  replace(false, size_bytes);  // ensure fit regardless of the branch taken
+
+  lists_[kT1].push_front(Entry{key, size_bytes, kT1});
+  bytes_[kT1] += size_bytes;
+  index_.emplace(key, lists_[kT1].begin());
+  trim_ghosts();
+  return true;
+}
+
+}  // namespace otac

@@ -1,0 +1,57 @@
+// ARC (Megiddo & Modha, FAST'03) generalized to variable object sizes: the
+// recency list T1, frequency list T2 and ghost lists B1/B2 are tracked in
+// bytes, and the adaptation target p moves in byte units proportional to
+// the ghost-hit object's size. With unit sizes this degrades exactly to the
+// textbook algorithm (tested).
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cachesim/cache_policy.h"
+
+namespace otac {
+
+class ArcCache final : public CachePolicy {
+ public:
+  explicit ArcCache(std::uint64_t capacity_bytes)
+      : CachePolicy(capacity_bytes) {}
+
+  bool access(PhotoId key, std::uint32_t size_bytes) override;
+  bool insert(PhotoId key, std::uint32_t size_bytes) override;
+  [[nodiscard]] bool contains(PhotoId key) const override;
+  [[nodiscard]] std::uint64_t used_bytes() const override {
+    return bytes_[kT1] + bytes_[kT2];
+  }
+  [[nodiscard]] std::size_t object_count() const override;
+  [[nodiscard]] std::string name() const override { return "ARC"; }
+
+  /// Adaptation target for T1, in bytes (exposed for tests).
+  [[nodiscard]] double target_t1_bytes() const noexcept { return p_; }
+  [[nodiscard]] std::uint64_t ghost_bytes() const noexcept {
+    return bytes_[kB1] + bytes_[kB2];
+  }
+
+ private:
+  enum ListId : std::size_t { kT1 = 0, kT2 = 1, kB1 = 2, kB2 = 3 };
+
+  struct Entry {
+    PhotoId key;
+    std::uint32_t size;
+    ListId list;
+  };
+  using List = std::list<Entry>;
+
+  void move_to(List::iterator it, ListId to);
+  void drop(List::iterator it);
+  /// Evict from T1/T2 into the ghost lists until `incoming` fits.
+  void replace(bool ghost_hit_in_b2, std::uint32_t incoming);
+  void trim_ghosts();
+
+  List lists_[4];  // front = MRU
+  std::uint64_t bytes_[4] = {0, 0, 0, 0};
+  std::unordered_map<PhotoId, List::iterator> index_;
+  double p_ = 0.0;
+};
+
+}  // namespace otac

@@ -1,0 +1,41 @@
+#include "cachesim/belady.h"
+
+#include <cassert>
+
+namespace otac {
+
+bool BeladyCache::access(PhotoId key, std::uint32_t /*size_bytes*/) {
+  const auto it = resident_.find(key);
+  if (it == resident_.end()) return false;
+  it->second.next = hint_;
+  heap_.push(HeapItem{hint_, key});
+  return true;
+}
+
+bool BeladyCache::insert(PhotoId key, std::uint32_t size_bytes) {
+  assert(!resident_.contains(key) && "insert of resident key");
+  if (size_bytes > capacity_bytes()) return false;
+  while (used_ + size_bytes > capacity_bytes()) evict_one();
+  resident_.emplace(key, Resident{size_bytes, hint_});
+  heap_.push(HeapItem{hint_, key});
+  used_ += size_bytes;
+  return true;
+}
+
+void BeladyCache::evict_one() {
+  while (!heap_.empty()) {
+    const HeapItem top = heap_.top();
+    heap_.pop();
+    const auto it = resident_.find(top.key);
+    if (it == resident_.end() || it->second.next != top.next) {
+      continue;  // stale heap entry
+    }
+    used_ -= it->second.size;
+    notify_evict(top.key, it->second.size);
+    resident_.erase(it);
+    return;
+  }
+  assert(false && "evict_one called with nothing resident");
+}
+
+}  // namespace otac

@@ -1,0 +1,58 @@
+// Belady's offline-optimal replacement (MIN): evict the resident object
+// whose next access lies farthest in the future. Provides the upper bound
+// curve in Figs. 2 and 6-10. The simulator feeds next-access positions from
+// the oracle (trace/next_access.h) through set_next_access_hint() before
+// each access/insert. With variable sizes MIN is no longer strictly optimal
+// (optimal is NP-hard); farthest-next-access remains the standard bound.
+#pragma once
+
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "cachesim/cache_policy.h"
+
+namespace otac {
+
+class BeladyCache final : public CachePolicy {
+ public:
+  explicit BeladyCache(std::uint64_t capacity_bytes)
+      : CachePolicy(capacity_bytes) {}
+
+  void set_next_access_hint(std::uint64_t next_index) override {
+    hint_ = next_index;
+  }
+
+  bool access(PhotoId key, std::uint32_t size_bytes) override;
+  bool insert(PhotoId key, std::uint32_t size_bytes) override;
+  [[nodiscard]] bool contains(PhotoId key) const override {
+    return resident_.contains(key);
+  }
+  [[nodiscard]] std::uint64_t used_bytes() const override { return used_; }
+  [[nodiscard]] std::size_t object_count() const override {
+    return resident_.size();
+  }
+  [[nodiscard]] std::string name() const override { return "Belady"; }
+
+ private:
+  struct Resident {
+    std::uint32_t size;
+    std::uint64_t next;  // authoritative next-access position
+  };
+  struct HeapItem {
+    std::uint64_t next;
+    PhotoId key;
+    bool operator<(const HeapItem& other) const noexcept {
+      return next < other.next;  // max-heap: farthest next on top
+    }
+  };
+
+  void evict_one();
+
+  std::uint64_t hint_ = kNeverAgain;
+  std::unordered_map<PhotoId, Resident> resident_;
+  std::priority_queue<HeapItem> heap_;  // lazy: stale items skipped on pop
+  std::uint64_t used_ = 0;
+};
+
+}  // namespace otac

@@ -1,0 +1,84 @@
+// Replacement-policy interface for variable-size objects.
+//
+// The simulator drives policies through two calls: access() on every
+// request (hit path; must not fabricate residency), and insert() on an
+// admitted miss (may evict). Admission control lives *outside* the policy —
+// that separation is the paper's point: one-time-access exclusion composes
+// with any replacement algorithm.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "trace/types.h"
+
+namespace otac {
+
+/// Sentinel "never accessed again" hint for oracle policies.
+inline constexpr std::uint64_t kNeverAgain =
+    std::numeric_limits<std::uint64_t>::max();
+
+class CachePolicy {
+ public:
+  explicit CachePolicy(std::uint64_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+  virtual ~CachePolicy() = default;
+
+  CachePolicy(const CachePolicy&) = delete;
+  CachePolicy& operator=(const CachePolicy&) = delete;
+
+  /// Look up `key`; on a hit update recency/frequency state and return
+  /// true. On a miss return false without acquiring space.
+  virtual bool access(PhotoId key, std::uint32_t size_bytes) = 0;
+
+  /// Insert after an admitted miss, evicting as needed. Returns false when
+  /// the object cannot be cached (larger than capacity). Calling insert for
+  /// a resident key is a programming error; implementations may assert.
+  virtual bool insert(PhotoId key, std::uint32_t size_bytes) = 0;
+
+  /// Residency probe without state mutation.
+  [[nodiscard]] virtual bool contains(PhotoId key) const = 0;
+
+  [[nodiscard]] virtual std::uint64_t used_bytes() const = 0;
+  [[nodiscard]] virtual std::size_t object_count() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Oracle hook: position (request index) of the *next* access to the key
+  /// of the call that follows. Belady consumes it; others ignore it.
+  virtual void set_next_access_hint(std::uint64_t /*next_index*/) {}
+
+  /// Eviction observer (optional): invoked once per evicted object.
+  using EvictionCallback = std::function<void(PhotoId, std::uint32_t)>;
+  void set_eviction_callback(EvictionCallback cb) {
+    on_evict_ = std::move(cb);
+  }
+
+  [[nodiscard]] std::uint64_t capacity_bytes() const noexcept {
+    return capacity_bytes_;
+  }
+
+ protected:
+  void notify_evict(PhotoId key, std::uint32_t size_bytes) const {
+    if (on_evict_) on_evict_(key, size_bytes);
+  }
+
+ private:
+  std::uint64_t capacity_bytes_;
+  EvictionCallback on_evict_;
+};
+
+/// The five replacement algorithms of §5 plus LFU (extra baseline).
+enum class PolicyKind { lru, fifo, s3lru, arc, lirs, lfu, belady };
+
+[[nodiscard]] std::string policy_name(PolicyKind kind);
+
+/// Factory used by experiment sweeps. LIRS takes its LIR fraction from
+/// `lirs_lir_fraction` (see DESIGN.md deviation note).
+std::unique_ptr<CachePolicy> make_policy(PolicyKind kind,
+                                         std::uint64_t capacity_bytes,
+                                         double lirs_lir_fraction = 0.9);
+
+}  // namespace otac

@@ -1,0 +1,28 @@
+#include "cachesim/fifo.h"
+
+#include <cassert>
+
+namespace otac {
+
+bool FifoCache::access(PhotoId key, std::uint32_t /*size_bytes*/) {
+  return index_.contains(key);
+}
+
+bool FifoCache::insert(PhotoId key, std::uint32_t size_bytes) {
+  assert(!index_.contains(key) && "insert of resident key");
+  if (size_bytes > capacity_bytes()) return false;
+  while (used_ + size_bytes > capacity_bytes()) {
+    assert(!queue_.empty());
+    const Entry victim = queue_.front();
+    queue_.pop_front();
+    index_.erase(victim.key);
+    used_ -= victim.size;
+    notify_evict(victim.key, victim.size);
+  }
+  queue_.push_back(Entry{key, size_bytes});
+  index_.emplace(key, std::prev(queue_.end()));
+  used_ += size_bytes;
+  return true;
+}
+
+}  // namespace otac

@@ -1,0 +1,38 @@
+// First-In-First-Out: eviction in insertion order; hits do not refresh.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cachesim/cache_policy.h"
+
+namespace otac {
+
+class FifoCache final : public CachePolicy {
+ public:
+  explicit FifoCache(std::uint64_t capacity_bytes)
+      : CachePolicy(capacity_bytes) {}
+
+  bool access(PhotoId key, std::uint32_t size_bytes) override;
+  bool insert(PhotoId key, std::uint32_t size_bytes) override;
+  [[nodiscard]] bool contains(PhotoId key) const override {
+    return index_.contains(key);
+  }
+  [[nodiscard]] std::uint64_t used_bytes() const override { return used_; }
+  [[nodiscard]] std::size_t object_count() const override {
+    return index_.size();
+  }
+  [[nodiscard]] std::string name() const override { return "FIFO"; }
+
+ private:
+  struct Entry {
+    PhotoId key;
+    std::uint32_t size;
+  };
+
+  std::list<Entry> queue_;  // front = oldest
+  std::unordered_map<PhotoId, std::list<Entry>::iterator> index_;
+  std::uint64_t used_ = 0;
+};
+
+}  // namespace otac

@@ -1,0 +1,53 @@
+#include "cachesim/lfu.h"
+
+#include <cassert>
+
+namespace otac {
+
+std::uint64_t LfuCache::frequency(PhotoId key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? 0 : it->second->freq;
+}
+
+void LfuCache::bump(std::map<std::uint64_t, Bucket>::iterator bucket_it,
+                    Bucket::iterator entry_it) {
+  const std::uint64_t next_freq = entry_it->freq + 1;
+  auto& target = buckets_[next_freq];  // creates if absent
+  entry_it->freq = next_freq;
+  target.splice(target.begin(), bucket_it->second, entry_it);
+  if (bucket_it->second.empty()) buckets_.erase(bucket_it);
+}
+
+bool LfuCache::access(PhotoId key, std::uint32_t /*size_bytes*/) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  const auto bucket_it = buckets_.find(it->second->freq);
+  assert(bucket_it != buckets_.end());
+  bump(bucket_it, it->second);
+  return true;
+}
+
+bool LfuCache::insert(PhotoId key, std::uint32_t size_bytes) {
+  assert(!index_.contains(key) && "insert of resident key");
+  if (size_bytes > capacity_bytes()) return false;
+  while (used_ + size_bytes > capacity_bytes()) evict_one();
+  auto& bucket = buckets_[1];
+  bucket.push_front(Entry{key, size_bytes, 1});
+  index_.emplace(key, bucket.begin());
+  used_ += size_bytes;
+  return true;
+}
+
+void LfuCache::evict_one() {
+  assert(!buckets_.empty());
+  const auto lowest = buckets_.begin();
+  assert(!lowest->second.empty());
+  const Entry victim = lowest->second.back();
+  lowest->second.pop_back();
+  if (lowest->second.empty()) buckets_.erase(lowest);
+  index_.erase(victim.key);
+  used_ -= victim.size;
+  notify_evict(victim.key, victim.size);
+}
+
+}  // namespace otac

@@ -1,0 +1,50 @@
+// LFU with O(1) frequency buckets and LRU tie-breaking inside a bucket.
+// Extra baseline beyond the paper's five (frequency is the natural
+// counterpoint to recency for popularity-skewed photo workloads).
+#pragma once
+
+#include <list>
+#include <map>
+#include <unordered_map>
+
+#include "cachesim/cache_policy.h"
+
+namespace otac {
+
+class LfuCache final : public CachePolicy {
+ public:
+  explicit LfuCache(std::uint64_t capacity_bytes)
+      : CachePolicy(capacity_bytes) {}
+
+  bool access(PhotoId key, std::uint32_t size_bytes) override;
+  bool insert(PhotoId key, std::uint32_t size_bytes) override;
+  [[nodiscard]] bool contains(PhotoId key) const override {
+    return index_.contains(key);
+  }
+  [[nodiscard]] std::uint64_t used_bytes() const override { return used_; }
+  [[nodiscard]] std::size_t object_count() const override {
+    return index_.size();
+  }
+  [[nodiscard]] std::string name() const override { return "LFU"; }
+
+  [[nodiscard]] std::uint64_t frequency(PhotoId key) const;
+
+ private:
+  struct Entry {
+    PhotoId key;
+    std::uint32_t size;
+    std::uint64_t freq;
+  };
+  // freq -> bucket list (front = most recently used at that frequency).
+  using Bucket = std::list<Entry>;
+
+  void bump(std::map<std::uint64_t, Bucket>::iterator bucket_it,
+            Bucket::iterator entry_it);
+  void evict_one();
+
+  std::map<std::uint64_t, Bucket> buckets_;
+  std::unordered_map<PhotoId, Bucket::iterator> index_;
+  std::uint64_t used_ = 0;
+};
+
+}  // namespace otac

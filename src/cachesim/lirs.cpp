@@ -1,0 +1,247 @@
+#include "cachesim/lirs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace otac {
+
+LirsCache::LirsCache(std::uint64_t capacity_bytes, double lir_fraction)
+    : CachePolicy(capacity_bytes), lir_fraction_(lir_fraction) {
+  if (lir_fraction <= 0.0 || lir_fraction >= 1.0) {
+    throw std::invalid_argument("LirsCache: lir_fraction must be in (0,1)");
+  }
+  lir_capacity_ = static_cast<std::uint64_t>(
+      static_cast<double>(capacity_bytes) * lir_fraction);
+  lir_capacity_ = std::max<std::uint64_t>(lir_capacity_, 1);
+}
+
+void LirsCache::stack_push_top(PhotoId key, Entry& entry) {
+  stack_.push_front(key);
+  entry.stack_it = stack_.begin();
+  entry.in_stack = true;
+}
+
+void LirsCache::stack_remove(Entry& entry) {
+  if (!entry.in_stack) return;
+  stack_.erase(entry.stack_it);
+  entry.in_stack = false;
+}
+
+void LirsCache::queue_push_back(PhotoId key, Entry& entry) {
+  queue_.push_back(key);
+  entry.queue_it = std::prev(queue_.end());
+  entry.in_queue = true;
+}
+
+void LirsCache::queue_remove(Entry& entry) {
+  if (!entry.in_queue) return;
+  queue_.erase(entry.queue_it);
+  entry.in_queue = false;
+}
+
+void LirsCache::prune() {
+  while (!stack_.empty()) {
+    const PhotoId bottom = stack_.back();
+    Entry& entry = table_.at(bottom);
+    if (entry.state == State::lir) break;
+    // Non-LIR at the bottom: remove from the stack.
+    stack_.pop_back();
+    entry.in_stack = false;
+    if (entry.state == State::hir_nonresident) {
+      nonres_.erase(entry.nonres_it);
+      table_.erase(bottom);
+    }
+  }
+}
+
+void LirsCache::shrink_lir() {
+  while (lir_bytes_ > lir_capacity_ && !stack_.empty()) {
+    // Bottom of the stack is always a LIR block (post-prune invariant).
+    prune();
+    if (stack_.empty()) break;
+    const PhotoId bottom = stack_.back();
+    Entry& entry = table_.at(bottom);
+    assert(entry.state == State::lir);
+    stack_.pop_back();
+    entry.in_stack = false;
+    entry.state = State::hir_resident;
+    lir_bytes_ -= entry.size;
+    queue_push_back(bottom, entry);
+    prune();
+  }
+}
+
+void LirsCache::evict_to_fit(std::uint64_t incoming) {
+  while (resident_bytes_ + incoming > capacity_bytes() && !queue_.empty()) {
+    const PhotoId victim = queue_.front();
+    queue_.pop_front();
+    Entry& entry = table_.at(victim);
+    entry.in_queue = false;
+    assert(entry.state == State::hir_resident);
+    resident_bytes_ -= entry.size;
+    resident_count_ -= 1;
+    notify_evict(victim, entry.size);
+    if (entry.in_stack) {
+      entry.state = State::hir_nonresident;
+      nonres_.push_back(victim);
+      entry.nonres_it = std::prev(nonres_.end());
+    } else {
+      table_.erase(victim);
+    }
+  }
+}
+
+void LirsCache::make_room(std::uint64_t incoming) {
+  evict_to_fit(incoming);
+  // Queue drained but still no room: the LIR set itself must shrink (large
+  // incoming object vs. a small HIR area). Demote bottom LIR blocks into
+  // the queue and evict again.
+  while (resident_bytes_ + incoming > capacity_bytes() && !stack_.empty()) {
+    prune();
+    if (stack_.empty()) break;
+    const PhotoId bottom = stack_.back();
+    Entry& entry = table_.at(bottom);
+    assert(entry.state == State::lir);
+    stack_.pop_back();
+    entry.in_stack = false;
+    entry.state = State::hir_resident;
+    lir_bytes_ -= entry.size;
+    queue_push_back(bottom, entry);
+    prune();
+    evict_to_fit(incoming);
+  }
+}
+
+void LirsCache::enforce_nonresident_bound() {
+  // Cap ghost metadata: at most 2x the resident object count (plus slack
+  // for small caches). Oldest ghosts go first.
+  const std::size_t bound = std::max<std::size_t>(64, 2 * resident_count_);
+  while (nonres_.size() > bound) {
+    const PhotoId victim = nonres_.front();
+    nonres_.pop_front();
+    Entry& entry = table_.at(victim);
+    stack_remove(entry);
+    table_.erase(victim);
+    prune();
+  }
+}
+
+bool LirsCache::contains(PhotoId key) const {
+  const auto it = table_.find(key);
+  return it != table_.end() && it->second.state != State::hir_nonresident;
+}
+
+bool LirsCache::access(PhotoId key, std::uint32_t /*size_bytes*/) {
+  const auto it = table_.find(key);
+  if (it == table_.end() || it->second.state == State::hir_nonresident) {
+    return false;
+  }
+  Entry& entry = it->second;
+  if (entry.state == State::lir) {
+    const bool was_bottom = entry.stack_it == std::prev(stack_.end());
+    stack_remove(entry);
+    stack_push_top(key, entry);
+    if (was_bottom) prune();
+    return true;
+  }
+  // Resident HIR hit.
+  if (entry.in_stack) {
+    // IRR beat the oldest LIR: promote.
+    stack_remove(entry);
+    stack_push_top(key, entry);
+    queue_remove(entry);
+    entry.state = State::lir;
+    lir_bytes_ += entry.size;
+    shrink_lir();
+  } else {
+    stack_push_top(key, entry);
+    queue_remove(entry);
+    queue_push_back(key, entry);
+  }
+  return true;
+}
+
+bool LirsCache::insert(PhotoId key, std::uint32_t size_bytes) {
+  if (size_bytes > capacity_bytes()) return false;
+  const auto it = table_.find(key);
+  assert(it == table_.end() || it->second.state == State::hir_nonresident);
+
+  if (it != table_.end() && it->second.in_stack) {
+    // Non-resident HIR still on the stack: low IRR, promote straight to LIR.
+    Entry& entry = it->second;
+    nonres_.erase(entry.nonres_it);
+    stack_remove(entry);
+    make_room(size_bytes);
+    stack_push_top(key, entry);
+    entry.state = State::lir;
+    entry.size = size_bytes;
+    lir_bytes_ += size_bytes;
+    resident_bytes_ += size_bytes;
+    resident_count_ += 1;
+    shrink_lir();
+    evict_to_fit(0);
+    enforce_nonresident_bound();
+    return true;
+  }
+  if (it != table_.end()) {
+    // Stale non-resident entry that fell off the stack: forget it.
+    nonres_.erase(it->second.nonres_it);
+    table_.erase(it);
+  }
+
+  Entry entry;
+  entry.size = size_bytes;
+  make_room(size_bytes);
+  if (lir_bytes_ + size_bytes <= lir_capacity_) {
+    // Warm-up: LIR share not yet full, new blocks become LIR directly.
+    entry.state = State::lir;
+    auto [pos, inserted] = table_.emplace(key, entry);
+    stack_push_top(key, pos->second);
+    lir_bytes_ += size_bytes;
+    resident_bytes_ += size_bytes;
+    resident_count_ += 1;
+    return true;
+  }
+  entry.state = State::hir_resident;
+  auto [pos, inserted] = table_.emplace(key, entry);
+  stack_push_top(key, pos->second);
+  queue_push_back(key, pos->second);
+  resident_bytes_ += size_bytes;
+  resident_count_ += 1;
+  evict_to_fit(0);
+  enforce_nonresident_bound();
+  return true;
+}
+
+bool LirsCache::check_invariants() const {
+  if (!stack_.empty()) {
+    const auto bottom = table_.find(stack_.back());
+    if (bottom == table_.end()) return false;
+    if (bottom->second.state != State::lir) return false;
+  }
+  std::uint64_t lir = 0;
+  std::uint64_t resident = 0;
+  std::size_t count = 0;
+  for (const auto& [key, entry] : table_) {
+    if (entry.state == State::lir) {
+      lir += entry.size;
+      if (!entry.in_stack) return false;
+      if (entry.in_queue) return false;
+    }
+    if (entry.state != State::hir_nonresident) {
+      resident += entry.size;
+      count += 1;
+    }
+    if (entry.state == State::hir_resident && !entry.in_queue) return false;
+    if (entry.state == State::hir_nonresident &&
+        (!entry.in_stack || entry.in_queue)) {
+      return false;
+    }
+  }
+  return lir == lir_bytes_ && resident == resident_bytes_ &&
+         count == resident_count_ && resident_bytes_ <= capacity_bytes() &&
+         lir_bytes_ <= lir_capacity_;
+}
+
+}  // namespace otac

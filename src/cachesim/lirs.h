@@ -1,0 +1,79 @@
+// LIRS (Jiang & Zhang, SIGMETRICS'02) for variable-size objects.
+//
+// Blocks with low Inter-Reference Recency (LIR) occupy ~lir_fraction of the
+// cache; the remainder holds resident HIR blocks in a FIFO queue Q. The
+// recency stack S tracks LIR blocks, resident HIRs, and a bounded set of
+// non-resident HIRs; a HIR reuse while still on S has, by construction, an
+// IRR lower than the oldest LIR and is promoted. The stack fraction
+// C_s/C = lir_fraction is the paper's R_s used to scale the LIRS one-time
+// criteria (M_LIRS = M_LRU * R_s, §5.2).
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cachesim/cache_policy.h"
+
+namespace otac {
+
+class LirsCache final : public CachePolicy {
+ public:
+  /// lir_fraction in (0,1): byte share of the cache reserved for LIR blocks.
+  LirsCache(std::uint64_t capacity_bytes, double lir_fraction = 0.9);
+
+  bool access(PhotoId key, std::uint32_t size_bytes) override;
+  bool insert(PhotoId key, std::uint32_t size_bytes) override;
+  [[nodiscard]] bool contains(PhotoId key) const override;
+  [[nodiscard]] std::uint64_t used_bytes() const override { return resident_bytes_; }
+  [[nodiscard]] std::size_t object_count() const override {
+    return resident_count_;
+  }
+  [[nodiscard]] std::string name() const override { return "LIRS"; }
+
+  [[nodiscard]] double lir_fraction() const noexcept { return lir_fraction_; }
+  [[nodiscard]] std::uint64_t lir_bytes() const noexcept { return lir_bytes_; }
+
+  /// Internal-consistency check used by property tests.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  enum class State : std::uint8_t { lir, hir_resident, hir_nonresident };
+
+  struct Entry {
+    std::uint32_t size = 0;
+    State state = State::hir_resident;
+    bool in_stack = false;
+    bool in_queue = false;
+    std::list<PhotoId>::iterator stack_it;
+    std::list<PhotoId>::iterator queue_it;
+    std::list<PhotoId>::iterator nonres_it;
+  };
+
+  void stack_push_top(PhotoId key, Entry& entry);
+  void stack_remove(Entry& entry);
+  void queue_push_back(PhotoId key, Entry& entry);
+  void queue_remove(Entry& entry);
+  /// Remove non-LIR entries from the stack bottom (LIRS "stack pruning").
+  void prune();
+  /// Demote stack-bottom LIR blocks until LIR bytes fit their share.
+  void shrink_lir();
+  /// Evict resident HIR queue heads until residents fit the capacity.
+  void evict_to_fit(std::uint64_t incoming);
+  /// evict_to_fit, then demote stack-bottom LIR blocks (and evict them)
+  /// when the HIR area alone cannot absorb `incoming` bytes.
+  void make_room(std::uint64_t incoming);
+  void enforce_nonresident_bound();
+
+  double lir_fraction_;
+  std::uint64_t lir_capacity_;
+  std::uint64_t lir_bytes_ = 0;
+  std::uint64_t resident_bytes_ = 0;
+  std::size_t resident_count_ = 0;
+
+  std::list<PhotoId> stack_;   // front = most recent
+  std::list<PhotoId> queue_;   // front = next eviction
+  std::list<PhotoId> nonres_;  // front = oldest non-resident (bound enforcement)
+  std::unordered_map<PhotoId, Entry> table_;
+};
+
+}  // namespace otac

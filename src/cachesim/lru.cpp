@@ -1,0 +1,33 @@
+#include "cachesim/lru.h"
+
+#include <cassert>
+
+namespace otac {
+
+bool LruCache::access(PhotoId key, std::uint32_t /*size_bytes*/) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  order_.splice(order_.begin(), order_, it->second);
+  return true;
+}
+
+bool LruCache::insert(PhotoId key, std::uint32_t size_bytes) {
+  assert(!index_.contains(key) && "insert of resident key");
+  if (size_bytes > capacity_bytes()) return false;
+  while (used_ + size_bytes > capacity_bytes()) evict_one();
+  order_.push_front(Entry{key, size_bytes});
+  index_.emplace(key, order_.begin());
+  used_ += size_bytes;
+  return true;
+}
+
+void LruCache::evict_one() {
+  assert(!order_.empty());
+  const Entry victim = order_.back();
+  order_.pop_back();
+  index_.erase(victim.key);
+  used_ -= victim.size;
+  notify_evict(victim.key, victim.size);
+}
+
+}  // namespace otac

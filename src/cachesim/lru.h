@@ -1,0 +1,39 @@
+// Least-Recently-Used: the paper's baseline replacement algorithm.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cachesim/cache_policy.h"
+
+namespace otac {
+
+class LruCache final : public CachePolicy {
+ public:
+  explicit LruCache(std::uint64_t capacity_bytes)
+      : CachePolicy(capacity_bytes) {}
+
+  bool access(PhotoId key, std::uint32_t size_bytes) override;
+  bool insert(PhotoId key, std::uint32_t size_bytes) override;
+  [[nodiscard]] bool contains(PhotoId key) const override {
+    return index_.contains(key);
+  }
+  [[nodiscard]] std::uint64_t used_bytes() const override { return used_; }
+  [[nodiscard]] std::size_t object_count() const override {
+    return index_.size();
+  }
+  [[nodiscard]] std::string name() const override { return "LRU"; }
+
+ private:
+  struct Entry {
+    PhotoId key;
+    std::uint32_t size;
+  };
+  void evict_one();
+
+  std::list<Entry> order_;  // front = most recent
+  std::unordered_map<PhotoId, std::list<Entry>::iterator> index_;
+  std::uint64_t used_ = 0;
+};
+
+}  // namespace otac

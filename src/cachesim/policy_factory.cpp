@@ -1,0 +1,56 @@
+#include <stdexcept>
+
+#include "cachesim/arc.h"
+#include "cachesim/belady.h"
+#include "cachesim/cache_policy.h"
+#include "cachesim/fifo.h"
+#include "cachesim/lfu.h"
+#include "cachesim/lirs.h"
+#include "cachesim/lru.h"
+#include "cachesim/s3lru.h"
+
+namespace otac {
+
+std::string policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::lru:
+      return "LRU";
+    case PolicyKind::fifo:
+      return "FIFO";
+    case PolicyKind::s3lru:
+      return "S3LRU";
+    case PolicyKind::arc:
+      return "ARC";
+    case PolicyKind::lirs:
+      return "LIRS";
+    case PolicyKind::lfu:
+      return "LFU";
+    case PolicyKind::belady:
+      return "Belady";
+  }
+  throw std::invalid_argument("policy_name: unknown kind");
+}
+
+std::unique_ptr<CachePolicy> make_policy(PolicyKind kind,
+                                         std::uint64_t capacity_bytes,
+                                         double lirs_lir_fraction) {
+  switch (kind) {
+    case PolicyKind::lru:
+      return std::make_unique<LruCache>(capacity_bytes);
+    case PolicyKind::fifo:
+      return std::make_unique<FifoCache>(capacity_bytes);
+    case PolicyKind::s3lru:
+      return std::make_unique<S3LruCache>(capacity_bytes);
+    case PolicyKind::arc:
+      return std::make_unique<ArcCache>(capacity_bytes);
+    case PolicyKind::lirs:
+      return std::make_unique<LirsCache>(capacity_bytes, lirs_lir_fraction);
+    case PolicyKind::lfu:
+      return std::make_unique<LfuCache>(capacity_bytes);
+    case PolicyKind::belady:
+      return std::make_unique<BeladyCache>(capacity_bytes);
+  }
+  throw std::invalid_argument("make_policy: unknown kind");
+}
+
+}  // namespace otac

@@ -1,0 +1,74 @@
+#include "cachesim/s3lru.h"
+
+#include <cassert>
+
+namespace otac {
+
+S3LruCache::S3LruCache(std::uint64_t capacity_bytes)
+    : CachePolicy(capacity_bytes) {
+  const std::uint64_t share = capacity_bytes / kSegments;
+  segment_capacity_.fill(share);
+  // Give the remainder to segment 0 so shares sum to the capacity.
+  segment_capacity_[0] += capacity_bytes - share * kSegments;
+}
+
+std::uint64_t S3LruCache::used_bytes() const {
+  return used_[0] + used_[1] + used_[2];
+}
+
+bool S3LruCache::access(PhotoId key, std::uint32_t /*size_bytes*/) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  const auto node = it->second;
+  const int from = node->segment;
+  const int to = std::min(from + 1, kSegments - 1);
+  auto& source = lists_[static_cast<std::size_t>(from)];
+  auto& target = lists_[static_cast<std::size_t>(to)];
+  used_[static_cast<std::size_t>(from)] -= node->size;
+  used_[static_cast<std::size_t>(to)] += node->size;
+  node->segment = to;
+  target.splice(target.begin(), source, node);
+  rebalance();
+  return true;
+}
+
+bool S3LruCache::insert(PhotoId key, std::uint32_t size_bytes) {
+  assert(!index_.contains(key) && "insert of resident key");
+  // An object larger than the probationary segment would evict itself on
+  // the spot; refuse instead of producing a phantom insertion.
+  if (size_bytes > segment_capacity_[0]) return false;
+  lists_[0].push_front(Entry{key, size_bytes, 0});
+  index_.emplace(key, lists_[0].begin());
+  used_[0] += size_bytes;
+  rebalance();
+  return true;
+}
+
+void S3LruCache::rebalance() {
+  // Cascade demotions top-down so a demotion from segment 2 can push
+  // segment 1 over and so on; segment 0 finally evicts.
+  for (int segment = kSegments - 1; segment >= 1; --segment) {
+    auto& list = lists_[static_cast<std::size_t>(segment)];
+    auto& below = lists_[static_cast<std::size_t>(segment - 1)];
+    while (used_[static_cast<std::size_t>(segment)] >
+           segment_capacity_[static_cast<std::size_t>(segment)]) {
+      assert(!list.empty());
+      const auto victim = std::prev(list.end());
+      used_[static_cast<std::size_t>(segment)] -= victim->size;
+      used_[static_cast<std::size_t>(segment - 1)] += victim->size;
+      victim->segment = segment - 1;
+      below.splice(below.begin(), list, victim);
+    }
+  }
+  auto& probation = lists_[0];
+  while (used_[0] > segment_capacity_[0]) {
+    assert(!probation.empty());
+    const Entry victim = probation.back();
+    probation.pop_back();
+    index_.erase(victim.key);
+    used_[0] -= victim.size;
+    notify_evict(victim.key, victim.size);
+  }
+}
+
+}  // namespace otac

@@ -1,0 +1,59 @@
+// S3LRU: segmented LRU with three segments (Karedla et al. 1994,
+// generalized from 2 to 3 levels as in the paper).
+//
+// New objects enter segment 0 (probationary). A hit promotes the object to
+// the MRU position of the next segment up (capped at segment 2). When a
+// segment overflows its byte share, its LRU object is demoted to the MRU
+// position of the segment below; overflow of segment 0 evicts. One-time
+// objects therefore never pollute the protected segments — S3LRU is one of
+// the "advanced algorithms with their own strategies against one-time
+// accesses" (§5.2), which is why the classifier helps it less.
+#pragma once
+
+#include <array>
+#include <list>
+#include <unordered_map>
+
+#include "cachesim/cache_policy.h"
+
+namespace otac {
+
+class S3LruCache final : public CachePolicy {
+ public:
+  static constexpr int kSegments = 3;
+
+  explicit S3LruCache(std::uint64_t capacity_bytes);
+
+  bool access(PhotoId key, std::uint32_t size_bytes) override;
+  bool insert(PhotoId key, std::uint32_t size_bytes) override;
+  [[nodiscard]] bool contains(PhotoId key) const override {
+    return index_.contains(key);
+  }
+  [[nodiscard]] std::uint64_t used_bytes() const override;
+  [[nodiscard]] std::size_t object_count() const override {
+    return index_.size();
+  }
+  [[nodiscard]] std::string name() const override { return "S3LRU"; }
+
+  [[nodiscard]] std::uint64_t segment_bytes(int segment) const {
+    return used_[static_cast<std::size_t>(segment)];
+  }
+
+ private:
+  struct Entry {
+    PhotoId key;
+    std::uint32_t size;
+    int segment;
+  };
+  using List = std::list<Entry>;
+
+  /// Demote overflowing segments downward; evict out of segment 0.
+  void rebalance();
+
+  std::array<List, kSegments> lists_;  // front = MRU of that segment
+  std::array<std::uint64_t, kSegments> used_{};
+  std::array<std::uint64_t, kSegments> segment_capacity_{};
+  std::unordered_map<PhotoId, List::iterator> index_;
+};
+
+}  // namespace otac

@@ -1,0 +1,64 @@
+// Two-tier cache hierarchy from the paper's §2.1 (Figure 1): requests hit
+// the Outside Cache (OC, close to users), OC misses go to the Datacenter
+// Cache (DC), DC misses hit backend storage. Each tier has its own
+// replacement policy and admission policy, so one-time-access exclusion can
+// be deployed at either or both tiers.
+#pragma once
+
+#include <memory>
+
+#include "cachesim/admission.h"
+#include "cachesim/cache_policy.h"
+#include "cachesim/cache_stats.h"
+#include "storage/latency_model.h"
+#include "trace/next_access.h"
+#include "trace/trace.h"
+
+namespace otac {
+
+struct TieredStats {
+  CacheStats oc;  // per-tier view: oc.requests == all requests
+  CacheStats dc;  // dc.requests == OC misses
+  std::uint64_t backend_reads = 0;  // DC misses
+  double backend_bytes = 0.0;
+
+  /// End-to-end hit rate: served by either cache tier.
+  [[nodiscard]] double combined_hit_rate() const noexcept {
+    return oc.requests
+               ? 1.0 - static_cast<double>(backend_reads) /
+                           static_cast<double>(oc.requests)
+               : 0.0;
+  }
+  /// Mean response time: OC hit < DC hit < backend read. Latencies for the
+  /// two cache tiers use the same SSD model; DC adds a WAN round trip.
+  [[nodiscard]] double mean_latency_us(const LatencyModel& model,
+                                       double oc_to_dc_rtt_us) const noexcept {
+    if (oc.requests == 0) return 0.0;
+    const double n = static_cast<double>(oc.requests);
+    const double oc_hits = static_cast<double>(oc.hits);
+    const double dc_hits = static_cast<double>(dc.hits);
+    const double backend = static_cast<double>(backend_reads);
+    return (oc_hits * model.hit_cost_us() +
+            dc_hits * (model.hit_cost_us() + oc_to_dc_rtt_us) +
+            backend * (model.miss_penalty_original_us() + oc_to_dc_rtt_us)) /
+           n;
+  }
+};
+
+class TieredSimulator {
+ public:
+  explicit TieredSimulator(const Trace& trace) : trace_(&trace) {}
+
+  void set_oracle(const NextAccessInfo& oracle) { oracle_ = &oracle; }
+
+  /// Run the trace through OC then DC. Admissions are consulted per tier
+  /// (an OC rejection does not prevent DC insertion and vice versa).
+  TieredStats run(CachePolicy& oc, AdmissionPolicy& oc_admission,
+                  CachePolicy& dc, AdmissionPolicy& dc_admission) const;
+
+ private:
+  const Trace* trace_;
+  const NextAccessInfo* oracle_ = nullptr;
+};
+
+}  // namespace otac

@@ -1,0 +1,98 @@
+#include "core/classifier_system.h"
+
+namespace otac {
+
+ClassifierSystem::ClassifierSystem(const Trace& trace,
+                                   const NextAccessInfo& oracle,
+                                   const ClassifierSystemConfig& config)
+    : config_(config),
+      oracle_(&oracle),
+      trace_size_(trace.requests.size()),
+      extractor_(trace.catalog),
+      trainer_(oracle, config.ota, config.m, config.cost_v),
+      history_(history_table_capacity(config.m, config.h, config.p,
+                                      config.ota.history_table_factor)) {}
+
+bool ClassifierSystem::admit(std::uint64_t index, const Request& request,
+                             const PhotoMeta& photo) {
+  if (!model_) return config_.ota.admit_before_first_model;
+
+  extractor_.extract(request, photo, scratch_);
+  bool predicted_one_time;
+  const std::vector<std::size_t>& subset = config_.ota.feature_subset;
+  if (subset.empty()) {
+    predicted_one_time = model_->predict(scratch_) == 1;
+  } else {
+    projected_.resize(subset.size());
+    for (std::size_t k = 0; k < subset.size(); ++k) {
+      projected_[k] = scratch_[subset[k]];
+    }
+    predicted_one_time = model_->predict(projected_) == 1;
+  }
+
+  bool final_one_time = predicted_one_time;
+  if (predicted_one_time) {
+    // A recently rejected photo returning within M was misclassified.
+    if (history_.rectify(request.photo, index, config_.m)) {
+      final_one_time = false;
+    } else {
+      history_.record(request.photo, index);
+    }
+  }
+
+  if (config_.collect_daily_metrics) {
+    // Ground truth from the full oracle (evaluation only, never fed back
+    // into the model): one-time iff no reaccess within M.
+    const std::uint64_t next = oracle_->next[index];
+    const int actual = (next != kNoNextAccess &&
+                        static_cast<double>(next - index) <= config_.m)
+                           ? 0
+                           : 1;
+    record_metric(day_index(request.time), actual, predicted_one_time ? 1 : 0,
+                  final_one_time ? 1 : 0);
+  }
+  return !final_one_time;
+}
+
+void ClassifierSystem::record_metric(std::int64_t day, int actual,
+                                     int raw_prediction,
+                                     int corrected_prediction) {
+  if (daily_.empty() || daily_.back().day != day) {
+    daily_.push_back(DayClassifierMetrics{day, {}, {}});
+  }
+  daily_.back().raw.add(actual, raw_prediction);
+  daily_.back().corrected.add(actual, corrected_prediction);
+}
+
+void ClassifierSystem::observe(std::uint64_t index, const Request& request,
+                               const PhotoMeta& photo, bool /*hit*/) {
+  // Sample for training *before* mutating state: features must describe
+  // the stream as the classifier saw it at admit() time.
+  extractor_.extract(request, photo, scratch_);
+  trainer_.offer(index, request, scratch_);
+  extractor_.observe(request, photo);
+
+  // Retraining (§4.4.3): daily at the trough hour, or — in the
+  // "incremental" alternative — every retrain_interval_hours.
+  bool due = false;
+  if (config_.ota.retrain_interval_hours > 0.0) {
+    const auto interval = static_cast<std::int64_t>(
+        config_.ota.retrain_interval_hours * kSecondsPerHour);
+    due = last_trained_time_ == std::numeric_limits<std::int64_t>::min() ||
+          request.time.seconds - last_trained_time_ >= interval;
+  } else {
+    const std::int64_t day = day_index(request.time);
+    due = hour_of_day(request.time) >= config_.ota.retrain_hour &&
+          day > last_trained_day_;
+    if (due) last_trained_day_ = day;
+  }
+  if (due) {
+    if (auto tree = trainer_.train(index, request.time)) {
+      model_ = std::move(tree);
+      ++trainings_;
+    }
+    last_trained_time_ = request.time.seconds;
+  }
+}
+
+}  // namespace otac

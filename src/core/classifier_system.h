@@ -1,0 +1,97 @@
+// The classification system of Fig. 4: CART classifier + history table,
+// wired into the cache as an AdmissionPolicy.
+//
+// Workflow on a miss (steps 4-7 of §4.2):
+//   1. extract features (online, causal),
+//   2. tree predicts one-time vs not,
+//   3. "not one-time"  -> admit (cache the photo),
+//   4. "one-time"      -> consult the history table: a photo we rejected
+//      recently and which is back within reaccess distance M was
+//      misclassified — rectify and admit; otherwise record the rejection
+//      in the table and bypass the cache.
+//
+// The model retrains daily at the configured trough hour (§4.4.3).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cachesim/admission.h"
+#include "core/config.h"
+#include "core/features.h"
+#include "core/history_table.h"
+#include "core/trainer.h"
+#include "ml/decision_tree.h"
+#include "ml/metrics.h"
+
+namespace otac {
+
+struct ClassifierSystemConfig {
+  OtaConfig ota{};
+  double m = 0.0;       // one-time-access criteria threshold
+  double h = 0.0;       // hit-rate estimate (history-table sizing)
+  double p = 0.0;       // one-time fraction (history-table sizing)
+  double cost_v = 2.0;  // false-positive cost for this capacity (§4.4.1)
+  /// Track per-day confusion of raw/corrected decisions against the true
+  /// labels (full oracle) — powers Fig. 5. Small overhead.
+  bool collect_daily_metrics = true;
+};
+
+struct DayClassifierMetrics {
+  std::int64_t day = 0;
+  ml::ConfusionMatrix raw;        // tree verdicts
+  ml::ConfusionMatrix corrected;  // after history-table rectification
+};
+
+class ClassifierSystem final : public AdmissionPolicy {
+ public:
+  ClassifierSystem(const Trace& trace, const NextAccessInfo& oracle,
+                   const ClassifierSystemConfig& config);
+
+  bool admit(std::uint64_t index, const Request& request,
+             const PhotoMeta& photo) override;
+  void observe(std::uint64_t index, const Request& request,
+               const PhotoMeta& photo, bool hit) override;
+  [[nodiscard]] std::string name() const override { return "classifier"; }
+
+  [[nodiscard]] bool has_model() const noexcept { return model_.has_value(); }
+  [[nodiscard]] const ml::DecisionTree* model() const noexcept {
+    return model_ ? &*model_ : nullptr;
+  }
+  [[nodiscard]] const HistoryTable& history() const noexcept {
+    return history_;
+  }
+  [[nodiscard]] const std::vector<DayClassifierMetrics>& daily_metrics()
+      const noexcept {
+    return daily_;
+  }
+  [[nodiscard]] int trainings() const noexcept { return trainings_; }
+  [[nodiscard]] const FeatureExtractor& extractor() const noexcept {
+    return extractor_;
+  }
+  [[nodiscard]] const ClassifierSystemConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void record_metric(std::int64_t day, int actual, int raw_prediction,
+                     int corrected_prediction);
+
+  ClassifierSystemConfig config_;
+  const NextAccessInfo* oracle_;
+  std::uint64_t trace_size_;
+
+  FeatureExtractor extractor_;
+  DailyTrainer trainer_;
+  HistoryTable history_;
+  std::optional<ml::DecisionTree> model_;
+
+  std::int64_t last_trained_day_ = std::numeric_limits<std::int64_t>::min();
+  std::int64_t last_trained_time_ = std::numeric_limits<std::int64_t>::min();
+  int trainings_ = 0;
+  std::vector<DayClassifierMetrics> daily_;
+  std::array<float, FeatureExtractor::kFeatureCount> scratch_{};
+  std::vector<float> projected_;  // scratch for the deployed feature subset
+};
+
+}  // namespace otac

@@ -1,0 +1,79 @@
+#include "core/features.h"
+
+#include <algorithm>
+
+#include "util/sim_time.h"
+
+namespace otac {
+
+const std::vector<std::string>& FeatureExtractor::feature_names() {
+  static const std::vector<std::string> names = {
+      "active_friends", "avg_owner_views", "photo_type",
+      "photo_size_kb",  "photo_age_10min", "recency_10min",
+      "terminal",       "recent_requests", "access_hour"};
+  return names;
+}
+
+FeatureExtractor::FeatureExtractor(const PhotoCatalog& catalog)
+    : catalog_(&catalog),
+      last_access_(catalog.photo_count(), kNever),
+      owner_views_(catalog.owner_count(), 0) {}
+
+void FeatureExtractor::advance_window_to(std::int64_t second) noexcept {
+  if (window_now_ == kNever) {
+    window_now_ = second;
+    return;
+  }
+  if (second <= window_now_) return;  // same second (or clock skew): keep
+  const std::int64_t gap = second - window_now_;
+  if (gap >= static_cast<std::int64_t>(kWindowSeconds)) {
+    window_counts_.fill(0);
+    window_total_ = 0;
+  } else {
+    for (std::int64_t s = 1; s <= gap; ++s) {
+      auto& slot = window_counts_[static_cast<std::size_t>(
+          (window_now_ + s) % static_cast<std::int64_t>(kWindowSeconds))];
+      window_total_ -= slot;
+      slot = 0;
+    }
+  }
+  window_now_ = second;
+}
+
+void FeatureExtractor::extract(const Request& request, const PhotoMeta& photo,
+                               std::span<float> out) const {
+  const OwnerMeta& owner = catalog_->owner(photo.owner);
+  const std::int64_t now = request.time.seconds;
+
+  out[kActiveFriends] = static_cast<float>(owner.active_friends);
+  const double photos =
+      std::max<double>(1.0, static_cast<double>(owner.photo_count));
+  out[kAvgOwnerViews] = static_cast<float>(
+      static_cast<double>(owner_views_[photo.owner]) / photos);
+  out[kPhotoType] = static_cast<float>(type_code(photo.type));
+  out[kPhotoSize] = static_cast<float>(photo.size_bytes) / 1024.0F;
+  out[kPhotoAge] = static_cast<float>(
+      ten_minute_buckets(std::max<std::int64_t>(0, now - photo.upload_time.seconds)));
+  // Recency: since last access, or since upload when never accessed (§3.2.1).
+  const std::int64_t last = last_access_[request.photo];
+  const std::int64_t reference =
+      last == kNever ? photo.upload_time.seconds : last;
+  out[kRecency] = static_cast<float>(
+      ten_minute_buckets(std::max<std::int64_t>(0, now - reference)));
+  out[kTerminal] =
+      request.terminal == TerminalType::mobile ? 1.0F : 0.0F;
+  out[kRecentRequests] = static_cast<float>(window_total_);
+  out[kAccessHour] = static_cast<float>(hour_of_day(request.time));
+}
+
+void FeatureExtractor::observe(const Request& request, const PhotoMeta& photo) {
+  last_access_[request.photo] = request.time.seconds;
+  owner_views_[photo.owner] += 1;
+  advance_window_to(request.time.seconds);
+  auto& slot = window_counts_[static_cast<std::size_t>(
+      request.time.seconds % static_cast<std::int64_t>(kWindowSeconds))];
+  slot += 1;
+  window_total_ += 1;
+}
+
+}  // namespace otac

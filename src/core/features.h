@@ -1,0 +1,84 @@
+// Online extraction of the nine classifier features (§3.2.1), with the
+// §3.2.3 discretizations: photo types mapped to 1..12, terminals to 0/1,
+// age/recency in 10-minute buckets, access time as hour-of-day.
+//
+// The extractor is strictly causal: extract() for request i must be called
+// before observe() of request i, and sees only state produced by requests
+// < i. That is what makes the prediction "non-history-oriented" for
+// first-seen photos — their recency collapses to (now - upload) and their
+// owner statistics come from *other* photos of the same owner.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/photo_catalog.h"
+#include "trace/types.h"
+
+namespace otac {
+
+class FeatureExtractor {
+ public:
+  static constexpr std::size_t kFeatureCount = 9;
+
+  enum Feature : std::size_t {
+    kActiveFriends = 0,
+    kAvgOwnerViews = 1,
+    kPhotoType = 2,
+    kPhotoSize = 3,
+    kPhotoAge = 4,
+    kRecency = 5,
+    kTerminal = 6,
+    kRecentRequests = 7,
+    kAccessHour = 8,
+  };
+
+  [[nodiscard]] static const std::vector<std::string>& feature_names();
+
+  explicit FeatureExtractor(const PhotoCatalog& catalog);
+
+  /// Features for this request given the state *before* it. Writes exactly
+  /// kFeatureCount floats.
+  void extract(const Request& request, const PhotoMeta& photo,
+               std::span<float> out) const;
+
+  [[nodiscard]] std::array<float, kFeatureCount> extract(
+      const Request& request, const PhotoMeta& photo) const {
+    std::array<float, kFeatureCount> row{};
+    extract(request, photo, row);
+    return row;
+  }
+
+  /// Advance the online state by one (time-ordered) request.
+  void observe(const Request& request, const PhotoMeta& photo);
+
+  /// Requests observed in the 60 s window ending at the last observe().
+  [[nodiscard]] std::uint64_t recent_request_count() const noexcept {
+    return window_total_;
+  }
+
+ private:
+  void advance_window_to(std::int64_t second) noexcept;
+
+  const PhotoCatalog* catalog_;
+
+  // Per-photo time of last access (seconds; kNever = not accessed yet).
+  static constexpr std::int64_t kNever =
+      std::numeric_limits<std::int64_t>::min();
+  std::vector<std::int64_t> last_access_;
+
+  // Per-owner cumulative views of their photos.
+  std::vector<std::uint64_t> owner_views_;
+
+  // Sliding 60-second request-count window (per-second ring buffer).
+  static constexpr std::size_t kWindowSeconds = 60;
+  std::array<std::uint32_t, kWindowSeconds> window_counts_{};
+  std::int64_t window_now_ = kNever;
+  std::uint64_t window_total_ = 0;
+};
+
+}  // namespace otac

@@ -1,0 +1,48 @@
+#include "core/history_table.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace otac {
+
+HistoryTable::HistoryTable(std::size_t capacity_entries)
+    : capacity_(capacity_entries) {}
+
+void HistoryTable::record(PhotoId photo, std::uint64_t index) {
+  if (capacity_ == 0) return;
+  const auto it = map_.find(photo);
+  if (it != map_.end()) {
+    // Refresh: move to the back of the FIFO with the new position.
+    fifo_.erase(it->second);
+    map_.erase(it);
+  }
+  while (map_.size() >= capacity_) {
+    map_.erase(fifo_.front().photo);
+    fifo_.pop_front();
+  }
+  fifo_.push_back(Slot{photo, index});
+  map_.emplace(photo, std::prev(fifo_.end()));
+}
+
+bool HistoryTable::rectify(PhotoId photo, std::uint64_t index, double m) {
+  const auto it = map_.find(photo);
+  if (it == map_.end()) return false;
+  const std::uint64_t recorded = it->second->index;
+  fifo_.erase(it->second);
+  map_.erase(it);
+  if (index >= recorded &&
+      static_cast<double>(index - recorded) < m) {
+    ++rectified_;
+    return true;
+  }
+  return false;
+}
+
+std::size_t history_table_capacity(double m, double h, double p,
+                                   double factor) {
+  const double entries = m * (1.0 - h) * p * factor;
+  if (entries <= 0.0) return 0;
+  return static_cast<std::size_t>(std::max(1.0, std::round(entries)));
+}
+
+}  // namespace otac

@@ -1,0 +1,58 @@
+// History table (§4.4.2): bounded FIFO map of photos recently classified as
+// one-time-access. If such a photo comes back within reaccess distance M,
+// the earlier verdict was wrong — the table "rectifies" it and the photo is
+// admitted. Capacity is M(1-h)p * 0.05 entries (~2-5% of the cache
+// metadata table); eviction is FIFO.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "trace/types.h"
+
+namespace otac {
+
+class HistoryTable {
+ public:
+  /// capacity_entries == 0 disables the table (every lookup misses).
+  explicit HistoryTable(std::size_t capacity_entries);
+
+  /// Record a photo just rejected as one-time at trace position `index`.
+  /// Re-recording refreshes the stored position (and FIFO slot).
+  void record(PhotoId photo, std::uint64_t index);
+
+  /// On a subsequent miss of `photo` at `index`: returns true — and removes
+  /// the entry — when the photo is present with reaccess distance < M,
+  /// i.e. the previous one-time classification is now known to be wrong.
+  bool rectify(PhotoId photo, std::uint64_t index, double m);
+
+  [[nodiscard]] bool contains(PhotoId photo) const {
+    return map_.contains(photo);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Number of successful rectifications so far (telemetry).
+  [[nodiscard]] std::uint64_t rectified_count() const noexcept {
+    return rectified_;
+  }
+
+ private:
+  struct Slot {
+    PhotoId photo;
+    std::uint64_t index;
+  };
+
+  std::size_t capacity_;
+  std::list<Slot> fifo_;  // front = oldest
+  std::unordered_map<PhotoId, std::list<Slot>::iterator> map_;
+  std::uint64_t rectified_ = 0;
+};
+
+/// Paper's sizing rule: M(1-h)p * factor entries, at least 1 (unless the
+/// product is zero).
+[[nodiscard]] std::size_t history_table_capacity(double m, double h, double p,
+                                                 double factor);
+
+}  // namespace otac

@@ -1,0 +1,125 @@
+#include "core/intelligent_cache.h"
+
+#include <stdexcept>
+
+#include "cachesim/simulator.h"
+#include "trace/trace_stats.h"
+
+namespace otac {
+
+std::string admission_mode_name(AdmissionMode mode) {
+  switch (mode) {
+    case AdmissionMode::original:
+      return "Original";
+    case AdmissionMode::proposal:
+      return "Proposal";
+    case AdmissionMode::ideal:
+      return "Ideal";
+    case AdmissionMode::bypass:
+      return "Bypass";
+  }
+  throw std::invalid_argument("admission_mode_name: unknown mode");
+}
+
+IntelligentCache::IntelligentCache(const Trace& trace)
+    : trace_(&trace), oracle_(compute_next_access(trace)) {
+  const TraceStats stats = compute_trace_stats(trace);
+  total_object_bytes_ = stats.total_object_bytes;
+}
+
+double IntelligentCache::estimate_hit_rate(
+    std::uint64_t capacity_bytes) const {
+  {
+    const std::lock_guard lock(hit_rate_mutex_);
+    const auto cached = hit_rate_cache_.find(capacity_bytes);
+    if (cached != hit_rate_cache_.end()) return cached->second;
+  }
+  const auto policy = make_policy(PolicyKind::lru, capacity_bytes);
+  AlwaysAdmit admission;
+  Simulator sim{*trace_};
+  const double h = sim.run(*policy, admission).file_hit_rate();
+  const std::lock_guard lock(hit_rate_mutex_);
+  hit_rate_cache_.emplace(capacity_bytes, h);
+  return h;
+}
+
+double IntelligentCache::cost_v_for(std::uint64_t capacity_bytes,
+                                    const OtaConfig& ota) const {
+  if (total_object_bytes_ <= 0.0) return ota.cost_v_small;
+  const double fraction =
+      static_cast<double>(capacity_bytes) / total_object_bytes_;
+  return fraction <= ota.cost_switch_capacity_fraction ? ota.cost_v_small
+                                                       : ota.cost_v_large;
+}
+
+RunResult IntelligentCache::run(const RunConfig& config) const {
+  if (config.capacity_bytes == 0) {
+    throw std::invalid_argument("IntelligentCache: zero capacity");
+  }
+  RunResult result;
+  const auto policy = make_policy(config.policy, config.capacity_bytes,
+                                  config.lirs_lir_fraction);
+  Simulator sim{*trace_};
+  sim.set_oracle(oracle_);
+
+  const bool needs_criteria = config.mode == AdmissionMode::proposal ||
+                              config.mode == AdmissionMode::ideal;
+  if (needs_criteria) {
+    const double h = config.hit_rate_estimate
+                         ? *config.hit_rate_estimate
+                         : estimate_hit_rate(config.capacity_bytes);
+    result.criteria =
+        compute_criteria(*trace_, oracle_, config.capacity_bytes, h,
+                         config.ota.criteria_iterations);
+    if (config.policy == PolicyKind::lirs) {
+      // §5.2: the LIRS stack only shields its LIR share, so the criteria
+      // threshold shrinks by R_s.
+      result.criteria.m =
+          lirs_criteria(result.criteria.m, config.lirs_lir_fraction);
+    }
+    result.cost_v = cost_v_for(config.capacity_bytes, config.ota);
+  }
+
+  switch (config.mode) {
+    case AdmissionMode::original: {
+      AlwaysAdmit admission;
+      result.stats = sim.run(*policy, admission);
+      break;
+    }
+    case AdmissionMode::bypass: {
+      NeverAdmit admission;
+      result.stats = sim.run(*policy, admission);
+      break;
+    }
+    case AdmissionMode::ideal: {
+      OracleAdmission admission{oracle_, result.criteria.m};
+      result.stats = sim.run(*policy, admission);
+      break;
+    }
+    case AdmissionMode::proposal: {
+      ClassifierSystemConfig cs;
+      cs.ota = config.ota;
+      cs.m = result.criteria.m;
+      cs.h = result.criteria.h;
+      cs.p = result.criteria.p;
+      cs.cost_v = result.cost_v;
+      ClassifierSystem admission{*trace_, oracle_, cs};
+      result.history_capacity = admission.history().capacity();
+      result.stats = sim.run(*policy, admission);
+      result.daily = admission.daily_metrics();
+      result.trainings = admission.trainings();
+      break;
+    }
+  }
+
+  const LatencyModel latency{config.latency};
+  const double hit_rate = result.stats.file_hit_rate();
+  result.mean_latency_us =
+      config.mode == AdmissionMode::original ||
+              config.mode == AdmissionMode::bypass
+          ? latency.mean_access_time_original_us(hit_rate)
+          : latency.mean_access_time_proposed_us(hit_rate);
+  return result;
+}
+
+}  // namespace otac

@@ -1,0 +1,90 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+
+namespace otac {
+
+DailyTrainer::DailyTrainer(const NextAccessInfo& oracle, OtaConfig config,
+                           double m, double cost_v)
+    : oracle_(&oracle), config_(config), m_(m), cost_v_(cost_v) {}
+
+void DailyTrainer::offer(std::uint64_t index, const Request& request,
+                         std::span<const float> features) {
+  const std::int64_t minute = request.time.seconds / kSecondsPerMinute;
+  if (minute != current_minute_) {
+    current_minute_ = minute;
+    minute_count_ = 0;
+  }
+  if (minute_count_ >= config_.sample_records_per_minute) return;
+  ++minute_count_;
+
+  TrainingSample sample;
+  std::copy_n(features.begin(), FeatureExtractor::kFeatureCount,
+              sample.features.begin());
+  sample.index = index;
+  sample.time = request.time;
+  samples_.push_back(sample);
+}
+
+int DailyTrainer::label_of(const NextAccessInfo& oracle, std::uint64_t index,
+                           double m, std::uint64_t known_until) {
+  const std::uint64_t next = oracle.next[index];
+  const bool reaccessed_within_m =
+      next != kNoNextAccess && next < known_until &&
+      static_cast<double>(next - index) <= m;
+  return reaccessed_within_m ? 0 : 1;  // 1 = one-time-access (positive)
+}
+
+std::optional<ml::DecisionTree> DailyTrainer::train(std::uint64_t now_index,
+                                                    SimTime now) {
+  // Drop samples older than the training window.
+  const SimTime window_start =
+      now - static_cast<std::int64_t>(config_.training_window_days *
+                                      kSecondsPerDay);
+  while (!samples_.empty() && samples_.front().time < window_start) {
+    samples_.pop_front();
+  }
+  constexpr std::size_t kMinSamples = 50;
+  if (samples_.size() < kMinSamples) return std::nullopt;
+
+  // Project onto the deployed feature subset (§3.2.2); empty = all nine.
+  const std::vector<std::size_t>& subset = config_.feature_subset;
+  std::vector<std::string> names;
+  if (subset.empty()) {
+    names = FeatureExtractor::feature_names();
+  } else {
+    for (const std::size_t f : subset) {
+      names.push_back(FeatureExtractor::feature_names().at(f));
+    }
+  }
+  ml::Dataset data{std::move(names)};
+  std::vector<float> projected(subset.size());
+  std::size_t positives = 0;
+  for (const TrainingSample& sample : samples_) {
+    if (sample.index >= now_index) continue;  // future-proofing
+    const int label = label_of(*oracle_, sample.index, m_, now_index);
+    positives += static_cast<std::size_t>(label);
+    if (subset.empty()) {
+      data.add_row(sample.features, label);
+    } else {
+      for (std::size_t k = 0; k < subset.size(); ++k) {
+        projected[k] = sample.features[subset[k]];
+      }
+      data.add_row(projected, label);
+    }
+  }
+  if (data.num_rows() < kMinSamples || positives == 0 ||
+      positives == data.num_rows()) {
+    return std::nullopt;
+  }
+  data.apply_cost_matrix(cost_v_);  // §4.4.1: false positives cost v
+
+  ml::DecisionTreeConfig tree_config;
+  tree_config.max_splits = config_.tree_max_splits;
+  tree_config.max_depth = config_.tree_max_depth;
+  ml::DecisionTree tree{tree_config};
+  tree.fit(data);
+  return tree;
+}
+
+}  // namespace otac

@@ -1,0 +1,67 @@
+// Daily training pipeline (§4.4.3 + §3.1.1): sample the request stream at
+// 100 records/minute, label each sample against the one-time-access
+// criteria (reaccess distance > M), apply the cost matrix, and fit a CART
+// tree on the previous 24 hours.
+//
+// Labeling is *log-truncated*: at training time T we only know accesses
+// that already happened, so a sample whose next access lies beyond T is
+// labeled from what the log shows (not yet reaccessed => one-time so far).
+// This is exactly what an online production trainer can do, and avoids
+// oracle leakage into the deployed model.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "core/config.h"
+#include "core/features.h"
+#include "ml/decision_tree.h"
+#include "trace/next_access.h"
+#include "trace/trace.h"
+
+namespace otac {
+
+struct TrainingSample {
+  std::array<float, FeatureExtractor::kFeatureCount> features;
+  std::uint64_t index = 0;  // trace position
+  SimTime time{};
+};
+
+class DailyTrainer {
+ public:
+  DailyTrainer(const NextAccessInfo& oracle, OtaConfig config, double m,
+               double cost_v);
+
+  /// Offer one request's features; kept iff the per-minute sample budget
+  /// (§3.1.1: 100/minute) still has room.
+  void offer(std::uint64_t index, const Request& request,
+             std::span<const float> features);
+
+  /// One-time-access label for a sample at `index` given knowledge up to
+  /// `known_until` (exclusive): 1 = one-time.
+  [[nodiscard]] static int label_of(const NextAccessInfo& oracle,
+                                    std::uint64_t index, double m,
+                                    std::uint64_t known_until);
+
+  /// Fit a tree on samples inside the training window ending at `now`.
+  /// Returns nullopt when there are too few samples or only one class.
+  [[nodiscard]] std::optional<ml::DecisionTree> train(std::uint64_t now_index,
+                                                      SimTime now);
+
+  [[nodiscard]] std::size_t sample_count() const noexcept {
+    return samples_.size();
+  }
+  [[nodiscard]] double cost_v() const noexcept { return cost_v_; }
+
+ private:
+  const NextAccessInfo* oracle_;
+  OtaConfig config_;
+  double m_;
+  double cost_v_;
+
+  std::deque<TrainingSample> samples_;
+  std::int64_t current_minute_ = std::numeric_limits<std::int64_t>::min();
+  int minute_count_ = 0;
+};
+
+}  // namespace otac

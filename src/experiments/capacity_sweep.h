@@ -1,0 +1,70 @@
+// The experiment matrix behind Figs. 2 and 6-10: every (policy, admission
+// mode, capacity) cell of one trace, simulated once and cached on disk so
+// each figure binary just projects its metric out of the shared result.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/intelligent_cache.h"
+#include "experiments/workloads.h"
+
+namespace otac {
+
+struct SweepConfig {
+  std::vector<double> paper_gb = {2, 4, 6, 8, 10, 12, 14, 16, 18, 20};
+  std::vector<PolicyKind> policies = {PolicyKind::lru, PolicyKind::fifo,
+                                      PolicyKind::s3lru, PolicyKind::arc,
+                                      PolicyKind::lirs};
+  std::vector<AdmissionMode> modes = {AdmissionMode::original,
+                                      AdmissionMode::proposal,
+                                      AdmissionMode::ideal};
+  bool include_belady = true;
+  double lirs_lir_fraction = 0.9;
+
+  /// Distinguishes incompatible cached results (bump when cell semantics
+  /// change).
+  int version = 1;
+};
+
+struct SweepCell {
+  PolicyKind policy{};
+  AdmissionMode mode{};
+  double paper_gb = 0.0;
+  std::uint64_t capacity_bytes = 0;
+
+  double file_hit_rate = 0.0;
+  double byte_hit_rate = 0.0;
+  double file_write_rate = 0.0;
+  double byte_write_rate = 0.0;
+  double latency_us = 0.0;
+  double criteria_m = 0.0;
+  std::uint64_t insertions = 0;
+  double inserted_bytes = 0.0;
+  std::uint64_t rejected = 0;
+};
+
+struct SweepResult {
+  BenchWorkloadInfo workload;
+  std::vector<SweepCell> cells;
+
+  [[nodiscard]] std::optional<SweepCell> find(PolicyKind policy,
+                                              AdmissionMode mode,
+                                              double paper_gb) const;
+};
+
+/// Run the matrix (no caching).
+[[nodiscard]] SweepResult run_capacity_sweep(const Trace& trace,
+                                             const SweepConfig& config,
+                                             const BenchWorkloadInfo& info);
+
+/// Disk-cached variant keyed on (seed, scale, sweep config).
+[[nodiscard]] SweepResult load_or_run_sweep(const Trace& trace,
+                                            const SweepConfig& config,
+                                            const BenchWorkloadInfo& info);
+
+/// CSV round-trip (exposed for tests).
+[[nodiscard]] std::string sweep_to_csv(const SweepResult& result);
+[[nodiscard]] std::optional<SweepResult> sweep_from_csv(const std::string& csv);
+
+}  // namespace otac

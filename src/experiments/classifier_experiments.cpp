@@ -1,0 +1,120 @@
+#include "experiments/classifier_experiments.h"
+
+#include <numeric>
+
+#include "core/features.h"
+#include "core/trainer.h"
+#include "ml/adaboost.h"
+#include "ml/decision_tree.h"
+#include "ml/knn.h"
+#include "ml/logistic.h"
+#include "ml/mlp.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+
+namespace otac {
+
+ml::Dataset build_classifier_dataset(const Trace& trace,
+                                     const NextAccessInfo& oracle, double m,
+                                     int records_per_minute) {
+  ml::Dataset data{FeatureExtractor::feature_names()};
+  FeatureExtractor extractor{trace.catalog};
+  std::array<float, FeatureExtractor::kFeatureCount> row{};
+
+  std::int64_t current_minute = std::numeric_limits<std::int64_t>::min();
+  int minute_count = 0;
+  const std::uint64_t full_knowledge = trace.requests.size();
+
+  for (std::uint64_t i = 0; i < trace.requests.size(); ++i) {
+    const Request& request = trace.requests[i];
+    const PhotoMeta& photo = trace.catalog.photo(request.photo);
+    const std::int64_t minute = request.time.seconds / kSecondsPerMinute;
+    if (minute != current_minute) {
+      current_minute = minute;
+      minute_count = 0;
+    }
+    if (minute_count < records_per_minute) {
+      ++minute_count;
+      extractor.extract(request, photo, row);
+      data.add_row(row, DailyTrainer::label_of(oracle, i, m, full_knowledge));
+    }
+    extractor.observe(request, photo);
+  }
+  return data;
+}
+
+std::vector<Table1Row> run_table1(const ml::Dataset& data,
+                                  const Table1Config& config) {
+  // Subsample once so every algorithm sees the same rows.
+  const ml::Dataset* working = &data;
+  ml::Dataset reduced;
+  if (config.max_rows > 0 && data.num_rows() > config.max_rows) {
+    Rng rng{config.seed};
+    std::vector<std::size_t> keep(data.num_rows());
+    std::iota(keep.begin(), keep.end(), 0);
+    for (std::size_t i = 0; i < config.max_rows; ++i) {
+      const std::size_t j = i + rng.next_below(keep.size() - i);
+      std::swap(keep[i], keep[j]);
+    }
+    keep.resize(config.max_rows);
+    reduced = data.subset_rows(keep);
+    working = &reduced;
+  }
+
+  const std::vector<std::pair<std::string, ml::ClassifierFactory>> algorithms =
+      {
+          {"Naive Bayes",
+           [] { return std::make_unique<ml::GaussianNaiveBayes>(); }},
+          {"Decision Tree",
+           [] { return std::make_unique<ml::DecisionTree>(); }},
+          {"BP NN", [] { return std::make_unique<ml::MlpClassifier>(); }},
+          {"KNN", [] { return std::make_unique<ml::KnnClassifier>(); }},
+          {"AdaBoost", [] { return std::make_unique<ml::AdaBoost>(); }},
+          {"Random Forest",
+           [] { return std::make_unique<ml::RandomForest>(); }},
+          {"Logistic Regression",
+           [] { return std::make_unique<ml::LogisticRegression>(); }},
+      };
+
+  std::vector<Table1Row> rows;
+  rows.reserve(algorithms.size());
+  for (const auto& [name, factory] : algorithms) {
+    Rng rng{config.seed};  // identical folds for every algorithm
+    Table1Row row;
+    row.algorithm = name;
+    row.metrics = ml::cross_validate(*working, factory, config.folds, rng);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+TreeConfigFacts tree_config_facts(const ml::Dataset& data,
+                                  std::size_t max_splits) {
+  ml::DecisionTreeConfig config;
+  config.max_splits = max_splits;
+  ml::DecisionTree tree{config};
+  tree.fit(data);
+
+  TreeConfigFacts facts;
+  facts.splits = tree.split_count();
+  facts.height = tree.height();
+  double total = 0.0;
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    total += static_cast<double>(tree.decision_path_length(data.row(i)));
+  }
+  facts.mean_comparisons =
+      data.num_rows() ? total / static_cast<double>(data.num_rows()) : 0.0;
+  return facts;
+}
+
+std::vector<DayClassifierMetrics> run_daily_classification(
+    const Trace& trace, PolicyKind policy, std::uint64_t capacity_bytes) {
+  const IntelligentCache system{trace};
+  RunConfig config;
+  config.policy = policy;
+  config.capacity_bytes = capacity_bytes;
+  config.mode = AdmissionMode::proposal;
+  return system.run(config).daily;
+}
+
+}  // namespace otac

@@ -1,0 +1,56 @@
+// Table 1 (seven-classifier comparison), the §3.1.2 tree-configuration
+// facts, the §3.2.2 feature-selection study, and Fig. 5 (per-day classifier
+// quality under daily retraining).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/intelligent_cache.h"
+#include "ml/cross_validation.h"
+#include "ml/feature_selection.h"
+#include "trace/trace.h"
+
+namespace otac {
+
+/// Sampled + labeled classification dataset (§3.1.1): `records_per_minute`
+/// requests per minute, features from the online extractor, labels from the
+/// one-time-access criteria with threshold `m` (full-trace knowledge — this
+/// is the offline study setting of Table 1, not the deployed trainer).
+[[nodiscard]] ml::Dataset build_classifier_dataset(const Trace& trace,
+                                                   const NextAccessInfo& oracle,
+                                                   double m,
+                                                   int records_per_minute);
+
+struct Table1Row {
+  std::string algorithm;
+  ml::CvMetrics metrics;
+};
+
+struct Table1Config {
+  std::size_t folds = 3;
+  std::uint64_t seed = 42;
+  /// Rows above this are uniformly subsampled first (kNN/MLP cost control).
+  std::size_t max_rows = 60'000;
+};
+
+/// Cross-validate the paper's seven algorithms on the dataset.
+[[nodiscard]] std::vector<Table1Row> run_table1(const ml::Dataset& data,
+                                                const Table1Config& config);
+
+struct TreeConfigFacts {
+  std::size_t splits = 0;
+  std::size_t height = 0;
+  double mean_comparisons = 0.0;  // average decision-path length
+};
+
+/// Fit the deployment tree on the dataset and report §3.1.2's facts.
+[[nodiscard]] TreeConfigFacts tree_config_facts(const ml::Dataset& data,
+                                                std::size_t max_splits);
+
+/// Per-day classifier quality for Fig. 5: proposal run at the reference
+/// capacity with the given policy's criteria.
+[[nodiscard]] std::vector<DayClassifierMetrics> run_daily_classification(
+    const Trace& trace, PolicyKind policy, std::uint64_t capacity_bytes);
+
+}  // namespace otac

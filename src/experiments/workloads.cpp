@@ -1,0 +1,88 @@
+#include "experiments/workloads.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include "trace/trace_io.h"
+#include "trace/trace_stats.h"
+#include "util/env_config.h"
+
+namespace otac {
+
+WorkloadConfig bench_workload_config(double scale, std::uint64_t seed) {
+  WorkloadConfig config;  // defaults are the calibrated paper-like shape
+  config.seed = seed;
+  return scaled(config, scale);
+}
+
+Trace load_bench_trace(double scale, std::uint64_t seed) {
+  const WorkloadConfig config = bench_workload_config(scale, seed);
+  const std::string dir = bench_cache_dir();
+  if (dir.empty()) return TraceGenerator{config}.generate();
+
+  // Fingerprint the shape knobs so config changes invalidate the cache.
+  std::uint64_t fp = 0xcbf29ce484222325ULL;
+  const auto mix = [&fp](double v) {
+    fp ^= static_cast<std::uint64_t>(v * 1e6);
+    fp *= 0x100000001b3ULL;
+  };
+  mix(config.one_time_object_fraction);
+  mix(config.one_time_access_share);
+  mix(config.horizon_days);
+  mix(config.weight_noise);
+  mix(config.weight_owner_quality);
+  mix(config.weight_type);
+  mix(config.sigmoid_tau);
+  mix(config.count_score_beta);
+  mix(config.count_tail_alpha);
+  mix(config.decay_shape);
+  mix(config.decay_scale_days);
+  mix(static_cast<double>(config.type_popularity_rotation_days));
+  for (const double s : config.resolution_size_bytes) mix(s);
+  for (const double m : config.type_mix) mix(m);
+  std::ostringstream name;
+  name << "trace_s" << seed << "_x" << scale << "_p" << config.num_photos
+       << "_" << std::hex << fp << ".bin";
+  const std::filesystem::path path = std::filesystem::path(dir) / name.str();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (!ec && std::filesystem::exists(path)) {
+    try {
+      return load_trace(path.string());
+    } catch (const std::exception&) {
+      // Corrupt cache: fall through and regenerate.
+    }
+  }
+  Trace trace = TraceGenerator{config}.generate();
+  if (!ec) {
+    try {
+      save_trace(trace, path.string());
+    } catch (const std::exception&) {
+      // Cache write failure is non-fatal.
+    }
+  }
+  return trace;
+}
+
+BenchWorkloadInfo describe(const Trace& trace, double scale,
+                           std::uint64_t seed) {
+  const TraceStats stats = compute_trace_stats(trace);
+  BenchWorkloadInfo info;
+  info.seed = seed;
+  info.scale = scale;
+  info.requests = stats.total_requests;
+  info.photos = stats.distinct_objects;
+  info.total_object_bytes = stats.total_object_bytes;
+  info.mean_photo_size =
+      stats.distinct_objects
+          ? stats.total_object_bytes / static_cast<double>(stats.distinct_objects)
+          : 0.0;
+  return info;
+}
+
+std::uint64_t map_paper_gb(double paper_gb, double total_object_bytes) {
+  const double fraction = paper_gb / kPaperDatasetGb;
+  return static_cast<std::uint64_t>(fraction * total_object_bytes);
+}
+
+}  // namespace otac

@@ -1,0 +1,87 @@
+#include "ml/adaboost.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace otac::ml {
+
+AdaBoost::AdaBoost(AdaBoostConfig config) : config_(config) {
+  if (config_.num_rounds == 0) {
+    throw std::invalid_argument("AdaBoost: need at least one round");
+  }
+}
+
+void AdaBoost::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("AdaBoost: empty data");
+  learners_.clear();
+  alphas_.clear();
+
+  const std::size_t n = data.num_rows();
+  // Boosting weights start at the dataset's own (cost) weights, normalized
+  // to *mean 1* (sum n) so the base tree's min_child_weight semantics — a
+  // minimum effective sample count per child — stay meaningful.
+  std::vector<float> weights(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    weights[i] = data.weight(i);
+    total += weights[i];
+  }
+  const double scale_to_n = static_cast<double>(n) / total;
+  for (auto& w : weights) w = static_cast<float>(w * scale_to_n);
+
+  Dataset working = data;  // weights mutate per round
+
+  for (std::size_t round = 0; round < config_.num_rounds; ++round) {
+    working.set_weights(weights);
+    DecisionTreeConfig tree_config = config_.tree;
+    tree_config.feature_subsample_seed = config_.seed + round;
+    DecisionTree learner{tree_config};
+    learner.fit(working);
+
+    double error = 0.0;
+    double weight_total = 0.0;
+    std::vector<int> predictions(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      predictions[i] = learner.predict(data.row(i));
+      weight_total += weights[i];
+      if (predictions[i] != data.label(i)) error += weights[i];
+    }
+    error = std::clamp(error / weight_total, 1e-10, 1.0 - 1e-10);
+    if (error >= 0.5) {
+      // Learner no better than chance: stop boosting (standard early exit);
+      // keep at least one learner so predict works.
+      if (!learners_.empty()) break;
+    }
+    const double alpha = 0.5 * std::log((1.0 - error) / error);
+    learners_.push_back(std::move(learner));
+    alphas_.push_back(alpha);
+
+    // Reweight: misclassified up, correct down; renormalize to mean 1.
+    double new_total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double sign = predictions[i] == data.label(i) ? -1.0 : 1.0;
+      weights[i] = static_cast<float>(weights[i] * std::exp(sign * alpha));
+      new_total += weights[i];
+    }
+    const double renorm = static_cast<double>(n) / new_total;
+    for (auto& w : weights) w = static_cast<float>(w * renorm);
+  }
+}
+
+double AdaBoost::predict_proba(std::span<const float> features) const {
+  if (learners_.empty()) throw std::logic_error("AdaBoost: not fitted");
+  double score = 0.0;
+  double alpha_total = 0.0;
+  for (std::size_t i = 0; i < learners_.size(); ++i) {
+    const int vote = learners_[i].predict(features) == 1 ? 1 : -1;
+    score += alphas_[i] * vote;
+    alpha_total += std::abs(alphas_[i]);
+  }
+  if (alpha_total <= 0.0) return 0.5;
+  // Map the normalized margin in [-1,1] through a logistic link so the
+  // output behaves like a probability for thresholding and AUC.
+  const double margin = score / alpha_total;
+  return 1.0 / (1.0 + std::exp(-4.0 * margin));
+}
+
+}  // namespace otac::ml

@@ -1,0 +1,37 @@
+// AdaBoost (discrete SAMME, two classes == classic AdaBoost.M1) over
+// shallow CART trees — the second ensemble of Table 1.
+#pragma once
+
+#include "ml/decision_tree.h"
+
+namespace otac::ml {
+
+struct AdaBoostConfig {
+  std::size_t num_rounds = 30;  // paper: 30 base learners
+  /// Shallow trees keep each round cheap; depth 3 lets a base learner
+  /// bootstrap on interaction-only targets (e.g. XOR) where every single
+  /// split has near-zero marginal gain.
+  DecisionTreeConfig tree{.max_splits = 7, .max_depth = 3};
+  std::uint64_t seed = 42;
+};
+
+class AdaBoost final : public Classifier {
+ public:
+  explicit AdaBoost(AdaBoostConfig config = {});
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] double predict_proba(
+      std::span<const float> features) const override;
+  [[nodiscard]] std::string name() const override { return "AdaBoost"; }
+
+  [[nodiscard]] std::size_t round_count() const noexcept {
+    return learners_.size();
+  }
+
+ private:
+  AdaBoostConfig config_;
+  std::vector<DecisionTree> learners_;
+  std::vector<double> alphas_;
+};
+
+}  // namespace otac::ml

@@ -1,0 +1,35 @@
+// Common interface for all seven classifiers of Table 1.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "ml/dataset.h"
+
+namespace otac::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Train on the dataset (instance weights included). May be called again
+  /// to refit from scratch.
+  virtual void fit(const Dataset& data) = 0;
+
+  /// P(label == 1 | features). Must be callable only after fit().
+  [[nodiscard]] virtual double predict_proba(
+      std::span<const float> features) const = 0;
+
+  /// Hard decision at the 0.5 posterior threshold.
+  [[nodiscard]] virtual int predict(std::span<const float> features) const {
+    return predict_proba(features) >= 0.5 ? 1 : 0;
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+}  // namespace otac::ml

@@ -1,0 +1,85 @@
+#include "ml/cross_validation.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace otac::ml {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct PooledPredictions {
+  std::vector<int> actual;
+  std::vector<int> predicted;
+  std::vector<double> scores;
+};
+
+void score_fold(const Dataset& train, const Dataset& test,
+                const ClassifierFactory& factory, PooledPredictions& pool,
+                CvMetrics& metrics) {
+  const auto classifier = factory();
+  const auto fit_start = Clock::now();
+  classifier->fit(train);
+  metrics.fit_seconds += seconds_since(fit_start);
+
+  const auto predict_start = Clock::now();
+  for (std::size_t i = 0; i < test.num_rows(); ++i) {
+    const double p = classifier->predict_proba(test.row(i));
+    pool.actual.push_back(test.label(i));
+    pool.scores.push_back(p);
+    pool.predicted.push_back(p >= 0.5 ? 1 : 0);
+  }
+  metrics.predict_seconds += seconds_since(predict_start);
+}
+
+CvMetrics finalize(PooledPredictions& pool, CvMetrics metrics) {
+  metrics.confusion =
+      confusion_from_predictions(pool.actual, pool.predicted);
+  metrics.precision = metrics.confusion.precision();
+  metrics.recall = metrics.confusion.recall();
+  metrics.accuracy = metrics.confusion.accuracy();
+  metrics.auc = auc(pool.actual, pool.scores);
+  return metrics;
+}
+
+}  // namespace
+
+CvMetrics cross_validate(const Dataset& data, const ClassifierFactory& factory,
+                         std::size_t folds, Rng& rng) {
+  const auto fold_indices = data.kfold_indices(folds, rng);
+  CvMetrics metrics;
+  PooledPredictions pool;
+  pool.actual.reserve(data.num_rows());
+
+  for (std::size_t held_out = 0; held_out < folds; ++held_out) {
+    std::vector<std::size_t> train_rows;
+    train_rows.reserve(data.num_rows());
+    for (std::size_t f = 0; f < folds; ++f) {
+      if (f == held_out) continue;
+      train_rows.insert(train_rows.end(), fold_indices[f].begin(),
+                        fold_indices[f].end());
+    }
+    const Dataset train = data.subset_rows(train_rows);
+    const Dataset test = data.subset_rows(fold_indices[held_out]);
+    if (train.empty() || test.empty()) {
+      throw std::invalid_argument("cross_validate: fold too small");
+    }
+    score_fold(train, test, factory, pool, metrics);
+  }
+  return finalize(pool, metrics);
+}
+
+CvMetrics evaluate_split(const Dataset& train, const Dataset& test,
+                         const ClassifierFactory& factory) {
+  CvMetrics metrics;
+  PooledPredictions pool;
+  score_fold(train, test, factory, pool, metrics);
+  return finalize(pool, metrics);
+}
+
+}  // namespace otac::ml

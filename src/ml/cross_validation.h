@@ -1,0 +1,31 @@
+// k-fold cross-validation producing the Table-1 metric quadruple
+// (precision, recall, accuracy, AUC) plus timing.
+#pragma once
+
+#include "ml/classifier.h"
+#include "ml/metrics.h"
+
+namespace otac::ml {
+
+struct CvMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double accuracy = 0.0;
+  double auc = 0.0;
+  double fit_seconds = 0.0;      // total across folds
+  double predict_seconds = 0.0;  // total across folds
+  ConfusionMatrix confusion;     // pooled over folds
+};
+
+/// Train on k-1 folds, score the held-out fold, pool predictions across
+/// folds, compute metrics once on the pooled set (avoids small-fold noise).
+[[nodiscard]] CvMetrics cross_validate(const Dataset& data,
+                                       const ClassifierFactory& factory,
+                                       std::size_t folds, Rng& rng);
+
+/// Single split evaluation: fit on train, score on test.
+[[nodiscard]] CvMetrics evaluate_split(const Dataset& train,
+                                       const Dataset& test,
+                                       const ClassifierFactory& factory);
+
+}  // namespace otac::ml

@@ -1,0 +1,303 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+namespace otac::ml {
+
+namespace {
+
+double gini(double positive, double total) noexcept {
+  if (total <= 0.0) return 0.0;
+  const double p = positive / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+DecisionTree::SplitChoice DecisionTree::find_best_split(
+    const Dataset& data, const std::vector<std::size_t>& rows,
+    Rng& feature_rng) const {
+  SplitChoice best;
+  const std::size_t d = data.num_features();
+
+  // Optional feature subsampling (random forest mode).
+  std::vector<std::size_t> features(d);
+  std::iota(features.begin(), features.end(), 0);
+  std::size_t consider = d;
+  if (config_.max_features > 0 && config_.max_features < d) {
+    consider = config_.max_features;
+    for (std::size_t i = 0; i < consider; ++i) {
+      const std::size_t j =
+          i + feature_rng.next_below(static_cast<std::uint64_t>(d - i));
+      std::swap(features[i], features[j]);
+    }
+  }
+
+  double node_total = 0.0;
+  double node_positive = 0.0;
+  for (const std::size_t r : rows) {
+    node_total += data.weight(r);
+    if (data.label(r) == 1) node_positive += data.weight(r);
+  }
+  const double node_impurity = gini(node_positive, node_total);
+  if (node_impurity <= 0.0) return best;  // pure node
+
+  // (value, weight, positive-weight) triples sorted per feature.
+  struct Entry {
+    float value;
+    float weight;
+    float positive;
+  };
+  std::vector<Entry> entries(rows.size());
+
+  for (std::size_t fi = 0; fi < consider; ++fi) {
+    const std::size_t f = features[fi];
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      const std::size_t r = rows[k];
+      const float w = data.weight(r);
+      entries[k] = Entry{data.value(r, f), w,
+                         data.label(r) == 1 ? w : 0.0F};
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.value < b.value; });
+
+    double left_total = 0.0;
+    double left_positive = 0.0;
+    for (std::size_t k = 0; k + 1 < entries.size(); ++k) {
+      left_total += entries[k].weight;
+      left_positive += entries[k].positive;
+      if (entries[k].value == entries[k + 1].value) continue;  // no cut here
+      const double right_total = node_total - left_total;
+      const double right_positive = node_positive - left_positive;
+      if (left_total < config_.min_child_weight ||
+          right_total < config_.min_child_weight) {
+        continue;
+      }
+      const double weighted_child_impurity =
+          (left_total * gini(left_positive, left_total) +
+           right_total * gini(right_positive, right_total)) /
+          node_total;
+      const double relative_gain = node_impurity - weighted_child_impurity;
+      // Mass-weighted gain: ranks splits of large nodes above equally
+      // impressive splits of tiny nodes (standard CART importance, and the
+      // right priority for best-first growth under a split budget).
+      const double gain = relative_gain * node_total;
+      if (gain > best.gain && relative_gain >= config_.min_impurity_decrease) {
+        best.feature = f;
+        // Midpoint threshold: robust to unseen values between the cut pair.
+        best.threshold =
+            entries[k].value +
+            (entries[k + 1].value - entries[k].value) * 0.5F;
+        best.gain = gain;
+        best.valid = true;
+      }
+    }
+  }
+  return best;
+}
+
+void DecisionTree::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("DecisionTree: empty data");
+  nodes_.clear();
+  importance_.assign(data.num_features(), 0.0);
+  splits_ = 0;
+  height_ = 0;
+
+  Rng feature_rng{config_.feature_subsample_seed};
+
+  std::vector<std::size_t> all(data.num_rows());
+  std::iota(all.begin(), all.end(), 0);
+
+  struct Candidate {
+    double gain;
+    std::int32_t node;
+    SplitChoice split;
+    std::vector<std::size_t> rows;
+
+    bool operator<(const Candidate& other) const noexcept {
+      return gain < other.gain;  // max-heap on gain
+    }
+  };
+
+  const auto node_probability = [&](const std::vector<std::size_t>& rows) {
+    double total = 0.0;
+    double positive = 0.0;
+    for (const std::size_t r : rows) {
+      total += data.weight(r);
+      if (data.label(r) == 1) positive += data.weight(r);
+    }
+    return total > 0.0 ? static_cast<float>(positive / total) : 0.0F;
+  };
+
+  std::priority_queue<Candidate> frontier;
+
+  const auto make_leaf = [&](const std::vector<std::size_t>& rows,
+                             std::uint32_t depth) {
+    Node node;
+    node.probability = node_probability(rows);
+    node.depth = depth;
+    nodes_.push_back(node);
+    height_ = std::max<std::size_t>(height_, depth);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  const auto consider_split = [&](std::int32_t node_id,
+                                  std::vector<std::size_t> rows) {
+    if (nodes_[static_cast<std::size_t>(node_id)].depth >= config_.max_depth) {
+      return;
+    }
+    const SplitChoice split = find_best_split(data, rows, feature_rng);
+    if (split.valid) {
+      frontier.push(Candidate{split.gain, node_id, split, std::move(rows)});
+    }
+  };
+
+  const std::int32_t root = make_leaf(all, 0);
+  consider_split(root, std::move(all));
+
+  while (!frontier.empty() && splits_ < config_.max_splits) {
+    Candidate cand = std::move(const_cast<Candidate&>(frontier.top()));
+    frontier.pop();
+
+    std::vector<std::size_t> left_rows;
+    std::vector<std::size_t> right_rows;
+    left_rows.reserve(cand.rows.size());
+    right_rows.reserve(cand.rows.size());
+    for (const std::size_t r : cand.rows) {
+      if (data.value(r, cand.split.feature) <= cand.split.threshold) {
+        left_rows.push_back(r);
+      } else {
+        right_rows.push_back(r);
+      }
+    }
+    if (left_rows.empty() || right_rows.empty()) continue;  // degenerate
+
+    Node& parent = nodes_[static_cast<std::size_t>(cand.node)];
+    parent.feature = static_cast<std::int32_t>(cand.split.feature);
+    parent.threshold = cand.split.threshold;
+    const std::uint32_t child_depth = parent.depth + 1;
+    const std::int32_t left_id = make_leaf(left_rows, child_depth);
+    const std::int32_t right_id = make_leaf(right_rows, child_depth);
+    // make_leaf may reallocate nodes_; re-reference the parent.
+    nodes_[static_cast<std::size_t>(cand.node)].left = left_id;
+    nodes_[static_cast<std::size_t>(cand.node)].right = right_id;
+
+    importance_[cand.split.feature] += cand.split.gain;
+    ++splits_;
+
+    consider_split(left_id, std::move(left_rows));
+    consider_split(right_id, std::move(right_rows));
+  }
+}
+
+double DecisionTree::predict_proba(std::span<const float> features) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree: not fitted");
+  std::size_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const auto f = static_cast<std::size_t>(nodes_[node].feature);
+    if (f >= features.size()) {
+      throw std::invalid_argument("DecisionTree: feature arity mismatch");
+    }
+    node = static_cast<std::size_t>(features[f] <= nodes_[node].threshold
+                                        ? nodes_[node].left
+                                        : nodes_[node].right);
+  }
+  return nodes_[node].probability;
+}
+
+std::size_t DecisionTree::decision_path_length(
+    std::span<const float> features) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree: not fitted");
+  std::size_t node = 0;
+  std::size_t comparisons = 0;
+  while (nodes_[node].feature >= 0) {
+    ++comparisons;
+    const auto f = static_cast<std::size_t>(nodes_[node].feature);
+    node = static_cast<std::size_t>(features[f] <= nodes_[node].threshold
+                                        ? nodes_[node].left
+                                        : nodes_[node].right);
+  }
+  return comparisons;
+}
+
+std::string DecisionTree::serialize() const {
+  std::ostringstream out;
+  out.precision(9);
+  out << "otac-dtree 1 " << nodes_.size() << ' ' << splits_ << ' ' << height_
+      << ' ' << importance_.size() << '\n';
+  for (const Node& node : nodes_) {
+    out << node.feature << ' ' << node.threshold << ' ' << node.left << ' '
+        << node.right << ' ' << node.probability << ' ' << node.depth << '\n';
+  }
+  for (const double gain : importance_) out << gain << ' ';
+  out << '\n';
+  return out.str();
+}
+
+DecisionTree DecisionTree::deserialize(const std::string& blob) {
+  std::istringstream in{blob};
+  std::string magic;
+  int version = 0;
+  std::size_t node_count = 0;
+  std::size_t splits = 0;
+  std::size_t height = 0;
+  std::size_t feature_count = 0;
+  in >> magic >> version >> node_count >> splits >> height >> feature_count;
+  if (!in || magic != "otac-dtree" || version != 1) {
+    throw std::invalid_argument("DecisionTree: bad serialization header");
+  }
+  DecisionTree tree;
+  tree.splits_ = splits;
+  tree.height_ = height;
+  tree.nodes_.resize(node_count);
+  for (Node& node : tree.nodes_) {
+    in >> node.feature >> node.threshold >> node.left >> node.right >>
+        node.probability >> node.depth;
+  }
+  tree.importance_.resize(feature_count);
+  for (double& gain : tree.importance_) in >> gain;
+  if (!in) throw std::invalid_argument("DecisionTree: truncated blob");
+  // Structural validation: child ids must be in range and non-cyclic by
+  // construction (children always have larger indices in our builder).
+  for (const Node& node : tree.nodes_) {
+    if (node.feature >= 0) {
+      const bool in_range =
+          node.left > 0 && node.right > 0 &&
+          static_cast<std::size_t>(node.left) < node_count &&
+          static_cast<std::size_t>(node.right) < node_count;
+      if (!in_range) {
+        throw std::invalid_argument("DecisionTree: invalid child index");
+      }
+    }
+  }
+  return tree;
+}
+
+std::string DecisionTree::to_text(
+    const std::vector<std::string>& feature_names) const {
+  std::ostringstream out;
+  if (nodes_.empty()) return "(unfitted)\n";
+  std::vector<std::pair<std::size_t, std::string>> stack{{0, ""}};
+  while (!stack.empty()) {
+    const auto [id, indent] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[id];
+    if (node.feature < 0) {
+      out << indent << "leaf p(one-time)=" << node.probability << "\n";
+      continue;
+    }
+    const auto f = static_cast<std::size_t>(node.feature);
+    const std::string label =
+        f < feature_names.size() ? feature_names[f] : "f" + std::to_string(f);
+    out << indent << label << " <= " << node.threshold << " ?\n";
+    stack.emplace_back(static_cast<std::size_t>(node.right), indent + "  ");
+    stack.emplace_back(static_cast<std::size_t>(node.left), indent + "  ");
+  }
+  return out.str();
+}
+
+}  // namespace otac::ml

@@ -1,0 +1,99 @@
+// CART decision tree (Breiman et al. 1984), the paper's classifier (§3.1).
+//
+// Binary splits on numeric features with weighted Gini impurity. Growth is
+// *best-first*: candidate leaves are split in order of impurity decrease
+// until `max_splits` internal nodes exist — directly modelling the paper's
+// "upper limit of splitting times to 30" (§3.1.2, ~3x the feature count).
+// Cost-sensitive learning enters through instance weights (Dataset), so the
+// v-weighted cost matrix of §4.4.1 needs no tree-specific handling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace otac::ml {
+
+struct DecisionTreeConfig {
+  /// Maximum number of internal (split) nodes; paper uses 30.
+  std::size_t max_splits = 30;
+  /// Hard depth cap as an over-fitting backstop.
+  std::size_t max_depth = 12;
+  /// Minimum total instance weight a child may hold.
+  double min_child_weight = 1.0;
+  /// Minimum weighted Gini decrease for a split to be considered.
+  double min_impurity_decrease = 1e-7;
+  /// Number of features examined per split; 0 = all (random forests pass
+  /// sqrt(d) here together with a seed).
+  std::size_t max_features = 0;
+  std::uint64_t feature_subsample_seed = 0;
+};
+
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] double predict_proba(
+      std::span<const float> features) const override;
+  [[nodiscard]] std::string name() const override { return "DecisionTree"; }
+
+  /// Number of internal nodes actually created (<= max_splits).
+  [[nodiscard]] std::size_t split_count() const noexcept { return splits_; }
+  /// Height of the tree (root-only tree has height 0); the paper reports
+  /// ~5, i.e. at most five comparisons per prediction.
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Total impurity decrease credited to each feature (unnormalized).
+  [[nodiscard]] const std::vector<double>& feature_importance() const noexcept {
+    return importance_;
+  }
+
+  /// Comparisons performed for this row (== depth of the reached leaf).
+  [[nodiscard]] std::size_t decision_path_length(
+      std::span<const float> features) const;
+
+  /// Human-readable tree dump for debugging and docs.
+  [[nodiscard]] std::string to_text(
+      const std::vector<std::string>& feature_names) const;
+
+  /// Compact text serialization of a fitted tree (model shipping: the
+  /// trainer runs at 05:00, the serving tier loads the new model).
+  /// Round-trips exactly; throws std::invalid_argument on malformed input.
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static DecisionTree deserialize(const std::string& blob);
+
+ private:
+  struct Node {
+    // Leaf when feature == -1.
+    std::int32_t feature = -1;
+    float threshold = 0.0F;          // go left when value <= threshold
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    float probability = 0.0F;        // weighted P(label==1) of node samples
+    std::uint32_t depth = 0;
+  };
+
+  struct SplitChoice {
+    std::size_t feature = 0;
+    float threshold = 0.0F;
+    double gain = 0.0;
+    bool valid = false;
+  };
+
+  SplitChoice find_best_split(const Dataset& data,
+                              const std::vector<std::size_t>& rows,
+                              Rng& feature_rng) const;
+
+  DecisionTreeConfig config_;
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+  std::size_t splits_ = 0;
+  std::size_t height_ = 0;
+};
+
+}  // namespace otac::ml

@@ -1,0 +1,106 @@
+#include "ml/feature_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+#include "ml/cross_validation.h"
+
+namespace otac::ml {
+
+double binary_entropy(double positive, double total) noexcept {
+  if (total <= 0.0) return 0.0;
+  const double p = positive / total;
+  double h = 0.0;
+  if (p > 0.0) h -= p * std::log2(p);
+  if (p < 1.0) h -= (1.0 - p) * std::log2(1.0 - p);
+  return h;
+}
+
+double information_gain(const Dataset& data, std::size_t feature,
+                        std::size_t max_bins) {
+  if (feature >= data.num_features()) {
+    throw std::out_of_range("information_gain: feature index");
+  }
+  if (data.empty()) return 0.0;
+
+  const std::size_t n = data.num_rows();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return data.value(a, feature) < data.value(b, feature);
+  });
+
+  const double total_weight = data.total_weight();
+  const double total_positive = data.positive_weight();
+  const double parent = binary_entropy(total_positive, total_weight);
+
+  // Equal-frequency bins that never split a run of identical values.
+  const std::size_t target_per_bin = std::max<std::size_t>(1, n / max_bins);
+  double children = 0.0;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    double bin_weight = 0.0;
+    double bin_positive = 0.0;
+    while (j < n &&
+           (j - i < target_per_bin ||
+            data.value(order[j], feature) ==
+                data.value(order[j - 1], feature))) {
+      const std::size_t r = order[j];
+      bin_weight += data.weight(r);
+      if (data.label(r) == 1) bin_positive += data.weight(r);
+      ++j;
+    }
+    children +=
+        (bin_weight / total_weight) * binary_entropy(bin_positive, bin_weight);
+    i = j;
+  }
+  return std::max(0.0, parent - children);
+}
+
+std::vector<double> information_gains(const Dataset& data,
+                                      std::size_t max_bins) {
+  std::vector<double> gains(data.num_features());
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    gains[f] = information_gain(data, f, max_bins);
+  }
+  return gains;
+}
+
+ForwardSelectionResult forward_select(const Dataset& data,
+                                      const ClassifierFactory& factory,
+                                      const ForwardSelectionConfig& config) {
+  ForwardSelectionResult result;
+  result.gains = information_gains(data, config.max_bins);
+
+  std::vector<std::size_t> candidates(data.num_features());
+  std::iota(candidates.begin(), candidates.end(), 0);
+  std::sort(candidates.begin(), candidates.end(),
+            [&](std::size_t a, std::size_t b) {
+              return result.gains[a] > result.gains[b];
+            });
+
+  double best_accuracy = 0.0;
+  for (const std::size_t candidate : candidates) {
+    std::vector<std::size_t> attempt = result.selected;
+    attempt.push_back(candidate);
+    const Dataset projected = data.subset_features(attempt);
+    Rng rng{config.seed};
+    const CvMetrics metrics =
+        cross_validate(projected, factory, config.cv_folds, rng);
+    result.accuracy_trace.push_back(metrics.accuracy);
+    if (result.selected.empty() ||
+        metrics.accuracy > best_accuracy + config.min_improvement) {
+      result.selected = std::move(attempt);
+      best_accuracy = metrics.accuracy;
+    } else {
+      break;  // paper: stop once the goal set stops improving
+    }
+  }
+  return result;
+}
+
+}  // namespace otac::ml

@@ -1,0 +1,49 @@
+// Information-gain ranking and greedy forward feature selection (§3.2.2).
+//
+// The paper starts from the full feature set, repeatedly moves the feature
+// with the largest information gain into the goal set, and stops as soon as
+// the goal set stops improving classification. The reported outcome is
+// {avg views of owner, recency, age, access hour, type}.
+#pragma once
+
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/metrics.h"
+
+namespace otac::ml {
+
+/// Shannon entropy (bits) of a binary split: positive/total weights.
+[[nodiscard]] double binary_entropy(double positive, double total) noexcept;
+
+/// Information gain of one feature w.r.t. the binary label, computed by
+/// bucketing the feature into at most `max_bins` equal-frequency bins
+/// (distinct values are used directly when fewer).
+[[nodiscard]] double information_gain(const Dataset& data, std::size_t feature,
+                                      std::size_t max_bins = 32);
+
+/// Gains for every feature, in feature order.
+[[nodiscard]] std::vector<double> information_gains(const Dataset& data,
+                                                    std::size_t max_bins = 32);
+
+struct ForwardSelectionResult {
+  std::vector<std::size_t> selected;     // feature indices, selection order
+  std::vector<double> accuracy_trace;    // CV accuracy after each addition
+  std::vector<double> gains;             // IG of every feature (full set)
+};
+
+struct ForwardSelectionConfig {
+  std::size_t cv_folds = 3;
+  double min_improvement = 1e-4;  // stop when accuracy gains fall below this
+  std::size_t max_bins = 32;
+  std::uint64_t seed = 42;
+};
+
+/// Greedy forward selection in descending-IG order, scoring each candidate
+/// set by k-fold CV accuracy of a classifier from `factory`; stops at the
+/// first non-improving addition (paper's rule).
+[[nodiscard]] ForwardSelectionResult forward_select(
+    const Dataset& data, const ClassifierFactory& factory,
+    const ForwardSelectionConfig& config = {});
+
+}  // namespace otac::ml

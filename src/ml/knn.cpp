@@ -1,0 +1,80 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace otac::ml {
+
+KnnClassifier::KnnClassifier(KnnConfig config) : config_(config) {
+  if (config_.k == 0) throw std::invalid_argument("KNN: k must be >= 1");
+}
+
+void KnnClassifier::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("KNN: empty data");
+  scaler_.fit(data);
+  dims_ = data.num_features();
+
+  std::vector<std::size_t> keep(data.num_rows());
+  std::iota(keep.begin(), keep.end(), 0);
+  if (config_.max_train_rows > 0 && keep.size() > config_.max_train_rows) {
+    Rng rng{config_.seed};
+    for (std::size_t i = 0; i < config_.max_train_rows; ++i) {
+      const std::size_t j = i + rng.next_below(keep.size() - i);
+      std::swap(keep[i], keep[j]);
+    }
+    keep.resize(config_.max_train_rows);
+  }
+
+  train_.clear();
+  train_.reserve(keep.size() * dims_);
+  labels_.clear();
+  weights_.clear();
+  std::vector<float> buffer;
+  for (const std::size_t i : keep) {
+    scaler_.transform(data.row(i), buffer);
+    train_.insert(train_.end(), buffer.begin(), buffer.end());
+    labels_.push_back(data.label(i));
+    weights_.push_back(data.weight(i));
+  }
+}
+
+double KnnClassifier::predict_proba(std::span<const float> features) const {
+  if (labels_.empty()) throw std::logic_error("KNN: not fitted");
+  std::vector<float> query;
+  scaler_.transform(features, query);
+
+  const std::size_t n = labels_.size();
+  const std::size_t k = std::min(config_.k, n);
+
+  // Max-heap of (distance, index) over the current k best.
+  std::vector<std::pair<float, std::size_t>> heap;
+  heap.reserve(k + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = train_.data() + i * dims_;
+    float dist = 0.0F;
+    for (std::size_t f = 0; f < dims_; ++f) {
+      const float d = row[f] - query[f];
+      dist += d * d;
+    }
+    if (heap.size() < k) {
+      heap.emplace_back(dist, i);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (dist < heap.front().first) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {dist, i};
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+
+  double positive = 0.0;
+  double total = 0.0;
+  for (const auto& [dist, idx] : heap) {
+    const double w = weights_[idx];
+    total += w;
+    if (labels_[idx] == 1) positive += w;
+  }
+  return total > 0.0 ? positive / total : 0.5;
+}
+
+}  // namespace otac::ml

@@ -1,0 +1,39 @@
+// k-nearest-neighbours with standardized Euclidean distance and weighted
+// voting. Brute force with an optional training-set subsample cap, which is
+// how the Table-1 harness keeps single-core prediction affordable.
+#pragma once
+
+#include "ml/classifier.h"
+#include "ml/scaler.h"
+
+namespace otac::ml {
+
+struct KnnConfig {
+  std::size_t k = 5;
+  /// Cap on stored training rows (0 = keep all); a uniform subsample is
+  /// taken beyond the cap.
+  std::size_t max_train_rows = 20'000;
+  std::uint64_t seed = 42;
+};
+
+class KnnClassifier final : public Classifier {
+ public:
+  explicit KnnClassifier(KnnConfig config = {});
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] double predict_proba(
+      std::span<const float> features) const override;
+  [[nodiscard]] std::string name() const override { return "KNN"; }
+
+  [[nodiscard]] std::size_t stored_rows() const noexcept { return labels_.size(); }
+
+ private:
+  KnnConfig config_;
+  StandardScaler scaler_;
+  std::vector<float> train_;  // row-major standardized
+  std::vector<int> labels_;
+  std::vector<float> weights_;
+  std::size_t dims_ = 0;
+};
+
+}  // namespace otac::ml

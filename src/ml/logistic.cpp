@@ -1,0 +1,63 @@
+#include "ml/logistic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace otac::ml {
+
+namespace {
+double stable_sigmoid(double x) noexcept {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+void LogisticRegression::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("Logistic: empty data");
+  scaler_.fit(data);
+  const Dataset scaled = scaler_.transform(data);
+  const std::size_t n = scaled.num_rows();
+  const std::size_t d = scaled.num_features();
+  coef_.assign(d, 0.0);
+  intercept_ = 0.0;
+
+  const double total_weight = scaled.total_weight();
+  std::vector<double> gradient(d);
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    double gradient_intercept = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = scaled.row(i);
+      double margin = intercept_;
+      for (std::size_t f = 0; f < d; ++f) margin += coef_[f] * row[f];
+      const double error =
+          (stable_sigmoid(margin) - scaled.label(i)) * scaled.weight(i);
+      for (std::size_t f = 0; f < d; ++f) gradient[f] += error * row[f];
+      gradient_intercept += error;
+    }
+    const double step = config_.learning_rate;
+    for (std::size_t f = 0; f < d; ++f) {
+      coef_[f] -=
+          step * (gradient[f] / total_weight + config_.l2 * coef_[f]);
+    }
+    intercept_ -= step * gradient_intercept / total_weight;
+  }
+}
+
+double LogisticRegression::predict_proba(
+    std::span<const float> features) const {
+  if (coef_.empty()) throw std::logic_error("Logistic: not fitted");
+  std::vector<float> scaled;
+  scaler_.transform(features, scaled);
+  double margin = intercept_;
+  for (std::size_t f = 0; f < scaled.size(); ++f) {
+    margin += coef_[f] * scaled[f];
+  }
+  return stable_sigmoid(margin);
+}
+
+}  // namespace otac::ml

@@ -1,0 +1,37 @@
+// L2-regularized logistic regression trained by full-batch gradient descent
+// on standardized features, with instance weights.
+#pragma once
+
+#include "ml/classifier.h"
+#include "ml/scaler.h"
+
+namespace otac::ml {
+
+struct LogisticConfig {
+  double learning_rate = 0.5;
+  double l2 = 1e-4;
+  std::size_t epochs = 300;
+};
+
+class LogisticRegression final : public Classifier {
+ public:
+  explicit LogisticRegression(LogisticConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] double predict_proba(
+      std::span<const float> features) const override;
+  [[nodiscard]] std::string name() const override { return "LogisticRegression"; }
+
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept {
+    return coef_;
+  }
+  [[nodiscard]] double intercept() const noexcept { return intercept_; }
+
+ private:
+  LogisticConfig config_;
+  StandardScaler scaler_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace otac::ml

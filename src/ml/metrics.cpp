@@ -1,0 +1,91 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace otac::ml {
+
+ConfusionMatrix confusion_from_predictions(std::span<const int> actual,
+                                           std::span<const int> predicted) {
+  if (actual.size() != predicted.size()) {
+    throw std::invalid_argument("confusion: size mismatch");
+  }
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    cm.add(actual[i], predicted[i]);
+  }
+  return cm;
+}
+
+std::vector<RocPoint> roc_curve(std::span<const int> actual,
+                                std::span<const double> scores) {
+  if (actual.size() != scores.size()) {
+    throw std::invalid_argument("roc_curve: size mismatch");
+  }
+  std::uint64_t positives = 0;
+  for (const int a : actual) positives += (a == 1);
+  const std::uint64_t negatives = actual.size() - positives;
+
+  std::vector<std::size_t> order(actual.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::vector<RocPoint> curve;
+  curve.push_back({0.0, 0.0});
+  std::uint64_t tp = 0;
+  std::uint64_t fp = 0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const double threshold = scores[order[i]];
+    // Consume the whole tie group before emitting a point.
+    while (i < order.size() && scores[order[i]] == threshold) {
+      (actual[order[i]] == 1 ? tp : fp) += 1;
+      ++i;
+    }
+    curve.push_back(
+        {negatives ? static_cast<double>(fp) / static_cast<double>(negatives)
+                   : 0.0,
+         positives ? static_cast<double>(tp) / static_cast<double>(positives)
+                   : 0.0});
+  }
+  return curve;
+}
+
+double auc(std::span<const int> actual, std::span<const double> scores) {
+  if (actual.size() != scores.size()) {
+    throw std::invalid_argument("auc: size mismatch");
+  }
+  std::uint64_t positives = 0;
+  for (const int a : actual) positives += (a == 1);
+  const std::uint64_t negatives = actual.size() - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  // Midrank-based Mann–Whitney U.
+  std::vector<std::size_t> order(actual.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  double rank_sum_positive = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j < order.size() && scores[order[j]] == scores[order[i]]) ++j;
+    // Ranks are 1-based; tie group [i, j) shares the average rank.
+    const double midrank = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (actual[order[k]] == 1) rank_sum_positive += midrank;
+    }
+    i = j;
+  }
+  const double p = static_cast<double>(positives);
+  const double n = static_cast<double>(negatives);
+  const double u = rank_sum_positive - p * (p + 1.0) / 2.0;
+  return u / (p * n);
+}
+
+}  // namespace otac::ml

@@ -1,0 +1,67 @@
+// Classification metrics from Tables 2 & 3 of the paper: confusion matrix,
+// precision, recall, accuracy, F1, ROC curve and AUC.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace otac::ml {
+
+/// Table 2 layout: positive == one-time-access.
+struct ConfusionMatrix {
+  std::uint64_t tp = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t tn = 0;
+  std::uint64_t fn = 0;
+
+  void add(int actual, int predicted) noexcept {
+    if (actual == 1) {
+      (predicted == 1 ? tp : fn) += 1;
+    } else {
+      (predicted == 1 ? fp : tn) += 1;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return tp + fp + tn + fn;
+  }
+  /// P = TP / (TP + FP); 0 when undefined.
+  [[nodiscard]] double precision() const noexcept {
+    const std::uint64_t d = tp + fp;
+    return d ? static_cast<double>(tp) / static_cast<double>(d) : 0.0;
+  }
+  /// R = TP / (TP + FN); 0 when undefined.
+  [[nodiscard]] double recall() const noexcept {
+    const std::uint64_t d = tp + fn;
+    return d ? static_cast<double>(tp) / static_cast<double>(d) : 0.0;
+  }
+  [[nodiscard]] double accuracy() const noexcept {
+    const std::uint64_t t = total();
+    return t ? static_cast<double>(tp + tn) / static_cast<double>(t) : 0.0;
+  }
+  [[nodiscard]] double f1() const noexcept {
+    const double p = precision();
+    const double r = recall();
+    return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+  }
+};
+
+[[nodiscard]] ConfusionMatrix confusion_from_predictions(
+    std::span<const int> actual, std::span<const int> predicted);
+
+/// One (FPR, TPR) point per distinct score threshold, endpoints included.
+struct RocPoint {
+  double fpr = 0.0;
+  double tpr = 0.0;
+};
+
+[[nodiscard]] std::vector<RocPoint> roc_curve(std::span<const int> actual,
+                                              std::span<const double> scores);
+
+/// Area under the ROC curve via the Mann–Whitney statistic with midrank tie
+/// handling; 0.5 when one class is absent.
+[[nodiscard]] double auc(std::span<const int> actual,
+                         std::span<const double> scores);
+
+}  // namespace otac::ml

@@ -1,0 +1,118 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace otac::ml {
+
+namespace {
+double stable_sigmoid(double x) noexcept {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+MlpClassifier::MlpClassifier(MlpConfig config) : config_(config) {
+  if (config_.hidden_units == 0) {
+    throw std::invalid_argument("MLP: need at least one hidden unit");
+  }
+  if (config_.batch_size == 0) {
+    throw std::invalid_argument("MLP: batch size must be >= 1");
+  }
+}
+
+double MlpClassifier::forward(std::span<const float> scaled,
+                              std::vector<double>& hidden) const {
+  const std::size_t h = config_.hidden_units;
+  hidden.resize(h);
+  for (std::size_t j = 0; j < h; ++j) {
+    const double* row = w1_.data() + j * (dims_ + 1);
+    double acc = row[dims_];  // bias
+    for (std::size_t f = 0; f < dims_; ++f) acc += row[f] * scaled[f];
+    hidden[j] = stable_sigmoid(acc);
+  }
+  double out = w2_[h];  // bias
+  for (std::size_t j = 0; j < h; ++j) out += w2_[j] * hidden[j];
+  return stable_sigmoid(out);
+}
+
+void MlpClassifier::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("MLP: empty data");
+  scaler_.fit(data);
+  const Dataset scaled = scaler_.transform(data);
+  dims_ = scaled.num_features();
+  const std::size_t h = config_.hidden_units;
+  const std::size_t n = scaled.num_rows();
+
+  Rng rng{config_.seed};
+  const double init = 1.0 / std::sqrt(static_cast<double>(dims_ + 1));
+  w1_.resize(h * (dims_ + 1));
+  w2_.resize(h + 1);
+  for (auto& w : w1_) w = rng.uniform(-init, init);
+  for (auto& w : w2_) w = rng.uniform(-init, init);
+  std::vector<double> v1(w1_.size(), 0.0);
+  std::vector<double> v2(w2_.size(), 0.0);
+  std::vector<double> g1(w1_.size());
+  std::vector<double> g2(w2_.size());
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> hidden;
+
+  const double mean_weight = scaled.total_weight() / static_cast<double>(n);
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    }
+    for (std::size_t start = 0; start < n; start += config_.batch_size) {
+      const std::size_t stop = std::min(n, start + config_.batch_size);
+      std::fill(g1.begin(), g1.end(), 0.0);
+      std::fill(g2.begin(), g2.end(), 0.0);
+      for (std::size_t k = start; k < stop; ++k) {
+        const std::size_t i = order[k];
+        const auto row = scaled.row(i);
+        const double out = forward(row, hidden);
+        // Cross-entropy gradient at the output with instance weight.
+        const double delta_out =
+            (out - scaled.label(i)) * scaled.weight(i) / mean_weight;
+        for (std::size_t j = 0; j < h; ++j) g2[j] += delta_out * hidden[j];
+        g2[h] += delta_out;
+        for (std::size_t j = 0; j < h; ++j) {
+          const double delta_hidden =
+              delta_out * w2_[j] * hidden[j] * (1.0 - hidden[j]);
+          double* grad_row = g1.data() + j * (dims_ + 1);
+          for (std::size_t f = 0; f < dims_; ++f) {
+            grad_row[f] += delta_hidden * row[f];
+          }
+          grad_row[dims_] += delta_hidden;
+        }
+      }
+      const double scale =
+          config_.learning_rate / static_cast<double>(stop - start);
+      for (std::size_t w = 0; w < w1_.size(); ++w) {
+        v1[w] = config_.momentum * v1[w] - scale * g1[w];
+        w1_[w] += v1[w];
+      }
+      for (std::size_t w = 0; w < w2_.size(); ++w) {
+        v2[w] = config_.momentum * v2[w] - scale * g2[w];
+        w2_[w] += v2[w];
+      }
+    }
+  }
+}
+
+double MlpClassifier::predict_proba(std::span<const float> features) const {
+  if (w1_.empty()) throw std::logic_error("MLP: not fitted");
+  std::vector<float> scaled;
+  scaler_.transform(features, scaled);
+  std::vector<double> hidden;
+  return forward(scaled, hidden);
+}
+
+}  // namespace otac::ml

@@ -1,0 +1,42 @@
+// Back-propagation neural network ("BP NN" in Table 1): one hidden layer of
+// sigmoid units trained with minibatch SGD and momentum on standardized
+// features. Deliberately the same modest architecture class the paper
+// benchmarks — the point of Table 1 is that it loses to trees here.
+#pragma once
+
+#include "ml/classifier.h"
+#include "ml/scaler.h"
+
+namespace otac::ml {
+
+struct MlpConfig {
+  std::size_t hidden_units = 16;
+  double learning_rate = 0.3;
+  double momentum = 0.9;
+  std::size_t epochs = 30;
+  std::size_t batch_size = 64;
+  std::uint64_t seed = 42;
+};
+
+class MlpClassifier final : public Classifier {
+ public:
+  explicit MlpClassifier(MlpConfig config = {});
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] double predict_proba(
+      std::span<const float> features) const override;
+  [[nodiscard]] std::string name() const override { return "BP-NN"; }
+
+ private:
+  [[nodiscard]] double forward(std::span<const float> scaled,
+                               std::vector<double>& hidden) const;
+
+  MlpConfig config_;
+  StandardScaler scaler_;
+  std::size_t dims_ = 0;
+  // w1: hidden x (dims+1) with bias column; w2: hidden+1 with bias.
+  std::vector<double> w1_;
+  std::vector<double> w2_;
+};
+
+}  // namespace otac::ml

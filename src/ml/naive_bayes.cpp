@@ -1,0 +1,83 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace otac::ml {
+
+void GaussianNaiveBayes::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("NaiveBayes: empty data");
+  const std::size_t d = data.num_features();
+  double class_weight[2] = {0.0, 0.0};
+  for (int c = 0; c < 2; ++c) {
+    mean_[c].assign(d, 0.0);
+    variance_[c].assign(d, 0.0);
+  }
+
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    const int c = data.label(i);
+    const double w = data.weight(i);
+    class_weight[c] += w;
+    const auto row = data.row(i);
+    for (std::size_t f = 0; f < d; ++f) mean_[c][f] += w * row[f];
+  }
+  for (int c = 0; c < 2; ++c) {
+    if (class_weight[c] <= 0.0) {
+      // Single-class data: keep a degenerate but usable model.
+      class_weight[c] = 1e-12;
+    }
+    for (std::size_t f = 0; f < d; ++f) mean_[c][f] /= class_weight[c];
+  }
+  double max_feature_variance = 1e-9;
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    const int c = data.label(i);
+    const double w = data.weight(i);
+    const auto row = data.row(i);
+    for (std::size_t f = 0; f < d; ++f) {
+      const double delta = row[f] - mean_[c][f];
+      variance_[c][f] += w * delta * delta;
+    }
+  }
+  for (int c = 0; c < 2; ++c) {
+    for (std::size_t f = 0; f < d; ++f) {
+      variance_[c][f] /= class_weight[c];
+      max_feature_variance = std::max(max_feature_variance, variance_[c][f]);
+    }
+  }
+  // sklearn-style smoothing: proportional to the largest variance.
+  const double smoothing = 1e-9 * max_feature_variance + 1e-12;
+  for (int c = 0; c < 2; ++c) {
+    for (std::size_t f = 0; f < d; ++f) {
+      variance_[c][f] = std::max(variance_[c][f] + smoothing, 1e-12);
+    }
+  }
+  const double total = class_weight[0] + class_weight[1];
+  log_prior_[0] = std::log(class_weight[0] / total);
+  log_prior_[1] = std::log(class_weight[1] / total);
+  fitted_ = true;
+}
+
+double GaussianNaiveBayes::predict_proba(
+    std::span<const float> features) const {
+  if (!fitted_) throw std::logic_error("NaiveBayes: not fitted");
+  if (features.size() != mean_[0].size()) {
+    throw std::invalid_argument("NaiveBayes: feature arity mismatch");
+  }
+  double log_likelihood[2] = {log_prior_[0], log_prior_[1]};
+  for (int c = 0; c < 2; ++c) {
+    for (std::size_t f = 0; f < features.size(); ++f) {
+      const double delta = features[f] - mean_[c][f];
+      log_likelihood[c] -=
+          0.5 * (std::log(2.0 * std::numbers::pi * variance_[c][f]) +
+                 delta * delta / variance_[c][f]);
+    }
+  }
+  // Stable softmax over two classes.
+  const double peak = std::max(log_likelihood[0], log_likelihood[1]);
+  const double e0 = std::exp(log_likelihood[0] - peak);
+  const double e1 = std::exp(log_likelihood[1] - peak);
+  return e1 / (e0 + e1);
+}
+
+}  // namespace otac::ml

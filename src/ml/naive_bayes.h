@@ -1,0 +1,28 @@
+// Gaussian Naive Bayes with weighted sufficient statistics and variance
+// smoothing. In the paper's Table 1 NB shows the classic failure mode on
+// this problem — near-total recall with poor precision — which our
+// reproduction should echo.
+#pragma once
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace otac::ml {
+
+class GaussianNaiveBayes final : public Classifier {
+ public:
+  void fit(const Dataset& data) override;
+  [[nodiscard]] double predict_proba(
+      std::span<const float> features) const override;
+  [[nodiscard]] std::string name() const override { return "NaiveBayes"; }
+
+ private:
+  // Index 0 = negative class, 1 = positive class.
+  std::vector<double> mean_[2];
+  std::vector<double> variance_[2];
+  double log_prior_[2] = {0.0, 0.0};
+  bool fitted_ = false;
+};
+
+}  // namespace otac::ml

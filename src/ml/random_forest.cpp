@@ -1,0 +1,50 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace otac::ml {
+
+RandomForest::RandomForest(RandomForestConfig config) : config_(config) {
+  if (config_.num_trees == 0) {
+    throw std::invalid_argument("RandomForest: need at least one tree");
+  }
+}
+
+void RandomForest::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("RandomForest: empty data");
+  trees_.clear();
+  trees_.reserve(config_.num_trees);
+  Rng rng{config_.seed};
+
+  const std::size_t max_features =
+      config_.max_features > 0
+          ? config_.max_features
+          : static_cast<std::size_t>(std::max(
+                1.0, std::floor(std::sqrt(
+                         static_cast<double>(data.num_features())))));
+
+  std::vector<std::size_t> bootstrap(data.num_rows());
+  for (std::size_t t = 0; t < config_.num_trees; ++t) {
+    for (auto& idx : bootstrap) idx = rng.next_below(data.num_rows());
+    const Dataset sample = data.subset_rows(bootstrap);
+
+    DecisionTreeConfig tree_config = config_.tree;
+    tree_config.max_features = max_features;
+    tree_config.feature_subsample_seed = rng.next_u64();
+    DecisionTree tree{tree_config};
+    tree.fit(sample);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::predict_proba(std::span<const float> features) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
+  double total = 0.0;
+  for (const DecisionTree& tree : trees_) {
+    total += tree.predict_proba(features);
+  }
+  return total / static_cast<double>(trees_.size());
+}
+
+}  // namespace otac::ml

@@ -1,0 +1,56 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace otac::ml {
+
+void StandardScaler::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("StandardScaler: empty data");
+  const std::size_t d = data.num_features();
+  mean_.assign(d, 0.0);
+  stddev_.assign(d, 0.0);
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    const double w = data.weight(i);
+    total_weight += w;
+    const auto row = data.row(i);
+    for (std::size_t f = 0; f < d; ++f) mean_[f] += w * row[f];
+  }
+  for (std::size_t f = 0; f < d; ++f) mean_[f] /= total_weight;
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    const double w = data.weight(i);
+    const auto row = data.row(i);
+    for (std::size_t f = 0; f < d; ++f) {
+      const double delta = row[f] - mean_[f];
+      stddev_[f] += w * delta * delta;
+    }
+  }
+  for (std::size_t f = 0; f < d; ++f) {
+    stddev_[f] = std::sqrt(stddev_[f] / total_weight);
+    if (stddev_[f] < 1e-12) stddev_[f] = 1.0;  // constant feature
+  }
+}
+
+void StandardScaler::transform(std::span<const float> row,
+                               std::vector<float>& out) const {
+  if (row.size() != mean_.size()) {
+    throw std::invalid_argument("StandardScaler: arity mismatch");
+  }
+  out.resize(row.size());
+  for (std::size_t f = 0; f < row.size(); ++f) {
+    out[f] = static_cast<float>((row[f] - mean_[f]) / stddev_[f]);
+  }
+}
+
+Dataset StandardScaler::transform(const Dataset& data) const {
+  Dataset out{data.feature_names()};
+  std::vector<float> buffer;
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    transform(data.row(i), buffer);
+    out.add_row(buffer, data.label(i), data.weight(i));
+  }
+  return out;
+}
+
+}  // namespace otac::ml

@@ -1,0 +1,37 @@
+// Per-feature standardization (zero mean, unit variance), required by the
+// distance/gradient based learners (kNN, logistic regression, MLP). Tree
+// learners are scale-invariant and skip it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace otac::ml {
+
+class StandardScaler {
+ public:
+  /// Learn per-feature mean and stddev (weighted). Constant features get
+  /// stddev 1 so they transform to 0.
+  void fit(const Dataset& data);
+
+  [[nodiscard]] bool fitted() const noexcept { return !mean_.empty(); }
+
+  /// Transform a single row into the provided buffer (resized to match).
+  void transform(std::span<const float> row, std::vector<float>& out) const;
+
+  /// Transform a whole dataset (labels/weights preserved).
+  [[nodiscard]] Dataset transform(const Dataset& data) const;
+
+  [[nodiscard]] const std::vector<double>& mean() const noexcept { return mean_; }
+  [[nodiscard]] const std::vector<double>& stddev() const noexcept {
+    return stddev_;
+  }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace otac::ml

@@ -1,0 +1,58 @@
+// SSD wear / lifetime model — quantifies the paper's motivation (§1): a
+// caching SSD sees a write density far above backend storage, and cutting
+// admission writes extends device lifetime proportionally.
+#pragma once
+
+#include <cstdint>
+
+namespace otac {
+
+struct SsdWearConfig {
+  std::uint64_t capacity_bytes = 0;
+  double pe_cycles = 3000.0;           // rated program/erase cycles (MLC-era)
+  double write_amplification = 1.3;    // FTL-induced extra writes
+};
+
+class SsdWearModel {
+ public:
+  explicit constexpr SsdWearModel(const SsdWearConfig& config)
+      : config_(config) {}
+
+  /// Total host bytes the device can absorb before wearing out.
+  [[nodiscard]] constexpr double endurance_bytes() const noexcept {
+    return static_cast<double>(config_.capacity_bytes) * config_.pe_cycles /
+           config_.write_amplification;
+  }
+
+  /// Expected lifetime in days at a given host write rate.
+  [[nodiscard]] constexpr double lifetime_days(
+      double bytes_written_per_day) const noexcept {
+    return bytes_written_per_day > 0.0
+               ? endurance_bytes() / bytes_written_per_day
+               : 0.0;
+  }
+
+  /// Write density (writes per unit time and space, §1): bytes/day/byte.
+  [[nodiscard]] constexpr double write_density(
+      double bytes_written_per_day) const noexcept {
+    return config_.capacity_bytes > 0
+               ? bytes_written_per_day /
+                     static_cast<double>(config_.capacity_bytes)
+               : 0.0;
+  }
+
+  /// Fraction of rated P/E cycles consumed after `days` at the given rate.
+  [[nodiscard]] constexpr double wear_fraction(
+      double bytes_written_per_day, double days) const noexcept {
+    return endurance_bytes() > 0.0
+               ? bytes_written_per_day * days / endurance_bytes()
+               : 0.0;
+  }
+
+  [[nodiscard]] const SsdWearConfig& config() const noexcept { return config_; }
+
+ private:
+  SsdWearConfig config_;
+};
+
+}  // namespace otac

@@ -1,0 +1,45 @@
+#include "trace/diurnal.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace otac {
+
+DiurnalModel::DiurnalModel(const DiurnalConfig& config) : config_(config) {
+  if (config.peak_to_trough <= 1.0) {
+    throw std::invalid_argument("DiurnalModel: peak_to_trough must exceed 1");
+  }
+  // Cosine bump peaking at peak_hour with min at peak_hour + 12h; the
+  // configured trough hour shifts the phase (we centre the cosine so its
+  // minimum lands on trough_hour, which for QQ is 15h before the peak —
+  // close enough to antipodal that a single harmonic serves).
+  // intensity(h) = base + amplitude * (1 + cos(2*pi*(h - peak)/24)) / 2
+  // with base/amplitude solved from the peak:trough ratio and unit mean.
+  const double ratio = config.peak_to_trough;
+  // mean of (1+cos)/2 over a day = 1/2. mean intensity = base + amplitude/2 = 1.
+  // peak = base + amplitude, trough = base. ratio = (base+amplitude)/base.
+  base_ = 1.0 / (0.5 * (ratio - 1.0) + 1.0);
+  amplitude_ = base_ * (ratio - 1.0);
+
+  std::vector<double> minute_weights(static_cast<std::size_t>(24 * 60));
+  for (std::size_t minute = 0; minute < minute_weights.size(); ++minute) {
+    const double hour = (static_cast<double>(minute) + 0.5) / 60.0;
+    minute_weights[minute] = intensity(hour);
+  }
+  minute_sampler_ = AliasTable{minute_weights};
+}
+
+double DiurnalModel::intensity(double hour) const noexcept {
+  const double phase =
+      2.0 * std::numbers::pi * (hour - config_.peak_hour) / 24.0;
+  return base_ + amplitude_ * (1.0 + std::cos(phase)) / 2.0;
+}
+
+std::int64_t DiurnalModel::sample_second_of_day(Rng& rng) const noexcept {
+  const auto minute = static_cast<std::int64_t>(minute_sampler_.sample(rng));
+  return minute * kSecondsPerMinute + rng.uniform_int(0, kSecondsPerMinute - 1);
+}
+
+}  // namespace otac

@@ -1,0 +1,48 @@
+// Diurnal (time-of-day) intensity model.
+//
+// The paper observes workload periodicity with the daily trough at 05:00
+// and peak around 20:00 (§4.4.3); access hour is a classifier feature.
+// DiurnalModel provides a smooth 24h intensity curve, normalized weights
+// per minute bin, and an alias-table sampler for second-of-day draws.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "util/alias_table.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace otac {
+
+struct DiurnalConfig {
+  double trough_hour = 5.0;   // least active time of day
+  double peak_hour = 20.0;    // most active time of day
+  double peak_to_trough = 6.0;  // intensity ratio peak / trough, > 1
+};
+
+class DiurnalModel {
+ public:
+  explicit DiurnalModel(const DiurnalConfig& config = {});
+
+  /// Relative intensity at an hour-of-day in [0, 24); mean over the day is 1.
+  [[nodiscard]] double intensity(double hour) const noexcept;
+
+  /// Intensity for a simulation time point.
+  [[nodiscard]] double intensity_at(SimTime t) const noexcept {
+    return intensity(static_cast<double>(second_of_day(t)) / kSecondsPerHour);
+  }
+
+  /// Draw a second-of-day (0..86399) with probability following the curve.
+  [[nodiscard]] std::int64_t sample_second_of_day(Rng& rng) const noexcept;
+
+  [[nodiscard]] const DiurnalConfig& config() const noexcept { return config_; }
+
+ private:
+  DiurnalConfig config_;
+  double base_;
+  double amplitude_;
+  AliasTable minute_sampler_;  // 1440 one-minute bins
+};
+
+}  // namespace otac

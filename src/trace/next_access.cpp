@@ -1,0 +1,30 @@
+#include "trace/next_access.h"
+
+namespace otac {
+
+NextAccessInfo compute_next_access(const Trace& trace) {
+  const std::size_t n = trace.requests.size();
+  NextAccessInfo info;
+  info.next.assign(n, kNoNextAccess);
+  info.prev_seen.assign(n, false);
+
+  // last_seen[photo] = most recent (from the back) index, i.e. the *next*
+  // occurrence for anything earlier.
+  std::vector<std::uint64_t> last_seen(trace.catalog.photo_count(),
+                                       kNoNextAccess);
+  for (std::size_t idx = n; idx-- > 0;) {
+    const PhotoId photo = trace.requests[idx].photo;
+    info.next[idx] = last_seen[photo];
+    last_seen[photo] = idx;
+  }
+  // Forward pass for first-access flags.
+  std::vector<bool> seen(trace.catalog.photo_count(), false);
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    const PhotoId photo = trace.requests[idx].photo;
+    info.prev_seen[idx] = seen[photo];
+    seen[photo] = true;
+  }
+  return info;
+}
+
+}  // namespace otac

@@ -1,0 +1,12 @@
+#include "trace/photo_catalog.h"
+
+namespace otac {
+
+double PhotoCatalog::mean_photo_size() const noexcept {
+  if (photos_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& photo : photos_) total += photo.size_bytes;
+  return total / static_cast<double>(photos_.size());
+}
+
+}  // namespace otac

@@ -1,0 +1,55 @@
+// PhotoCatalog: dense-id store of photos and owners for one workload.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "trace/types.h"
+
+namespace otac {
+
+class PhotoCatalog {
+ public:
+  PhotoCatalog() = default;
+  PhotoCatalog(std::vector<PhotoMeta> photos, std::vector<OwnerMeta> owners)
+      : photos_(std::move(photos)), owners_(std::move(owners)) {}
+
+  [[nodiscard]] std::size_t photo_count() const noexcept { return photos_.size(); }
+  [[nodiscard]] std::size_t owner_count() const noexcept { return owners_.size(); }
+
+  [[nodiscard]] const PhotoMeta& photo(PhotoId id) const {
+    if (id >= photos_.size()) throw std::out_of_range("PhotoCatalog: photo id");
+    return photos_[id];
+  }
+  [[nodiscard]] const OwnerMeta& owner(UserId id) const {
+    if (id >= owners_.size()) throw std::out_of_range("PhotoCatalog: owner id");
+    return owners_[id];
+  }
+
+  [[nodiscard]] std::span<const PhotoMeta> photos() const noexcept {
+    return photos_;
+  }
+  [[nodiscard]] std::span<const OwnerMeta> owners() const noexcept {
+    return owners_;
+  }
+
+  PhotoId add_photo(const PhotoMeta& meta) {
+    photos_.push_back(meta);
+    return static_cast<PhotoId>(photos_.size() - 1);
+  }
+  UserId add_owner(const OwnerMeta& meta) {
+    owners_.push_back(meta);
+    return static_cast<UserId>(owners_.size() - 1);
+  }
+
+  /// Mean photo size in bytes (S-bar in the one-time-access criteria).
+  [[nodiscard]] double mean_photo_size() const noexcept;
+
+ private:
+  std::vector<PhotoMeta> photos_;
+  std::vector<OwnerMeta> owners_;
+};
+
+}  // namespace otac

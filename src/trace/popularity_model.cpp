@@ -1,0 +1,159 @@
+#include "trace/popularity_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/zipf.h"
+
+namespace otac {
+
+double lomax_cdf(double x, double shape, double scale) noexcept {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::pow(1.0 + x / scale, -shape);
+}
+
+double lomax_cdf_inverse(double u, double shape, double scale) noexcept {
+  u = std::clamp(u, 0.0, 1.0 - 1e-15);
+  return scale * (std::pow(1.0 - u, -1.0 / shape) - 1.0);
+}
+
+double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+
+double bisect_nondecreasing(double lo, double hi, double target,
+                            int iterations,
+                            const std::function<double(double)>& f) {
+  // Expand hi until it brackets the target (or give up and return hi).
+  for (int i = 0; i < 64 && f(hi) < target; ++i) hi *= 2.0;
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (f(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double PopularityModel::upload_hour_boost(int hour) noexcept {
+  // Smooth bump peaking at 20:00 (the diurnal peak), trough near 08:00.
+  return std::cos(2.0 * std::numbers::pi * (hour - 20.0) / 24.0);
+}
+
+PopularityAssignment PopularityModel::assign(
+    const WorkloadConfig& config, const PhotoCatalog& catalog,
+    const std::vector<double>& window_mass, Rng& rng) const {
+  const std::size_t n = catalog.photo_count();
+  if (window_mass.size() != n) {
+    throw std::invalid_argument("PopularityModel: window_mass size mismatch");
+  }
+  if (n == 0) return {};
+
+  PopularityAssignment result;
+  result.score.resize(n);
+
+  // --- Raw scores -----------------------------------------------------------
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const PhotoMeta& photo = catalog.photo(static_cast<PhotoId>(i));
+    const OwnerMeta& owner = catalog.owner(photo.owner);
+    int type_slot = type_index(photo.type);
+    if (config.type_popularity_rotation_days > 0) {
+      // Concept drift: rotate the type->popularity mapping by upload day.
+      const std::int64_t shift = day_index(photo.upload_time) /
+                                 config.type_popularity_rotation_days;
+      type_slot = static_cast<int>(
+          ((type_slot + shift) % kPhotoTypeCount + kPhotoTypeCount) %
+          kPhotoTypeCount);
+    }
+    const double type_term =
+        config.type_popularity[static_cast<std::size_t>(type_slot)];
+    const double hour_term = upload_hour_boost(hour_of_day(photo.upload_time));
+    const double mass = std::max(window_mass[i], 1e-9);
+    const double raw = config.weight_owner_quality * owner.quality +
+                       config.weight_type * type_term +
+                       config.weight_upload_hour * hour_term +
+                       config.weight_noise * rng.normal() +
+                       config.weight_window_mass * std::log(mass);
+    result.score[i] = static_cast<float>(raw);
+    mean += raw;
+  }
+  mean /= static_cast<double>(n);
+  double variance = 0.0;
+  for (const float s : result.score) {
+    const double d = s - mean;
+    variance += d * d;
+  }
+  const double stddev = std::sqrt(variance / static_cast<double>(n));
+  const double inv_std = stddev > 0.0 ? 1.0 / stddev : 1.0;
+  for (float& s : result.score) {
+    s = static_cast<float>((s - mean) * inv_std);
+  }
+
+  // --- One-time threshold ----------------------------------------------------
+  // P(one-time | z) = 1 - sigmoid((z - theta)/tau); increasing in theta, so
+  // the expected fraction is nondecreasing and bisection applies.
+  const double tau = config.sigmoid_tau;
+  const auto expected_one_time = [&](double theta) {
+    double acc = 0.0;
+    for (const float z : result.score) {
+      acc += 1.0 - sigmoid((z - theta) / tau);
+    }
+    return acc / static_cast<double>(n);
+  };
+  result.theta = bisect_nondecreasing(-20.0, 20.0,
+                                      config.one_time_object_fraction, 60,
+                                      expected_one_time);
+
+  // --- Draw one-time vs multi -------------------------------------------------
+  result.count.assign(n, 1);
+  std::vector<std::size_t> multi;
+  multi.reserve(n / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p_one =
+        1.0 - sigmoid((result.score[i] - result.theta) / tau);
+    if (!rng.bernoulli(p_one)) multi.push_back(i);
+  }
+
+  // --- Heavy-tailed counts for multi-access photos -----------------------------
+  // Target mean count mu makes one-time accesses the configured share:
+  // share = N1 / (N * mu)  =>  mu = object_fraction / access_share.
+  const double mu =
+      config.one_time_object_fraction / config.one_time_access_share;
+  if (mu < 1.0) {
+    throw std::invalid_argument(
+        "WorkloadConfig: one_time_access_share too large for object fraction");
+  }
+  const std::size_t n_multi = multi.size();
+  if (n_multi > 0) {
+    const ZipfSampler tail{100'000, config.count_tail_alpha};
+    std::vector<double> gain(n_multi);
+    for (std::size_t j = 0; j < n_multi; ++j) {
+      const double base = static_cast<double>(tail.sample(rng));
+      gain[j] = base * std::exp(config.count_score_beta *
+                                static_cast<double>(result.score[multi[j]]));
+    }
+    const double max_extra =
+        static_cast<double>(config.max_accesses_per_photo) - 2.0;
+    const auto mean_count = [&](double s) {
+      double total = static_cast<double>(n - n_multi);  // one-time photos
+      for (std::size_t j = 0; j < n_multi; ++j) {
+        total += 2.0 + std::min(max_extra, std::floor(s * gain[j]));
+      }
+      return total / static_cast<double>(n);
+    };
+    result.count_scale =
+        bisect_nondecreasing(0.0, 4.0, mu, 60, mean_count);
+    for (std::size_t j = 0; j < n_multi; ++j) {
+      const double extra =
+          std::min(max_extra, std::floor(result.count_scale * gain[j]));
+      result.count[multi[j]] =
+          static_cast<std::uint32_t>(2.0 + extra);
+    }
+  }
+  return result;
+}
+
+}  // namespace otac

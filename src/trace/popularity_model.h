@@ -1,0 +1,61 @@
+// Photo popularity synthesis: latent scores, one-time calibration, and
+// per-photo access-count assignment.
+//
+// Every catalog photo receives a latent popularity score
+//   z = wq*owner_quality + wt*type_popularity + wh*upload_hour_boost
+//       + wn*noise + wm*log(window_mass)
+// (standardized over the population). One-time photos are chosen with
+// probability 1 - sigmoid((z - theta)/tau); theta is solved by bisection so
+// the realized one-time object fraction matches the target *exactly in
+// expectation over the population scores*. Multi-access photos draw a
+// heavy-tailed count scaled by exp(beta*z); a second bisection on a global
+// multiplier pins the mean access count so one-time accesses form the
+// target share of the trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "trace/photo_catalog.h"
+#include "trace/workload_config.h"
+#include "util/rng.h"
+
+namespace otac {
+
+/// Lomax (Pareto-II) CDF with given shape/scale; support x >= 0.
+[[nodiscard]] double lomax_cdf(double x, double shape, double scale) noexcept;
+
+/// Inverse of lomax_cdf on [0, 1).
+[[nodiscard]] double lomax_cdf_inverse(double u, double shape,
+                                       double scale) noexcept;
+
+[[nodiscard]] double sigmoid(double x) noexcept;
+
+struct PopularityAssignment {
+  std::vector<float> score;          // standardized latent score per photo
+  std::vector<std::uint32_t> count;  // accesses within the window, >= 1
+  double theta = 0.0;                // one-time decision threshold
+  double count_scale = 0.0;          // calibrated global count multiplier
+};
+
+class PopularityModel {
+ public:
+  /// window_mass[i] = probability mass of the access-time kernel falling
+  /// inside the observation window for photo i (in (0, 1]).
+  PopularityAssignment assign(const WorkloadConfig& config,
+                              const PhotoCatalog& catalog,
+                              const std::vector<double>& window_mass,
+                              Rng& rng) const;
+
+  /// Hour-of-day upload boost in [-1, 1]: photos uploaded near the diurnal
+  /// peak tend to catch more eyeballs. Exposed for tests.
+  [[nodiscard]] static double upload_hour_boost(int hour) noexcept;
+};
+
+/// Find x in [lo, hi] with f(x) ~= target for nondecreasing f (bisection).
+[[nodiscard]] double bisect_nondecreasing(double lo, double hi, double target,
+                                          int iterations,
+                                          const std::function<double(double)>& f);
+
+}  // namespace otac

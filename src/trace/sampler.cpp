@@ -1,0 +1,47 @@
+#include "trace/sampler.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace otac {
+
+Trace sample_objects(const Trace& trace, std::uint64_t keep_one_in, Rng& rng) {
+  if (keep_one_in == 0) {
+    throw std::invalid_argument("sample_objects: keep_one_in must be >= 1");
+  }
+
+  const std::size_t photo_count = trace.catalog.photo_count();
+  std::vector<PhotoId> remap(photo_count, kInvalidPhoto);
+  std::vector<PhotoMeta> sampled_photos;
+  std::vector<float> sampled_scores;
+  const bool have_scores = trace.latent_score.size() == photo_count;
+  sampled_photos.reserve(photo_count / keep_one_in + 1);
+
+  for (PhotoId id = 0; id < photo_count; ++id) {
+    if (keep_one_in == 1 || rng.next_below(keep_one_in) == 0) {
+      remap[id] = static_cast<PhotoId>(sampled_photos.size());
+      sampled_photos.push_back(trace.catalog.photo(id));
+      if (have_scores) sampled_scores.push_back(trace.latent_score[id]);
+    }
+  }
+
+  Trace result;
+  result.config = trace.config;
+  result.horizon = trace.horizon;
+  std::vector<OwnerMeta> owners{trace.catalog.owners().begin(),
+                                trace.catalog.owners().end()};
+  result.catalog = PhotoCatalog{std::move(sampled_photos), std::move(owners)};
+  result.latent_score = std::move(sampled_scores);
+
+  result.requests.reserve(trace.requests.size() / keep_one_in + 1);
+  for (const Request& request : trace.requests) {
+    const PhotoId mapped = remap[request.photo];
+    if (mapped == kInvalidPhoto) continue;
+    Request kept = request;
+    kept.photo = mapped;
+    result.requests.push_back(kept);
+  }
+  return result;
+}
+
+}  // namespace otac

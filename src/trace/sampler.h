@@ -1,0 +1,19 @@
+// 1:N object sampling, reproducing the paper's trace-reduction pipeline
+// (§5.1): sample the *object set* at 1:100, then keep every request whose
+// object was sampled, preserving timestamp order. Sampling objects (rather
+// than requests) preserves per-object access-count distributions, which is
+// what cache behaviour depends on.
+#pragma once
+
+#include "trace/trace.h"
+#include "util/rng.h"
+
+namespace otac {
+
+/// Returns a new trace whose catalog contains only the sampled photos
+/// (ids compacted; owners carried over unchanged). `keep_one_in` must be
+/// >= 1; keep_one_in == 1 returns a copy.
+[[nodiscard]] Trace sample_objects(const Trace& trace, std::uint64_t keep_one_in,
+                                   Rng& rng);
+
+}  // namespace otac

@@ -1,0 +1,72 @@
+#include "trace/social_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace otac {
+
+std::vector<OwnerMeta> generate_owners(const WorkloadConfig& config, Rng& rng) {
+  std::vector<OwnerMeta> owners;
+  owners.reserve(config.num_owners);
+
+  const double coupling = config.friends_activity_coupling;
+  if (coupling < 0.0 || coupling > 1.0) {
+    throw std::invalid_argument("friends_activity_coupling must be in [0,1]");
+  }
+  const double orthogonal = std::sqrt(1.0 - coupling * coupling);
+  constexpr double kQualityCoupling = 0.5;  // corr(quality, social standing)
+  const double quality_orthogonal =
+      std::sqrt(1.0 - kQualityCoupling * kQualityCoupling);
+  constexpr double kFriendsSigma = 0.9;
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2); offset keeps the mean at
+  // config.mean_active_friends.
+  const double friends_mu = -kFriendsSigma * kFriendsSigma / 2.0;
+
+  for (std::uint32_t i = 0; i < config.num_owners; ++i) {
+    // Standardized log-activity; the raw activity is its lognormal image.
+    const double z_activity = rng.normal();
+    const double z_social =
+        coupling * z_activity + orthogonal * rng.normal();
+    const double z_quality =
+        kQualityCoupling * z_social + quality_orthogonal * rng.normal();
+
+    OwnerMeta owner;
+    owner.activity = static_cast<float>(
+        std::exp(config.owner_activity_sigma * z_activity));
+    const double friends = config.mean_active_friends *
+                           std::exp(friends_mu + kFriendsSigma * z_social);
+    owner.active_friends = static_cast<std::uint32_t>(std::lround(friends));
+    owner.quality =
+        static_cast<float>(config.owner_quality_sigma * z_quality);
+    owner.photo_count = 0;  // filled in while photos are assigned
+    owners.push_back(owner);
+  }
+  return owners;
+}
+
+double pearson_correlation(const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.empty()) {
+    throw std::invalid_argument("pearson_correlation: size mismatch/empty");
+  }
+  const auto n = static_cast<double>(xs.size());
+  double mean_x = 0.0, mean_y = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    mean_x += xs[i];
+    mean_y += ys[i];
+  }
+  mean_x /= n;
+  mean_y /= n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mean_x;
+    const double dy = ys[i] - mean_y;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace otac

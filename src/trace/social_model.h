@@ -1,0 +1,28 @@
+// Owner (user) population synthesis.
+//
+// Owners carry three correlated latent attributes: upload *activity*
+// (lognormal, heavy-tailed — a few power users upload most photos),
+// *active friends* (the paper's social feature: users who interacted with
+// the owner recently), and *quality* (latent attractiveness of the owner's
+// photos, which drives re-access probability). The correlations are what
+// make "active friends" and "average views of owner's photos" informative
+// classifier features.
+#pragma once
+
+#include <vector>
+
+#include "trace/types.h"
+#include "trace/workload_config.h"
+#include "util/rng.h"
+
+namespace otac {
+
+/// Generate config.num_owners owners. Deterministic given rng state.
+[[nodiscard]] std::vector<OwnerMeta> generate_owners(const WorkloadConfig& config,
+                                                     Rng& rng);
+
+/// Pearson correlation helper used by tests to validate the coupling knobs.
+[[nodiscard]] double pearson_correlation(const std::vector<double>& xs,
+                                         const std::vector<double>& ys);
+
+}  // namespace otac

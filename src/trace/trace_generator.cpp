@@ -1,0 +1,158 @@
+#include "trace/trace_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "trace/popularity_model.h"
+#include "trace/social_model.h"
+#include "util/alias_table.h"
+
+namespace otac {
+
+double Trace::total_request_bytes() const {
+  double total = 0.0;
+  for (const Request& request : requests) {
+    total += catalog.photo(request.photo).size_bytes;
+  }
+  return total;
+}
+
+Trace TraceGenerator::generate() const {
+  const WorkloadConfig& config = config_;
+  if (config.num_photos == 0 || config.num_owners == 0) {
+    throw std::invalid_argument("TraceGenerator: empty population");
+  }
+  if (config.horizon_days <= 0.0) {
+    throw std::invalid_argument("TraceGenerator: horizon must be positive");
+  }
+
+  Rng master{config.seed};
+  Rng owner_rng = master.fork(1);
+  Rng photo_rng = master.fork(2);
+  Rng pop_rng = master.fork(3);
+  Rng event_rng = master.fork(4);
+
+  Trace trace;
+  trace.config = config;
+  trace.horizon = from_days(config.horizon_days);
+  const std::int64_t horizon_s = trace.horizon.seconds;
+
+  // --- 1. Owners -------------------------------------------------------------
+  std::vector<OwnerMeta> owners = generate_owners(config, owner_rng);
+  std::vector<double> owner_weights(owners.size());
+  for (std::size_t i = 0; i < owners.size(); ++i) {
+    owner_weights[i] = owners[i].activity;
+  }
+  const AliasTable owner_sampler{owner_weights};
+  const AliasTable type_sampler{
+      std::span<const double>{config.type_mix.data(), config.type_mix.size()}};
+  const DiurnalModel diurnal{config.diurnal};
+
+  // --- 2. Photos ---------------------------------------------------------------
+  std::vector<PhotoMeta> photos;
+  photos.reserve(config.num_photos);
+  for (std::uint32_t i = 0; i < config.num_photos; ++i) {
+    PhotoMeta photo;
+    photo.owner = static_cast<UserId>(owner_sampler.sample(photo_rng));
+    owners[photo.owner].photo_count += 1;
+    photo.type = type_from_index(static_cast<int>(type_sampler.sample(photo_rng)));
+
+    const double median =
+        config.resolution_size_bytes[static_cast<std::size_t>(
+            photo.type.resolution)] *
+        (photo.type.format == PhotoFormat::png ? config.png_size_factor : 1.0);
+    const double size =
+        median * std::exp(config.size_sigma * photo_rng.normal());
+    photo.size_bytes = static_cast<std::uint32_t>(
+        std::clamp(size, 512.0, 16.0 * 1024.0 * 1024.0));
+
+    // Upload day uniform over [-backlog, horizon); second-of-day diurnal.
+    const std::int64_t upload_day = photo_rng.uniform_int(
+        -from_days(config.backlog_days).seconds / kSecondsPerDay,
+        horizon_s / kSecondsPerDay - 1);
+    photo.upload_time = SimTime{upload_day * kSecondsPerDay +
+                                diurnal.sample_second_of_day(photo_rng)};
+    photos.push_back(photo);
+  }
+  trace.catalog = PhotoCatalog{std::move(photos), std::move(owners)};
+
+  // --- 3. Popularity / counts ----------------------------------------------------
+  // Window mass: fraction of the access-time kernel inside [0, horizon).
+  const double shape = config.decay_shape;
+  const double scale_s = config.decay_scale_days * kSecondsPerDay;
+  const std::size_t n = trace.catalog.photo_count();
+  std::vector<double> window_mass(n);
+  std::vector<double> cdf_lo(n), cdf_hi(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t upload = trace.catalog.photo(static_cast<PhotoId>(i))
+                                    .upload_time.seconds;
+    const double lo = static_cast<double>(std::max<std::int64_t>(0, -upload));
+    const double hi = static_cast<double>(horizon_s - upload);
+    cdf_lo[i] = lomax_cdf(lo, shape, scale_s);
+    cdf_hi[i] = lomax_cdf(hi, shape, scale_s);
+    window_mass[i] = std::max(cdf_hi[i] - cdf_lo[i], 1e-9);
+  }
+  const PopularityModel popularity;
+  PopularityAssignment assignment =
+      popularity.assign(config, trace.catalog, window_mass, pop_rng);
+  trace.latent_score = assignment.score;
+
+  // --- 4. Events --------------------------------------------------------------------
+  std::size_t total_events = 0;
+  for (const std::uint32_t c : assignment.count) total_events += c;
+  trace.requests.reserve(total_events);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<PhotoId>(i);
+    const std::int64_t upload = trace.catalog.photo(id).upload_time.seconds;
+    for (std::uint32_t k = 0; k < assignment.count[i]; ++k) {
+      // Offset drawn from the Lomax kernel truncated to the window.
+      const double u =
+          cdf_lo[i] + event_rng.next_double() * (cdf_hi[i] - cdf_lo[i]);
+      const double offset = lomax_cdf_inverse(u, shape, scale_s);
+      const std::int64_t raw_time =
+          upload + static_cast<std::int64_t>(offset);
+      // Preserve the day (decay structure) but redistribute the second of
+      // day along the diurnal curve.
+      const std::int64_t day = day_index(SimTime{std::clamp<std::int64_t>(
+          raw_time, 0, horizon_s - 1)});
+      std::int64_t when =
+          day * kSecondsPerDay + diurnal.sample_second_of_day(event_rng);
+      if (when <= upload) {
+        // Same-day access drawn before the upload instant: nudge it to just
+        // after upload (a few minutes of jitter), staying inside the window.
+        const auto jitter = static_cast<std::int64_t>(
+            event_rng.exponential(1.0 / (10.0 * kSecondsPerMinute)));
+        when = std::min<std::int64_t>(upload + 1 + jitter, horizon_s - 1);
+      }
+      when = std::clamp<std::int64_t>(when, 0, horizon_s - 1);
+
+      Request request;
+      request.time = SimTime{when};
+      request.photo = id;
+      request.terminal = event_rng.bernoulli(config.mobile_share)
+                             ? TerminalType::mobile
+                             : TerminalType::pc;
+      trace.requests.push_back(request);
+    }
+  }
+
+  // --- 5. Sort -----------------------------------------------------------------------
+  std::sort(trace.requests.begin(), trace.requests.end(),
+            [](const Request& a, const Request& b) {
+              if (a.time.seconds != b.time.seconds)
+                return a.time.seconds < b.time.seconds;
+              return a.photo < b.photo;
+            });
+  return trace;
+}
+
+Trace generate_default_trace(double scale, std::uint64_t seed) {
+  WorkloadConfig config;
+  config.seed = seed;
+  TraceGenerator generator{scaled(config, scale)};
+  return generator.generate();
+}
+
+}  // namespace otac

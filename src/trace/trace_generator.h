@@ -1,0 +1,36 @@
+// End-to-end synthetic trace generation (see DESIGN.md §2 for the mapping
+// from the paper's production trace to this model).
+//
+// Pipeline:
+//   1. generate_owners            — correlated social attributes
+//   2. photo placement            — owners chosen ~ activity; upload times
+//                                    diurnal within uniformly chosen days over
+//                                    [-backlog, horizon); type & size drawn
+//   3. PopularityModel::assign    — latent score + calibrated access counts
+//   4. access-time sampling       — truncated-Lomax day offsets, diurnal
+//                                    second-of-day, terminal type
+//   5. sort by time
+#pragma once
+
+#include "trace/trace.h"
+
+namespace otac {
+
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(WorkloadConfig config) : config_(std::move(config)) {}
+
+  /// Generate the full trace. Deterministic for a fixed config (including
+  /// config.seed); independent of platform and thread count.
+  [[nodiscard]] Trace generate() const;
+
+  [[nodiscard]] const WorkloadConfig& config() const noexcept { return config_; }
+
+ private:
+  WorkloadConfig config_;
+};
+
+/// Convenience: generate with default config scaled by `scale`.
+[[nodiscard]] Trace generate_default_trace(double scale, std::uint64_t seed);
+
+}  // namespace otac

@@ -1,0 +1,197 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace otac {
+
+namespace {
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("trace_io: truncated stream");
+  return value;
+}
+
+template <typename T>
+void write_vector(std::ostream& out, const std::vector<T>& values) {
+  write_pod(out, static_cast<std::uint64_t>(values.size()));
+  if (!values.empty()) {
+    out.write(reinterpret_cast<const char*>(values.data()),
+              static_cast<std::streamsize>(values.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& in) {
+  const auto count = read_pod<std::uint64_t>(in);
+  std::vector<T> values(count);
+  if (count > 0) {
+    in.read(reinterpret_cast<char*>(values.data()),
+            static_cast<std::streamsize>(count * sizeof(T)));
+    if (!in) throw std::runtime_error("trace_io: truncated stream");
+  }
+  return values;
+}
+
+}  // namespace
+
+void save_trace(const Trace& trace, std::ostream& out) {
+  write_pod(out, kTraceMagic);
+  write_pod(out, kTraceVersion);
+  write_pod(out, trace.horizon.seconds);
+
+  std::vector<PhotoMeta> photos{trace.catalog.photos().begin(),
+                                trace.catalog.photos().end()};
+  std::vector<OwnerMeta> owners{trace.catalog.owners().begin(),
+                                trace.catalog.owners().end()};
+  write_vector(out, photos);
+  write_vector(out, owners);
+  write_vector(out, trace.requests);
+  write_vector(out, trace.latent_score);
+  if (!out) throw std::runtime_error("trace_io: write failure");
+}
+
+void save_trace(const Trace& trace, const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw std::runtime_error("trace_io: cannot open " + path);
+  save_trace(trace, file);
+}
+
+Trace load_trace(std::istream& in) {
+  if (read_pod<std::uint32_t>(in) != kTraceMagic) {
+    throw std::runtime_error("trace_io: bad magic");
+  }
+  if (read_pod<std::uint32_t>(in) != kTraceVersion) {
+    throw std::runtime_error("trace_io: unsupported version");
+  }
+  Trace trace;
+  trace.horizon = SimTime{read_pod<std::int64_t>(in)};
+  auto photos = read_vector<PhotoMeta>(in);
+  auto owners = read_vector<OwnerMeta>(in);
+  trace.catalog = PhotoCatalog{std::move(photos), std::move(owners)};
+  trace.requests = read_vector<Request>(in);
+  trace.latent_score = read_vector<float>(in);
+  return trace;
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("trace_io: cannot open " + path);
+  return load_trace(file);
+}
+
+Trace import_requests_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("time_s,photo,owner,type", 0) != 0) {
+    throw std::runtime_error("import_requests_csv: missing/invalid header");
+  }
+
+  Trace trace;
+  std::vector<PhotoMeta> photos;
+  std::vector<OwnerMeta> owners;
+  std::unordered_map<std::string, PhotoId> photo_ids;
+  std::unordered_map<std::string, UserId> owner_ids;
+
+  std::unordered_map<std::string, int> type_by_name;
+  for (int t = 0; t < kPhotoTypeCount; ++t) {
+    type_by_name.emplace(std::string{type_name(type_from_index(t))}, t);
+  }
+
+  std::int64_t previous_time = std::numeric_limits<std::int64_t>::min();
+  std::size_t row = 1;
+  while (std::getline(in, line)) {
+    ++row;
+    if (line.empty()) continue;
+    std::istringstream fields{line};
+    std::string time_s, photo_s, owner_s, type_s, size_s, terminal_s;
+    if (!std::getline(fields, time_s, ',') ||
+        !std::getline(fields, photo_s, ',') ||
+        !std::getline(fields, owner_s, ',') ||
+        !std::getline(fields, type_s, ',') ||
+        !std::getline(fields, size_s, ',') ||
+        !std::getline(fields, terminal_s)) {
+      throw std::runtime_error("import_requests_csv: bad row " +
+                               std::to_string(row));
+    }
+    std::int64_t time = 0;
+    std::uint64_t size = 0;
+    try {
+      time = std::stoll(time_s);
+      size = std::stoull(size_s);
+    } catch (const std::exception&) {
+      throw std::runtime_error("import_requests_csv: bad number in row " +
+                               std::to_string(row));
+    }
+    if (time < previous_time) {
+      throw std::runtime_error("import_requests_csv: rows not time-sorted");
+    }
+    previous_time = time;
+
+    const auto owner_it = owner_ids.find(owner_s);
+    UserId owner;
+    if (owner_it == owner_ids.end()) {
+      owner = static_cast<UserId>(owners.size());
+      owner_ids.emplace(owner_s, owner);
+      owners.push_back(OwnerMeta{});
+    } else {
+      owner = owner_it->second;
+    }
+
+    const auto photo_it = photo_ids.find(photo_s);
+    PhotoId photo;
+    if (photo_it == photo_ids.end()) {
+      photo = static_cast<PhotoId>(photos.size());
+      photo_ids.emplace(photo_s, photo);
+      PhotoMeta meta;
+      meta.owner = owner;
+      const auto type = type_by_name.find(type_s);
+      if (type == type_by_name.end()) {
+        throw std::runtime_error("import_requests_csv: unknown type '" +
+                                 type_s + "' in row " + std::to_string(row));
+      }
+      meta.type = type_from_index(type->second);
+      meta.size_bytes = static_cast<std::uint32_t>(size);
+      meta.upload_time = SimTime{time - kSecondsPerMinute};
+      photos.push_back(meta);
+      owners[owner].photo_count += 1;
+    } else {
+      photo = photo_it->second;
+    }
+
+    Request request;
+    request.time = SimTime{time};
+    request.photo = photo;
+    request.terminal = (terminal_s == "mobile" || terminal_s == "1")
+                           ? TerminalType::mobile
+                           : TerminalType::pc;
+    trace.requests.push_back(request);
+  }
+  trace.catalog = PhotoCatalog{std::move(photos), std::move(owners)};
+  trace.horizon = SimTime{previous_time + 1};
+  return trace;
+}
+
+void export_requests_csv(const Trace& trace, std::ostream& out) {
+  out << "time_s,photo,owner,type,size_bytes,terminal\n";
+  for (const Request& request : trace.requests) {
+    const PhotoMeta& photo = trace.catalog.photo(request.photo);
+    out << request.time.seconds << ',' << request.photo << ',' << photo.owner
+        << ',' << type_name(photo.type) << ',' << photo.size_bytes << ','
+        << (request.terminal == TerminalType::mobile ? "mobile" : "pc")
+        << '\n';
+  }
+}
+
+}  // namespace otac

@@ -1,0 +1,36 @@
+// Trace persistence: compact binary format (round-trip exact) and CSV
+// export of the request stream for external analysis/plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace otac {
+
+inline constexpr std::uint32_t kTraceMagic = 0x4f544143;  // "OTAC"
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// Serialize the trace (catalog, requests, horizon, latent scores). Knobs in
+/// config are not persisted — a loaded trace stands on its own data.
+void save_trace(const Trace& trace, std::ostream& out);
+void save_trace(const Trace& trace, const std::string& path);
+
+/// Throws std::runtime_error on magic/version mismatch or truncation.
+[[nodiscard]] Trace load_trace(std::istream& in);
+[[nodiscard]] Trace load_trace(const std::string& path);
+
+/// Request stream as CSV: time_s,photo,owner,type,size_bytes,terminal.
+void export_requests_csv(const Trace& trace, std::ostream& out);
+
+/// Build a Trace from a request CSV in the export format above — the
+/// adapter for replaying real access logs through the simulator. Photo and
+/// owner ids are remapped densely; each photo's upload time is approximated
+/// as one minute before its first access (real logs rarely carry it), and
+/// owner social attributes default to zero, so the social features carry
+/// less signal on imported traces than on synthetic ones. Rows must be
+/// time-sorted; throws std::runtime_error on malformed input.
+[[nodiscard]] Trace import_requests_csv(std::istream& in);
+
+}  // namespace otac

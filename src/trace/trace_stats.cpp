@@ -1,0 +1,43 @@
+#include "trace/trace_stats.h"
+
+#include <vector>
+
+namespace otac {
+
+TraceStats compute_trace_stats(const Trace& trace) {
+  TraceStats stats;
+  stats.total_requests = trace.requests.size();
+
+  std::vector<std::uint32_t> access_count(trace.catalog.photo_count(), 0);
+  for (const Request& request : trace.requests) {
+    access_count[request.photo] += 1;
+    const PhotoMeta& photo = trace.catalog.photo(request.photo);
+    stats.requests_by_type[static_cast<std::size_t>(type_index(photo.type))] +=
+        1;
+    stats.total_request_bytes += photo.size_bytes;
+  }
+  for (PhotoId id = 0; id < access_count.size(); ++id) {
+    if (access_count[id] == 0) continue;
+    stats.distinct_objects += 1;
+    const PhotoMeta& photo = trace.catalog.photo(id);
+    stats.objects_by_type[static_cast<std::size_t>(type_index(photo.type))] +=
+        1;
+    stats.total_object_bytes += photo.size_bytes;
+    if (access_count[id] == 1) {
+      stats.one_time_objects += 1;
+      stats.one_time_accesses += 1;
+    }
+  }
+  if (stats.distinct_objects > 0) {
+    stats.mean_accesses_per_object =
+        static_cast<double>(stats.total_requests) /
+        static_cast<double>(stats.distinct_objects);
+  }
+  if (stats.total_requests > 0) {
+    stats.mean_request_size_bytes =
+        stats.total_request_bytes / static_cast<double>(stats.total_requests);
+  }
+  return stats;
+}
+
+}  // namespace otac

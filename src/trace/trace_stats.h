@@ -1,0 +1,50 @@
+// Trace characterization: the §2.2 numbers (one-time objects/accesses,
+// achievable hit-rate cap) and the Fig. 3 per-type request mix.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace otac {
+
+struct TraceStats {
+  std::uint64_t total_requests = 0;
+  std::uint64_t distinct_objects = 0;
+  std::uint64_t one_time_objects = 0;   // accessed exactly once
+  std::uint64_t one_time_accesses = 0;  // == one_time_objects by definition
+  double mean_accesses_per_object = 0.0;
+  double mean_request_size_bytes = 0.0;
+  double total_request_bytes = 0.0;
+  double total_object_bytes = 0.0;  // footprint of distinct objects
+
+  std::array<std::uint64_t, kPhotoTypeCount> requests_by_type{};
+  std::array<std::uint64_t, kPhotoTypeCount> objects_by_type{};
+
+  /// Fraction of objects accessed exactly once (paper: 61.5%).
+  [[nodiscard]] double one_time_object_fraction() const noexcept {
+    return distinct_objects
+               ? static_cast<double>(one_time_objects) /
+                     static_cast<double>(distinct_objects)
+               : 0.0;
+  }
+  /// Share of all accesses made by one-time objects (paper: 25.5%).
+  [[nodiscard]] double one_time_access_share() const noexcept {
+    return total_requests ? static_cast<double>(one_time_accesses) /
+                                static_cast<double>(total_requests)
+                          : 0.0;
+  }
+  /// Upper bound on hit rate with infinite cache (paper: 74.5%): every
+  /// access except each object's first can hit.
+  [[nodiscard]] double hit_rate_cap() const noexcept {
+    return total_requests
+               ? 1.0 - static_cast<double>(distinct_objects) /
+                           static_cast<double>(total_requests)
+               : 0.0;
+  }
+};
+
+[[nodiscard]] TraceStats compute_trace_stats(const Trace& trace);
+
+}  // namespace otac

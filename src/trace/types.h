@@ -1,0 +1,91 @@
+// Core datatypes for the synthetic QQPhoto-style workload.
+//
+// The paper's trace records photo accesses tagged with photo metadata
+// (type = resolution x format, size, upload time, owner) and request
+// context (timestamp, terminal type). Ids are dense so catalogs index by
+// vector instead of hash maps.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/sim_time.h"
+
+namespace otac {
+
+using PhotoId = std::uint32_t;
+using UserId = std::uint32_t;
+
+inline constexpr PhotoId kInvalidPhoto = static_cast<PhotoId>(-1);
+
+/// Six resolutions (§3.2.1): a < b < c < m < l < o ("original").
+enum class Resolution : std::uint8_t { a = 0, b, c, m, l, o };
+inline constexpr int kResolutionCount = 6;
+
+/// Two picture specifications, encoded 0 (png) and 5 (jpg) as in the paper.
+enum class PhotoFormat : std::uint8_t { png = 0, jpg = 1 };
+inline constexpr int kFormatCount = 2;
+
+/// Combined photo type: 12 discrete values (a0, a5, b0, ..., l5, o0, o5).
+/// The discretized codes 1..12 required by §3.2.3 come from type_code().
+struct PhotoType {
+  Resolution resolution = Resolution::a;
+  PhotoFormat format = PhotoFormat::png;
+
+  friend constexpr bool operator==(PhotoType, PhotoType) = default;
+};
+
+inline constexpr int kPhotoTypeCount = kResolutionCount * kFormatCount;
+
+[[nodiscard]] constexpr int type_index(PhotoType t) noexcept {
+  return static_cast<int>(t.resolution) * kFormatCount +
+         static_cast<int>(t.format);
+}
+
+/// Discrete value 1..12 used as the ML feature (§3.2.3).
+[[nodiscard]] constexpr int type_code(PhotoType t) noexcept {
+  return type_index(t) + 1;
+}
+
+[[nodiscard]] constexpr PhotoType type_from_index(int index) noexcept {
+  return PhotoType{static_cast<Resolution>(index / kFormatCount),
+                   static_cast<PhotoFormat>(index % kFormatCount)};
+}
+
+/// Human-readable name, e.g. "l5" (resolution letter + spec digit).
+[[nodiscard]] constexpr std::string_view type_name(PhotoType t) noexcept {
+  constexpr std::array<std::string_view, kPhotoTypeCount> names = {
+      "a0", "a5", "b0", "b5", "c0", "c5", "m0", "m5", "l0", "l5", "o0", "o5"};
+  return names[static_cast<std::size_t>(type_index(t))];
+}
+
+enum class TerminalType : std::uint8_t { pc = 0, mobile = 1 };
+
+/// Static per-photo metadata, fixed at upload time.
+struct PhotoMeta {
+  UserId owner = 0;
+  PhotoType type{};
+  std::uint32_t size_bytes = 0;
+  SimTime upload_time{};
+};
+
+/// Static per-owner metadata. Dynamic aggregates (views so far) live in the
+/// online feature extractor, not here.
+struct OwnerMeta {
+  std::uint32_t active_friends = 0;  // interactions in the recent past
+  float activity = 0.0F;             // upload propensity (relative)
+  float quality = 0.0F;              // latent attractiveness of this owner's photos
+  std::uint32_t photo_count = 0;
+};
+
+/// One access in the trace.
+struct Request {
+  SimTime time{};
+  PhotoId photo = kInvalidPhoto;
+  TerminalType terminal = TerminalType::pc;
+};
+
+static_assert(sizeof(Request) <= 16, "Request should stay compact");
+
+}  // namespace otac

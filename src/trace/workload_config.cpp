@@ -1,0 +1,19 @@
+#include "trace/workload_config.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace otac {
+
+WorkloadConfig scaled(WorkloadConfig config, double factor) {
+  factor = std::max(factor, 1e-6);
+  const auto scale_count = [factor](std::uint32_t count) {
+    const double scaled_count = std::round(static_cast<double>(count) * factor);
+    return static_cast<std::uint32_t>(std::max(scaled_count, 1.0));
+  };
+  config.num_owners = scale_count(config.num_owners);
+  config.num_photos = scale_count(config.num_photos);
+  return config;
+}
+
+}  // namespace otac

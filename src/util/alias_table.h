@@ -1,0 +1,39 @@
+// Walker alias method for O(1) sampling from an arbitrary discrete
+// distribution. Used for photo-type mixes and time-of-day (diurnal) bins.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace otac {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Build from non-negative weights (need not be normalized). Throws
+  /// std::invalid_argument if weights is empty, contains a negative value,
+  /// or sums to zero.
+  explicit AliasTable(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return prob_.empty(); }
+
+  /// Draw an index in [0, size()).
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+
+  /// Normalized probability of index i (for testing / reporting).
+  [[nodiscard]] double probability(std::size_t i) const noexcept {
+    return normalized_.at(i);
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::size_t> alias_;
+  std::vector<double> normalized_;
+};
+
+}  // namespace otac

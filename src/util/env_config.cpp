@@ -1,0 +1,42 @@
+#include "util/env_config.h"
+
+#include <cstdlib>
+
+namespace otac {
+
+double env_double(const char* name, double fallback) noexcept {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  return (end != nullptr && *end == '\0') ? value : fallback;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) noexcept {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  return (end != nullptr && *end == '\0') ? static_cast<std::int64_t>(value)
+                                          : fallback;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return raw != nullptr ? std::string{raw} : fallback;
+}
+
+std::uint64_t global_seed() noexcept {
+  return static_cast<std::uint64_t>(env_int("OTAC_SEED", 42));
+}
+
+double global_scale() noexcept {
+  const double scale = env_double("OTAC_SCALE", 1.0);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+std::string bench_cache_dir() {
+  return env_string("OTAC_CACHE_DIR", ".otac_bench_cache");
+}
+
+}  // namespace otac

@@ -1,0 +1,27 @@
+// Environment-variable configuration knobs shared by benches and examples.
+//
+// OTAC_SEED   — master RNG seed (default 42)
+// OTAC_SCALE  — multiplies the default benchmark workload size (default 1.0)
+// OTAC_CACHE_DIR — directory for disk-cached experiment results
+//                  (default ".otac_bench_cache"; empty string disables)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace otac {
+
+/// Parse env var as double; returns fallback when unset or malformed.
+double env_double(const char* name, double fallback) noexcept;
+
+/// Parse env var as signed integer; returns fallback when unset or malformed.
+std::int64_t env_int(const char* name, std::int64_t fallback) noexcept;
+
+/// Return env var value or fallback when unset.
+std::string env_string(const char* name, const std::string& fallback);
+
+std::uint64_t global_seed() noexcept;
+double global_scale() noexcept;
+std::string bench_cache_dir();
+
+}  // namespace otac

@@ -1,0 +1,77 @@
+#include "util/flags.h"
+
+#include <stdexcept>
+
+namespace otac {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    if (body.empty()) {
+      throw std::invalid_argument("FlagParser: bare '--' not supported");
+    }
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" when the next token is not a flag; else a boolean switch.
+    if (i + 1 < argc && std::string{argv[i + 1]}.rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+bool FlagParser::has(const std::string& name) const {
+  return values_.contains(name);
+}
+
+std::string FlagParser::get(const std::string& name,
+                            const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double FlagParser::get(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("FlagParser: --" + name +
+                                " expects a number, got '" + it->second + "'");
+  }
+}
+
+std::int64_t FlagParser::get(const std::string& name,
+                             std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("FlagParser: --" + name +
+                                " expects an integer, got '" + it->second +
+                                "'");
+  }
+}
+
+bool FlagParser::get(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& value = it->second;
+  if (value == "true" || value == "1" || value == "yes") return true;
+  if (value == "false" || value == "0" || value == "no") return false;
+  throw std::invalid_argument("FlagParser: --" + name +
+                              " expects a boolean, got '" + value + "'");
+}
+
+}  // namespace otac

@@ -1,0 +1,37 @@
+// Tiny command-line flag parser for the example/CLI binaries:
+// --name=value and --name value forms, plus boolean switches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace otac {
+
+class FlagParser {
+ public:
+  /// Parse argv; unknown arguments that don't start with "--" are collected
+  /// as positionals. Throws std::invalid_argument on malformed flags.
+  FlagParser(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] double get(const std::string& name, double fallback) const;
+  [[nodiscard]] std::int64_t get(const std::string& name,
+                                 std::int64_t fallback) const;
+  [[nodiscard]] bool get(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace otac

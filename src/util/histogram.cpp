@@ -1,0 +1,54 @@
+#include "util/histogram.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace otac {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be >= 1");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0.0);
+}
+
+void Histogram::add(double x, double weight) noexcept {
+  auto idx = static_cast<std::int64_t>((x - lo_) / width_);
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ <= 0.0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * total_;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (cumulative + counts_[i] >= target) {
+      const double inside =
+          counts_[i] > 0.0 ? (target - cumulative) / counts_[i] : 0.0;
+      return bin_lo(i) + inside * width_;
+    }
+    cumulative += counts_[i];
+  }
+  return bin_hi(counts_.size() - 1);
+}
+
+std::string Histogram::ascii(std::size_t max_width) const {
+  double peak = 0.0;
+  for (const double c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar_len =
+        peak > 0.0 ? static_cast<std::size_t>(counts_[i] / peak *
+                                              static_cast<double>(max_width))
+                   : 0;
+    out << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
+        << std::string(bar_len, '#') << " " << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace otac

@@ -1,0 +1,76 @@
+// Lightweight fixed-bin histogram and streaming summary statistics used for
+// trace characterization and experiment reporting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace otac {
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width linear histogram over [lo, hi); values outside are clamped
+/// into the edge bins so totals are preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept {
+    return lo_ + width_ * static_cast<double>(i);
+  }
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept {
+    return bin_lo(i) + width_;
+  }
+  [[nodiscard]] double count(std::size_t i) const noexcept { return counts_.at(i); }
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+  /// Approximate quantile (q in [0,1]) by linear interpolation within bins.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  /// Render a terminal bar chart, one line per bin.
+  [[nodiscard]] std::string ascii(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double width_;
+  double total_ = 0.0;
+  std::vector<double> counts_;
+};
+
+}  // namespace otac

@@ -1,0 +1,66 @@
+#include "util/rng.h"
+
+namespace otac {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  if (bound <= 1) return 0;
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() noexcept {
+  if (have_gauss_) {
+    have_gauss_ = false;
+    return cached_gauss_;
+  }
+  double u = 0.0, v = 0.0, s = 0.0;
+  do {
+    u = 2.0 * next_double() - 1.0;
+    v = 2.0 * next_double() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gauss_ = v * factor;
+  have_gauss_ = true;
+  return u * factor;
+}
+
+std::uint64_t Rng::geometric(double p) noexcept {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return std::numeric_limits<std::uint64_t>::max();
+  const double u = next_double_open();
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth inversion in the log domain is unnecessary at this size;
+    // multiplicative form is fine because exp(-64) > DBL_MIN.
+    const double limit = std::exp(-mean);
+    double prod = next_double_open();
+    std::uint64_t count = 0;
+    while (prod > limit) {
+      prod *= next_double_open();
+      ++count;
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; adequate for workload
+  // arrival counts where mean is large and per-bin exactness is irrelevant.
+  const double draw = normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+}
+
+}  // namespace otac

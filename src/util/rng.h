@@ -1,0 +1,136 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All randomness in otacache flows through Rng so that every experiment is
+// reproducible from a single 64-bit seed. The core generator is
+// xoshiro256** (Blackman & Vigna), seeded via SplitMix64, which is both
+// faster and of higher statistical quality than std::mt19937_64 while
+// keeping the state small enough to copy freely.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace otac {
+
+/// SplitMix64 step: used to expand a single seed into generator state and
+/// to derive independent child seeds. Stateless helper.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** pseudo-random generator with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator so it can also be plugged into
+/// <random> distributions, but the member distributions below are preferred
+/// because they are guaranteed stable across standard library versions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    have_gauss_ = false;
+  }
+
+  /// Derive an independent stream; children of distinct indices do not
+  /// overlap in practice because the derivation rehashes through SplitMix64.
+  [[nodiscard]] Rng fork(std::uint64_t stream_index) const noexcept {
+    std::uint64_t sm = state_[0] ^ (0x9e3779b97f4a7c15ULL * (stream_index + 1));
+    sm ^= state_[3];
+    return Rng{splitmix64(sm)};
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next_u64(); }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1] — safe to pass to log().
+  double next_double_open() noexcept { return 1.0 - next_double(); }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept { return next_double() < p; }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  double normal() noexcept;
+
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  double lognormal(double mu, double sigma) noexcept {
+    return std::exp(mu + sigma * normal());
+  }
+
+  /// Exponential with given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate) noexcept {
+    return -std::log(next_double_open()) / rate;
+  }
+
+  /// Pareto type II (Lomax): survival (1 + x/scale)^-shape, support x >= 0.
+  /// Heavy-tailed; used for popularity age decay. Requires shape, scale > 0.
+  double lomax(double shape, double scale) noexcept {
+    return scale * (std::pow(next_double_open(), -1.0 / shape) - 1.0);
+  }
+
+  /// Geometric number of failures before first success, support {0,1,...}.
+  /// Requires p in (0, 1].
+  std::uint64_t geometric(double p) noexcept;
+
+  /// Poisson with the given mean; inversion for small means, PTRS-style
+  /// normal approximation fallback above 64 for speed.
+  std::uint64_t poisson(double mean) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_gauss_ = 0.0;
+  bool have_gauss_ = false;
+};
+
+}  // namespace otac

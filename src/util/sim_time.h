@@ -1,0 +1,65 @@
+// Simulation time: a strong integer type counting seconds since the start
+// of the simulated epoch, plus calendar helpers (hour-of-day, day index).
+//
+// The workload model is diurnal, the trainer fires at a fixed hour, and the
+// paper discretizes ages/recency at 10-minute granularity — so seconds are
+// a sufficient and overflow-safe resolution for multi-year horizons.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace otac {
+
+inline constexpr std::int64_t kSecondsPerMinute = 60;
+inline constexpr std::int64_t kSecondsPerHour = 3600;
+inline constexpr std::int64_t kSecondsPerDay = 86400;
+
+/// Seconds since simulation epoch. A plain struct rather than
+/// std::chrono to keep trace records trivially serializable.
+struct SimTime {
+  std::int64_t seconds = 0;
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  constexpr SimTime operator+(std::int64_t delta) const noexcept {
+    return SimTime{seconds + delta};
+  }
+  constexpr SimTime operator-(std::int64_t delta) const noexcept {
+    return SimTime{seconds - delta};
+  }
+  constexpr std::int64_t operator-(SimTime other) const noexcept {
+    return seconds - other.seconds;
+  }
+};
+
+[[nodiscard]] constexpr SimTime from_days(double days) noexcept {
+  return SimTime{static_cast<std::int64_t>(days * kSecondsPerDay)};
+}
+
+[[nodiscard]] constexpr std::int64_t day_index(SimTime t) noexcept {
+  // Floor division so times before the epoch land on negative days.
+  const std::int64_t q = t.seconds / kSecondsPerDay;
+  return (t.seconds % kSecondsPerDay < 0) ? q - 1 : q;
+}
+
+[[nodiscard]] constexpr std::int64_t second_of_day(SimTime t) noexcept {
+  std::int64_t r = t.seconds % kSecondsPerDay;
+  if (r < 0) r += kSecondsPerDay;
+  return r;
+}
+
+[[nodiscard]] constexpr int hour_of_day(SimTime t) noexcept {
+  return static_cast<int>(second_of_day(t) / kSecondsPerHour);
+}
+
+[[nodiscard]] constexpr int minute_of_day(SimTime t) noexcept {
+  return static_cast<int>(second_of_day(t) / kSecondsPerMinute);
+}
+
+/// Age/recency bucketing at the paper's 10-minute granularity (§3.2.3).
+[[nodiscard]] constexpr std::int64_t ten_minute_buckets(std::int64_t delta_seconds) noexcept {
+  return delta_seconds / (10 * kSecondsPerMinute);
+}
+
+}  // namespace otac

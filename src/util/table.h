@@ -1,0 +1,45 @@
+// Aligned ASCII tables and CSV emission for benchmark harnesses.
+//
+// Every bench binary prints a paper-style table through TablePrinter so the
+// reproduction output is uniform and diffable, and can optionally mirror the
+// rows to a CSV file for plotting.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace otac {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string fmt(double value, int precision = 4);
+  /// Format as a percentage ("12.3%").
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Render with column alignment and a rule under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Comma-separated form (RFC-4180-style quoting for cells containing
+  /// commas/quotes/newlines).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Write CSV to a path; returns false (and leaves no partial file
+  /// guarantee) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace otac

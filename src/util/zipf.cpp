@@ -1,0 +1,73 @@
+#include "util/zipf.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace otac {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be >= 1");
+  if (alpha < 0.0) throw std::invalid_argument("ZipfSampler: alpha must be >= 0");
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_n_ = h_integral(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+  norm_ = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    norm_ += std::pow(static_cast<double>(k), -alpha);
+  }
+}
+
+double ZipfSampler::h(double x) const noexcept { return std::pow(x, -alpha_); }
+
+double ZipfSampler::h_integral(double x) const noexcept {
+  const double log_x = std::log(x);
+  // Integral of t^-alpha dt: handles alpha == 1 via the expm1 identity,
+  // numerically stable for alpha near 1.
+  const double t = (1.0 - alpha_) * log_x;
+  double value;
+  if (std::abs(t) < 1e-8) {
+    value = log_x * (1.0 + t / 2.0 + t * t / 6.0);
+  } else {
+    value = std::expm1(t) / (1.0 - alpha_);
+  }
+  return value;
+}
+
+double ZipfSampler::h_integral_inverse(double x) const noexcept {
+  double t = x * (1.0 - alpha_);
+  if (t < -1.0) t = -1.0;  // guard against rounding below the pole
+  double value;
+  if (std::abs(t) < 1e-8) {
+    // log1p(t)/t ~ 1 - t/2 for small t, so log1p(t)/(1-alpha) ~ x(1 - t/2).
+    value = x * (1.0 - t / 2.0);
+  } else {
+    value = std::log1p(t) / (1.0 - alpha_);
+  }
+  return std::exp(value);
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const noexcept {
+  if (n_ == 1) return 1;
+  while (true) {
+    const double u =
+        h_integral_n_ + rng.next_double() * (h_integral_x1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > n_) {
+      k = n_;
+    }
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= h_integral(kd + 0.5) - h(kd)) {
+      return k;
+    }
+  }
+}
+
+double ZipfSampler::pmf(std::uint64_t k) const noexcept {
+  if (k < 1 || k > n_) return 0.0;
+  return std::pow(static_cast<double>(k), -alpha_) / norm_;
+}
+
+}  // namespace otac

@@ -1,0 +1,46 @@
+// Bounded Zipf (power-law) sampling.
+//
+// ZipfSampler draws integers k in [1, n] with P(k) proportional to
+// k^-alpha using Hörmann's rejection-inversion method, which is O(1) per
+// sample independent of n — essential when the universe has millions of
+// objects. Web/photo popularity is Zipf-like (Breslau et al., INFOCOM'99),
+// which is why the workload synthesizer leans on this sampler.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace otac {
+
+class ZipfSampler {
+ public:
+  /// Distribution over [1, n] with exponent alpha >= 0 (alpha == 0 is
+  /// uniform; alpha == 1 is the classic harmonic Zipf). Throws
+  /// std::invalid_argument when n == 0 or alpha < 0.
+  ZipfSampler(std::uint64_t n, double alpha);
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+  /// Draw one sample in [1, n].
+  std::uint64_t sample(Rng& rng) const noexcept;
+
+  /// Exact probability mass of rank k (k in [1, n]); O(n) the first call is
+  /// avoided by using the precomputed normalization from construction.
+  [[nodiscard]] double pmf(std::uint64_t k) const noexcept;
+
+ private:
+  [[nodiscard]] double h(double x) const noexcept;
+  [[nodiscard]] double h_integral(double x) const noexcept;
+  [[nodiscard]] double h_integral_inverse(double x) const noexcept;
+
+  std::uint64_t n_;
+  double alpha_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_;
+  double norm_;  // sum_{k=1..n} k^-alpha, for pmf()
+};
+
+}  // namespace otac

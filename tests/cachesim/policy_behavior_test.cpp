@@ -1,0 +1,266 @@
+// Per-policy behavioural tests on hand-constructed access sequences.
+#include <gtest/gtest.h>
+
+#include "cachesim/arc.h"
+#include "cachesim/belady.h"
+#include "cachesim/fifo.h"
+#include "cachesim/lfu.h"
+#include "cachesim/lirs.h"
+#include "cachesim/lru.h"
+#include "cachesim/s3lru.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace otac {
+namespace {
+
+// Touch helper: standard request flow with always-admit.
+bool touch(CachePolicy& policy, PhotoId key, std::uint32_t size,
+           std::uint64_t next = kNeverAgain) {
+  policy.set_next_access_hint(next);
+  if (policy.access(key, size)) return true;
+  policy.insert(key, size);
+  return false;
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  LruCache cache{3};
+  touch(cache, 1, 1);
+  touch(cache, 2, 1);
+  touch(cache, 3, 1);
+  touch(cache, 1, 1);  // 1 now MRU; order (MRU->LRU): 1,3,2
+  touch(cache, 4, 1);  // evicts 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(4));
+}
+
+TEST(Lru, VariableSizeEvictsUntilFit) {
+  LruCache cache{100};
+  touch(cache, 1, 40);
+  touch(cache, 2, 40);
+  touch(cache, 3, 70);  // needs evicting both 1 and 2
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_EQ(cache.used_bytes(), 70u);
+
+  LruCache snug{100};
+  touch(snug, 1, 40);
+  touch(snug, 2, 40);
+  touch(snug, 3, 20);  // fits alongside both
+  EXPECT_TRUE(snug.contains(1));
+  EXPECT_TRUE(snug.contains(2));
+  EXPECT_EQ(snug.used_bytes(), 100u);
+}
+
+TEST(Fifo, HitDoesNotRefresh) {
+  FifoCache cache{3};
+  touch(cache, 1, 1);
+  touch(cache, 2, 1);
+  touch(cache, 3, 1);
+  touch(cache, 1, 1);  // hit, but stays first-in
+  touch(cache, 4, 1);  // evicts 1 (oldest) despite recent hit
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(S3Lru, HitPromotesThroughSegments) {
+  S3LruCache cache{300};
+  touch(cache, 1, 10);
+  EXPECT_EQ(cache.segment_bytes(0), 10u);
+  touch(cache, 1, 10);  // promote to segment 1
+  EXPECT_EQ(cache.segment_bytes(0), 0u);
+  EXPECT_EQ(cache.segment_bytes(1), 10u);
+  touch(cache, 1, 10);  // promote to segment 2
+  EXPECT_EQ(cache.segment_bytes(2), 10u);
+  touch(cache, 1, 10);  // stays in top segment
+  EXPECT_EQ(cache.segment_bytes(2), 10u);
+}
+
+TEST(S3Lru, OneTimeObjectsCannotEvictProtected) {
+  S3LruCache cache{300};  // 100 bytes per segment
+  // Build a protected object.
+  touch(cache, 100, 50);
+  touch(cache, 100, 50);
+  touch(cache, 100, 50);  // now in segment 2
+  // Flood with one-time objects.
+  for (PhotoId id = 0; id < 50; ++id) touch(cache, id, 30);
+  EXPECT_TRUE(cache.contains(100));  // protected survived the scan
+}
+
+TEST(S3Lru, OverflowDemotesDownward) {
+  S3LruCache cache{90};  // 30 bytes per segment
+  touch(cache, 1, 25);
+  touch(cache, 1, 25);  // to segment 1
+  touch(cache, 2, 25);
+  touch(cache, 2, 25);  // to segment 1 -> overflow, 1 demoted to segment 0
+  EXPECT_EQ(cache.segment_bytes(1), 25u);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_EQ(cache.segment_bytes(0), 25u);
+}
+
+TEST(Lfu, EvictsLeastFrequent) {
+  LfuCache cache{3};
+  touch(cache, 1, 1);
+  touch(cache, 1, 1);
+  touch(cache, 1, 1);  // freq 3
+  touch(cache, 2, 1);
+  touch(cache, 2, 1);  // freq 2
+  touch(cache, 3, 1);  // freq 1
+  touch(cache, 4, 1);  // evicts 3 (lowest freq)
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_FALSE(cache.contains(3));
+  EXPECT_EQ(cache.frequency(1), 3u);
+  EXPECT_EQ(cache.frequency(4), 1u);
+}
+
+TEST(Lfu, TieBrokenByRecency) {
+  LfuCache cache{2};
+  touch(cache, 1, 1);
+  touch(cache, 2, 1);  // both freq 1; 1 is older within the bucket
+  touch(cache, 3, 1);  // evicts 1
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(Arc, GhostHitAdaptsTarget) {
+  ArcCache cache{4};
+  // Build T2 content so REPLACE ghosts T1 victims into B1 (with an empty
+  // T2, textbook ARC Case IV(a) deletes T1's LRU without ghosting).
+  touch(cache, 1, 1);
+  touch(cache, 2, 1);
+  touch(cache, 1, 1);  // T2 = {1}
+  touch(cache, 2, 1);  // T2 = {1,2}
+  touch(cache, 3, 1);
+  touch(cache, 4, 1);  // cache full: T1 = {3,4}, T2 = {1,2}
+  touch(cache, 5, 1);  // REPLACE evicts T1 LRU (3) into B1
+  const double p_before = cache.target_t1_bytes();
+  EXPECT_FALSE(cache.contains(3));
+  touch(cache, 3, 1);  // B1 ghost hit -> p grows
+  EXPECT_GT(cache.target_t1_bytes(), p_before);
+}
+
+TEST(Arc, RepeatedSetStaysResident) {
+  ArcCache cache{4};
+  // Working set of 3 objects accessed repeatedly survives a scan.
+  for (int round = 0; round < 3; ++round) {
+    for (PhotoId id = 1; id <= 3; ++id) touch(cache, id, 1);
+  }
+  for (PhotoId id = 100; id < 120; ++id) touch(cache, id, 1);  // scan
+  int survivors = 0;
+  for (PhotoId id = 1; id <= 3; ++id) {
+    survivors += cache.contains(id) ? 1 : 0;
+  }
+  EXPECT_GE(survivors, 2);  // frequency side shielded from the scan
+}
+
+TEST(Arc, GhostBytesBounded) {
+  ArcCache cache{1000};
+  Rng rng{42};
+  for (int i = 0; i < 20000; ++i) {
+    const auto id = static_cast<PhotoId>(rng.next_below(5000));
+    touch(cache, id, static_cast<std::uint32_t>(rng.uniform_int(10, 200)));
+    ASSERT_LE(cache.used_bytes() + cache.ghost_bytes(), 2000u + 200u);
+  }
+}
+
+TEST(Lirs, RejectsBadFraction) {
+  EXPECT_THROW(LirsCache(100, 0.0), std::invalid_argument);
+  EXPECT_THROW(LirsCache(100, 1.0), std::invalid_argument);
+}
+
+TEST(Lirs, HotSetResistsScan) {
+  LirsCache cache{10, 0.9};  // 9 bytes LIR, 1 byte HIR
+  // Establish hot LIR set.
+  for (int round = 0; round < 2; ++round) {
+    for (PhotoId id = 1; id <= 9; ++id) touch(cache, id, 1);
+  }
+  // Long one-time scan: HIR blocks churn through the 1-byte HIR area.
+  for (PhotoId id = 100; id < 200; ++id) touch(cache, id, 1);
+  int survivors = 0;
+  for (PhotoId id = 1; id <= 9; ++id) {
+    survivors += cache.contains(id) ? 1 : 0;
+  }
+  EXPECT_EQ(survivors, 9);  // LIR set untouched by the scan
+  EXPECT_TRUE(cache.check_invariants());
+}
+
+TEST(Lirs, ReusedHirIsPromoted) {
+  LirsCache cache{10, 0.5};  // 5 LIR, 5 HIR
+  for (PhotoId id = 1; id <= 5; ++id) touch(cache, id, 1);  // warm LIR
+  touch(cache, 10, 1);  // HIR resident
+  touch(cache, 10, 1);  // reuse while on stack -> promoted to LIR
+  // One LIR block was demoted to make room; 10 must still be resident.
+  EXPECT_TRUE(cache.contains(10));
+  EXPECT_TRUE(cache.check_invariants());
+}
+
+TEST(Lirs, InvariantsUnderRandomChurn) {
+  LirsCache cache{5000, 0.85};
+  Rng rng{42};
+  const ZipfSampler zipf{800, 0.8};
+  for (int i = 0; i < 30000; ++i) {
+    const auto id = static_cast<PhotoId>(zipf.sample(rng));
+    touch(cache, id, static_cast<std::uint32_t>(rng.uniform_int(5, 300)));
+    if (i % 1000 == 0) ASSERT_TRUE(cache.check_invariants()) << "step " << i;
+  }
+  EXPECT_TRUE(cache.check_invariants());
+}
+
+TEST(Belady, EvictsFarthestNextAccess) {
+  BeladyCache cache{2};
+  touch(cache, 1, 1, /*next=*/10);
+  touch(cache, 2, 1, /*next=*/5);
+  touch(cache, 3, 1, /*next=*/7);  // must evict key 1 (next=10, farthest)
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(Belady, NeverAgainEvictedFirst) {
+  BeladyCache cache{2};
+  touch(cache, 1, 1, kNeverAgain);
+  touch(cache, 2, 1, 5);
+  touch(cache, 3, 1, 6);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(Belady, HintUpdateOnHitRefreshesPriority) {
+  BeladyCache cache{2};
+  touch(cache, 1, 1, 3);
+  touch(cache, 2, 1, 4);
+  touch(cache, 1, 1, 100);  // hit; 1's next is now far away
+  touch(cache, 3, 1, 5);    // should evict 1 (farthest), not 2
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(Belady, OptimalOnSmallCase) {
+  // Sequence: A B C A B C with cache of 2 (unit sizes).
+  // Belady achieves 2 hits; LRU achieves 0.
+  const std::vector<PhotoId> seq{1, 2, 3, 1, 2, 3};
+  std::vector<std::uint64_t> next{3, 4, 5, kNeverAgain, kNeverAgain,
+                                  kNeverAgain};
+  const auto run = [&](CachePolicy& policy) {
+    int hits = 0;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      policy.set_next_access_hint(next[i]);
+      if (policy.access(seq[i], 1)) {
+        ++hits;
+      } else {
+        policy.insert(seq[i], 1);
+      }
+    }
+    return hits;
+  };
+  BeladyCache belady{2};
+  LruCache lru{2};
+  EXPECT_EQ(run(belady), 2);
+  EXPECT_EQ(run(lru), 0);
+}
+
+}  // namespace
+}  // namespace otac

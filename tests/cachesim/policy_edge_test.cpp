@@ -1,0 +1,167 @@
+// Edge-case behaviour: ghost-list dynamics, metadata bounds, variable-size
+// corner cases that the randomized property suite is unlikely to pin down.
+#include <gtest/gtest.h>
+
+#include "cachesim/arc.h"
+#include "cachesim/belady.h"
+#include "cachesim/lfu.h"
+#include "cachesim/lirs.h"
+#include "cachesim/lru.h"
+#include "cachesim/s3lru.h"
+#include "util/rng.h"
+
+namespace otac {
+namespace {
+
+bool touch(CachePolicy& policy, PhotoId key, std::uint32_t size,
+           std::uint64_t next = kNeverAgain) {
+  policy.set_next_access_hint(next);
+  if (policy.access(key, size)) return true;
+  policy.insert(key, size);
+  return false;
+}
+
+TEST(ArcEdge, B2GhostHitShrinksTarget) {
+  ArcCache cache{4};
+  // Build T2 = {1,2}, T1 = {3,4}.
+  touch(cache, 1, 1);
+  touch(cache, 2, 1);
+  touch(cache, 1, 1);
+  touch(cache, 2, 1);
+  touch(cache, 3, 1);
+  touch(cache, 4, 1);
+  // Grow p via B1 hits first.
+  touch(cache, 5, 1);  // evicts 3 -> B1
+  touch(cache, 3, 1);  // B1 hit: p grows
+  const double p_high = cache.target_t1_bytes();
+  ASSERT_GT(p_high, 0.0);
+  // Now force a T2 eviction into B2 and hit it.
+  touch(cache, 6, 1);
+  touch(cache, 7, 1);
+  touch(cache, 8, 1);  // T2 victims land in B2 eventually
+  // Find some evicted old-T2 key: 1 or 2 should be gone by now.
+  const PhotoId ghost = cache.contains(1) ? 2 : 1;
+  ASSERT_FALSE(cache.contains(ghost));
+  touch(cache, ghost, 1);
+  EXPECT_LE(cache.target_t1_bytes(), p_high);
+}
+
+TEST(ArcEdge, ResidentCountNeverExceedsCapacityUnits) {
+  ArcCache cache{8};
+  Rng rng{1};
+  for (int i = 0; i < 5000; ++i) {
+    touch(cache, static_cast<PhotoId>(rng.next_below(64)), 1);
+    ASSERT_LE(cache.object_count(), 8u);
+  }
+}
+
+TEST(LirsEdge, NonresidentMetadataBounded) {
+  LirsCache cache{20, 0.5};
+  // Stream a huge number of one-time objects: nonresident ghosts must not
+  // grow without bound (the invariant checker counts internal state).
+  for (PhotoId id = 0; id < 50'000; ++id) {
+    touch(cache, id, 1);
+  }
+  EXPECT_TRUE(cache.check_invariants());
+  // Resident count bounded by capacity; the table is resident + ghosts,
+  // which the bound keeps within max(64, 2x resident).
+  EXPECT_LE(cache.object_count(), 20u);
+}
+
+TEST(LirsEdge, LargeObjectForcesLirDemotion) {
+  LirsCache cache{100, 0.9};  // HIR area only 10 bytes
+  // Fill LIR with small objects.
+  for (PhotoId id = 0; id < 9; ++id) touch(cache, id, 10);
+  EXPECT_EQ(cache.used_bytes(), 90u);
+  // A 40-byte object cannot fit in the HIR area alone: LIR must shrink.
+  touch(cache, 100, 40);
+  EXPECT_TRUE(cache.contains(100));
+  EXPECT_LE(cache.used_bytes(), 100u);
+  EXPECT_TRUE(cache.check_invariants());
+}
+
+TEST(LirsEdge, StackPruningAfterBottomLirAccess) {
+  LirsCache cache{10, 0.5};
+  for (PhotoId id = 0; id < 5; ++id) touch(cache, id, 1);  // LIR = 0..4
+  // HIR churn to put non-LIR entries at the stack bottom region.
+  touch(cache, 10, 1);
+  touch(cache, 11, 1);
+  // Access the bottom LIR block (0): stack must prune and stay valid.
+  EXPECT_TRUE(cache.access(0, 1));
+  EXPECT_TRUE(cache.check_invariants());
+}
+
+TEST(S3LruEdge, ObjectLargerThanSegmentRefused) {
+  S3LruCache cache{300};  // segments of 100
+  EXPECT_FALSE(cache.insert(1, 150));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.insert(2, 100));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(S3LruEdge, CascadeDemotionPreservesTotalBytes) {
+  S3LruCache cache{90};  // 30 per segment
+  // Promote three objects to the top segment one by one; each promotion
+  // cascades demotions.
+  for (PhotoId id = 1; id <= 3; ++id) {
+    touch(cache, id, 25);
+    touch(cache, id, 25);
+    touch(cache, id, 25);
+  }
+  EXPECT_EQ(cache.used_bytes(), cache.segment_bytes(0) +
+                                    cache.segment_bytes(1) +
+                                    cache.segment_bytes(2));
+  EXPECT_LE(cache.used_bytes(), 90u);
+  EXPECT_TRUE(cache.contains(3));  // most recently promoted survives
+}
+
+TEST(LfuEdge, ReinsertionAfterEvictionResetsFrequency) {
+  LfuCache cache{2};
+  touch(cache, 1, 1);
+  touch(cache, 1, 1);
+  touch(cache, 1, 1);  // freq 3
+  touch(cache, 2, 1);
+  touch(cache, 3, 1);  // evicts 2 (freq 1)
+  EXPECT_FALSE(cache.contains(2));
+  touch(cache, 2, 1);  // evicts 3; 2 back with freq 1
+  EXPECT_EQ(cache.frequency(2), 1u);
+  EXPECT_EQ(cache.frequency(1), 3u);
+}
+
+TEST(BeladyEdge, VariableSizesEvictMultiple) {
+  BeladyCache cache{100};
+  touch(cache, 1, 40, 10);
+  touch(cache, 2, 40, 5);
+  touch(cache, 3, 70, 7);  // must evict 1 (farthest) then 2
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(BeladyEdge, StaleHeapEntriesSkipped) {
+  BeladyCache cache{2};
+  touch(cache, 1, 1, 5);
+  touch(cache, 1, 1, 100);  // hit refreshes priority; old heap entry stale
+  touch(cache, 2, 1, 6);
+  touch(cache, 3, 1, 7);  // must evict 1 (next=100), not follow stale 5
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(LruEdge, ExactCapacityFitDoesNotEvict) {
+  LruCache cache{100};
+  std::uint64_t evictions = 0;
+  cache.set_eviction_callback(
+      [&evictions](PhotoId, std::uint32_t) { ++evictions; });
+  touch(cache, 1, 60);
+  touch(cache, 2, 40);  // exactly full
+  EXPECT_EQ(evictions, 0u);
+  EXPECT_EQ(cache.used_bytes(), 100u);
+  touch(cache, 3, 1);  // one byte over: evict LRU (1)
+  EXPECT_EQ(evictions, 1u);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+}  // namespace
+}  // namespace otac

@@ -1,0 +1,174 @@
+// Cross-policy property tests: invariants every replacement policy must
+// hold under randomized workloads.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cachesim/cache_policy.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace otac {
+namespace {
+
+struct Op {
+  PhotoId key;
+  std::uint32_t size;
+  std::uint64_t next;  // oracle hint (for Belady)
+};
+
+std::vector<Op> random_workload(std::size_t n, std::size_t universe,
+                                std::uint64_t seed, bool unit_sizes) {
+  Rng rng{seed};
+  const ZipfSampler zipf{universe, 0.9};
+  std::vector<Op> ops(n);
+  // Sizes per key are stable across the workload.
+  std::vector<std::uint32_t> size_of(universe + 1);
+  for (auto& s : size_of) {
+    s = unit_sizes ? 1
+                   : static_cast<std::uint32_t>(rng.uniform_int(500, 200'000));
+  }
+  std::vector<std::vector<std::size_t>> positions(universe + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    ops[i].key = static_cast<PhotoId>(zipf.sample(rng));
+    ops[i].size = size_of[ops[i].key];
+    positions[ops[i].key].push_back(i);
+  }
+  // Oracle next pointers.
+  for (const auto& plist : positions) {
+    for (std::size_t j = 0; j < plist.size(); ++j) {
+      ops[plist[j]].next =
+          j + 1 < plist.size() ? plist[j + 1] : kNeverAgain;
+    }
+  }
+  return ops;
+}
+
+class PolicyProperty : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(PolicyProperty, NeverExceedsCapacityVariableSizes) {
+  constexpr std::uint64_t kCapacity = 1'000'000;
+  const auto policy = make_policy(GetParam(), kCapacity);
+  const auto ops = random_workload(20'000, 2'000, 42, false);
+  for (const Op& op : ops) {
+    policy->set_next_access_hint(op.next);
+    if (!policy->access(op.key, op.size)) {
+      policy->insert(op.key, op.size);
+    }
+    ASSERT_LE(policy->used_bytes(), kCapacity);
+  }
+}
+
+TEST_P(PolicyProperty, ContainsAgreesWithAccess) {
+  constexpr std::uint64_t kCapacity = 500'000;
+  const auto policy = make_policy(GetParam(), kCapacity);
+  const auto ops = random_workload(10'000, 1'000, 7, false);
+  for (const Op& op : ops) {
+    policy->set_next_access_hint(op.next);
+    const bool resident_before = policy->contains(op.key);
+    const bool hit = policy->access(op.key, op.size);
+    ASSERT_EQ(resident_before, hit) << "key " << op.key;
+    if (!hit) {
+      // A successful insert must leave the object resident; a refused
+      // insert must leave no trace.
+      const bool inserted = policy->insert(op.key, op.size);
+      ASSERT_EQ(policy->contains(op.key), inserted) << "key " << op.key;
+    }
+  }
+}
+
+TEST_P(PolicyProperty, OversizedObjectIsRefused) {
+  const auto policy = make_policy(GetParam(), 1'000);
+  policy->set_next_access_hint(5);
+  EXPECT_FALSE(policy->insert(1, 2'000));
+  EXPECT_FALSE(policy->contains(1));
+  EXPECT_EQ(policy->used_bytes(), 0u);
+}
+
+TEST_P(PolicyProperty, DeterministicReplay) {
+  constexpr std::uint64_t kCapacity = 300'000;
+  const auto ops = random_workload(8'000, 800, 11, false);
+  const auto run = [&] {
+    const auto policy = make_policy(GetParam(), kCapacity);
+    std::vector<bool> outcomes;
+    outcomes.reserve(ops.size());
+    for (const Op& op : ops) {
+      policy->set_next_access_hint(op.next);
+      const bool hit = policy->access(op.key, op.size);
+      if (!hit) policy->insert(op.key, op.size);
+      outcomes.push_back(hit);
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_P(PolicyProperty, EvictionCallbackBalancesBytes) {
+  constexpr std::uint64_t kCapacity = 200'000;
+  const auto policy = make_policy(GetParam(), kCapacity);
+  std::uint64_t inserted_bytes = 0;
+  std::uint64_t evicted_bytes = 0;
+  policy->set_eviction_callback(
+      [&](PhotoId, std::uint32_t size) { evicted_bytes += size; });
+  const auto ops = random_workload(15'000, 1'500, 13, false);
+  for (const Op& op : ops) {
+    policy->set_next_access_hint(op.next);
+    if (!policy->access(op.key, op.size)) {
+      if (policy->insert(op.key, op.size)) inserted_bytes += op.size;
+    }
+  }
+  EXPECT_EQ(inserted_bytes - evicted_bytes, policy->used_bytes());
+}
+
+TEST_P(PolicyProperty, ObjectCountMatchesUnitSizeBytes) {
+  constexpr std::uint64_t kCapacity = 100;  // 100 unit-size objects
+  const auto policy = make_policy(GetParam(), kCapacity);
+  const auto ops = random_workload(5'000, 400, 17, true);
+  for (const Op& op : ops) {
+    policy->set_next_access_hint(op.next);
+    if (!policy->access(op.key, op.size)) {
+      policy->insert(op.key, op.size);
+    }
+    ASSERT_EQ(policy->object_count(), policy->used_bytes());
+    ASSERT_LE(policy->object_count(), 100u);
+  }
+}
+
+TEST_P(PolicyProperty, SmallCacheStillFunctions) {
+  const auto policy = make_policy(GetParam(), 1'000);
+  const auto ops = random_workload(3'000, 100, 19, false);
+  std::uint64_t hits = 0;
+  for (const Op& op : ops) {
+    policy->set_next_access_hint(op.next);
+    if (policy->access(op.key, op.size)) {
+      ++hits;
+    } else {
+      policy->insert(op.key, op.size);
+    }
+  }
+  // Nothing to assert beyond survival + sanity.
+  EXPECT_LE(policy->used_bytes(), 1'000u);
+  (void)hits;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyProperty,
+    ::testing::Values(PolicyKind::lru, PolicyKind::fifo, PolicyKind::s3lru,
+                      PolicyKind::arc, PolicyKind::lirs, PolicyKind::lfu,
+                      PolicyKind::belady),
+    [](const ::testing::TestParamInfo<PolicyKind>& info) {
+      return policy_name(info.param);
+    });
+
+TEST(PolicyFactory, NamesMatch) {
+  for (const PolicyKind kind :
+       {PolicyKind::lru, PolicyKind::fifo, PolicyKind::s3lru, PolicyKind::arc,
+        PolicyKind::lirs, PolicyKind::lfu, PolicyKind::belady}) {
+    const auto policy = make_policy(kind, 1000);
+    EXPECT_EQ(policy->name(), policy_name(kind));
+    EXPECT_EQ(policy->capacity_bytes(), 1000u);
+  }
+}
+
+}  // namespace
+}  // namespace otac

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "cachesim/lru.h"
+#include "cachesim/simulator.h"
+#include "trace/trace_generator.h"
+
+namespace otac {
+namespace {
+
+TEST(Warmup, RejectsBadFraction) {
+  WorkloadConfig config;
+  config.num_owners = 100;
+  config.num_photos = 1'000;
+  const Trace trace = TraceGenerator{config}.generate();
+  Simulator sim{trace};
+  EXPECT_THROW(sim.set_warmup_fraction(-0.1), std::invalid_argument);
+  EXPECT_THROW(sim.set_warmup_fraction(1.0), std::invalid_argument);
+}
+
+TEST(Warmup, ExcludesEarlyRequestsFromStats) {
+  WorkloadConfig config;
+  config.num_owners = 500;
+  config.num_photos = 10'000;
+  const Trace trace = TraceGenerator{config}.generate();
+  AlwaysAdmit admission;
+
+  LruCache cold{5'000'000};
+  const CacheStats cold_stats = Simulator{trace}.run(cold, admission);
+
+  LruCache warm{5'000'000};
+  Simulator warm_sim{trace};
+  warm_sim.set_warmup_fraction(0.3);
+  const CacheStats warm_stats = warm_sim.run(warm, admission);
+
+  // Warm measurement counts only 70% of requests...
+  EXPECT_NEAR(static_cast<double>(warm_stats.requests),
+              0.7 * static_cast<double>(cold_stats.requests),
+              2.0);
+  // ...and reports a higher hit rate (no cold-start misses in the window).
+  EXPECT_GT(warm_stats.file_hit_rate(), cold_stats.file_hit_rate());
+  // Accounting identity still holds within the measured window.
+  EXPECT_EQ(warm_stats.hits + warm_stats.insertions + warm_stats.rejected,
+            warm_stats.requests);
+}
+
+TEST(Warmup, ZeroFractionMatchesDefault) {
+  WorkloadConfig config;
+  config.num_owners = 200;
+  config.num_photos = 2'000;
+  const Trace trace = TraceGenerator{config}.generate();
+  AlwaysAdmit admission;
+  LruCache a{1'000'000};
+  LruCache b{1'000'000};
+  const CacheStats default_stats = Simulator{trace}.run(a, admission);
+  Simulator zero_sim{trace};
+  zero_sim.set_warmup_fraction(0.0);
+  const CacheStats zero_stats = zero_sim.run(b, admission);
+  EXPECT_EQ(default_stats.hits, zero_stats.hits);
+  EXPECT_EQ(default_stats.insertions, zero_stats.insertions);
+  EXPECT_EQ(default_stats.evictions, zero_stats.evictions);
+}
+
+}  // namespace
+}  // namespace otac

@@ -1,0 +1,121 @@
+#include "core/classifier_system.h"
+
+#include <gtest/gtest.h>
+
+#include "cachesim/simulator.h"
+#include "trace/trace_generator.h"
+
+namespace otac {
+namespace {
+
+class ClassifierSystemFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadConfig config;
+    config.num_owners = 1'000;
+    config.num_photos = 30'000;
+    trace_ = new Trace{TraceGenerator{config}.generate()};
+    oracle_ = new NextAccessInfo{compute_next_access(*trace_)};
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete oracle_;
+    trace_ = nullptr;
+    oracle_ = nullptr;
+  }
+
+  static ClassifierSystemConfig default_config() {
+    ClassifierSystemConfig cs;
+    cs.m = 3000.0;
+    cs.h = 0.4;
+    cs.p = 0.5;
+    cs.cost_v = 2.0;
+    return cs;
+  }
+
+  static Trace* trace_;
+  static NextAccessInfo* oracle_;
+};
+
+Trace* ClassifierSystemFixture::trace_ = nullptr;
+NextAccessInfo* ClassifierSystemFixture::oracle_ = nullptr;
+
+TEST_F(ClassifierSystemFixture, AdmitsEverythingBeforeFirstModel) {
+  ClassifierSystem system{*trace_, *oracle_, default_config()};
+  EXPECT_FALSE(system.has_model());
+  const Request& r = trace_->requests.front();
+  EXPECT_TRUE(system.admit(0, r, trace_->catalog.photo(r.photo)));
+}
+
+TEST_F(ClassifierSystemFixture, HistoryCapacityFollowsRule) {
+  const ClassifierSystemConfig cs = default_config();
+  ClassifierSystem system{*trace_, *oracle_, cs};
+  EXPECT_EQ(system.history().capacity(),
+            history_table_capacity(cs.m, cs.h, cs.p,
+                                   cs.ota.history_table_factor));
+}
+
+TEST_F(ClassifierSystemFixture, TrainsDailyAtConfiguredHour) {
+  ClassifierSystem system{*trace_, *oracle_, default_config()};
+  // Feed the whole trace through observe (as the simulator would).
+  for (std::uint64_t i = 0; i < trace_->requests.size(); ++i) {
+    const Request& r = trace_->requests[i];
+    system.observe(i, r, trace_->catalog.photo(r.photo), false);
+  }
+  // 9-day trace, training every day at 05:00 from day 0.
+  EXPECT_GE(system.trainings(), 8);
+  EXPECT_TRUE(system.has_model());
+  ASSERT_NE(system.model(), nullptr);
+  EXPECT_LE(system.model()->split_count(), 30u);
+}
+
+TEST_F(ClassifierSystemFixture, EndToEndRejectsSubstantialShareOfMisses) {
+  ClassifierSystemConfig cs = default_config();
+  ClassifierSystem system{*trace_, *oracle_, cs};
+  const auto policy = make_policy(PolicyKind::lru, 50'000'000);
+  Simulator sim{*trace_};
+  const CacheStats stats = sim.run(*policy, system);
+  // After day-0 training, a large share of one-time misses must be barred.
+  EXPECT_GT(stats.rejected, stats.requests / 20);
+  // And the classifier's daily metrics must exist for most days.
+  EXPECT_GE(system.daily_metrics().size(), 7u);
+}
+
+TEST_F(ClassifierSystemFixture, DailyMetricsAreReasonable) {
+  ClassifierSystemConfig cs = default_config();
+  ClassifierSystem system{*trace_, *oracle_, cs};
+  const auto policy = make_policy(PolicyKind::lru, 50'000'000);
+  Simulator sim{*trace_};
+  (void)sim.run(*policy, system);
+  // Skip day 0 (no model for the first 5 hours -> no admit decisions
+  // recorded before the model exists is fine; after training they are).
+  double worst_accuracy = 1.0;
+  std::uint64_t decisions = 0;
+  for (const DayClassifierMetrics& day : system.daily_metrics()) {
+    if (day.day == 0) continue;
+    worst_accuracy = std::min(worst_accuracy, day.raw.accuracy());
+    decisions += day.raw.total();
+  }
+  EXPECT_GT(decisions, 1000u);
+  EXPECT_GT(worst_accuracy, 0.55);  // must beat coin flipping every day
+}
+
+TEST_F(ClassifierSystemFixture, HistoryTableRectifies) {
+  ClassifierSystemConfig cs = default_config();
+  ClassifierSystem system{*trace_, *oracle_, cs};
+  const auto policy = make_policy(PolicyKind::lru, 20'000'000);
+  Simulator sim{*trace_};
+  (void)sim.run(*policy, system);
+  // Corrected decisions should flip some raw one-time verdicts: the number
+  // of corrected positives must not exceed raw positives.
+  std::uint64_t raw_positive = 0;
+  std::uint64_t corrected_positive = 0;
+  for (const DayClassifierMetrics& day : system.daily_metrics()) {
+    raw_positive += day.raw.tp + day.raw.fp;
+    corrected_positive += day.corrected.tp + day.corrected.fp;
+  }
+  EXPECT_LE(corrected_positive, raw_positive);
+}
+
+}  // namespace
+}  // namespace otac

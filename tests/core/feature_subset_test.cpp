@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cachesim/simulator.h"
+#include "core/classifier_system.h"
+#include "trace/trace_generator.h"
+
+namespace otac {
+namespace {
+
+Trace small_trace() {
+  WorkloadConfig config;
+  config.num_owners = 800;
+  config.num_photos = 20'000;
+  return TraceGenerator{config}.generate();
+}
+
+CacheStats run_with_subset(const Trace& trace, const NextAccessInfo& oracle,
+                           std::vector<std::size_t> subset,
+                           ClassifierSystem** out = nullptr) {
+  ClassifierSystemConfig cs;
+  cs.m = 2'000.0;
+  cs.h = 0.4;
+  cs.p = 0.5;
+  cs.ota.feature_subset = std::move(subset);
+  static ClassifierSystem* leaked = nullptr;
+  auto system = std::make_unique<ClassifierSystem>(trace, oracle, cs);
+  const auto policy = make_policy(PolicyKind::lru, 30'000'000);
+  Simulator sim{trace};
+  const CacheStats stats = sim.run(*policy, *system);
+  if (out != nullptr) {
+    delete leaked;
+    leaked = system.release();
+    *out = leaked;
+  }
+  return stats;
+}
+
+TEST(FeatureSubset, SubsetModelTrainsAndFilters) {
+  const Trace trace = small_trace();
+  const NextAccessInfo oracle = compute_next_access(trace);
+  ClassifierSystem* system = nullptr;
+  const CacheStats stats = run_with_subset(
+      trace, oracle,
+      {FeatureExtractor::kRecency, FeatureExtractor::kAvgOwnerViews},
+      &system);
+  ASSERT_NE(system, nullptr);
+  EXPECT_TRUE(system->has_model());
+  EXPECT_GT(stats.rejected, stats.requests / 20);
+  // Per-day accuracy still beats chance with just two features.
+  for (const auto& day : system->daily_metrics()) {
+    if (day.day == 0) continue;
+    EXPECT_GT(day.raw.accuracy(), 0.55) << "day " << day.day;
+  }
+}
+
+TEST(FeatureSubset, EmptySubsetEqualsAllFeatures) {
+  const Trace trace = small_trace();
+  const NextAccessInfo oracle = compute_next_access(trace);
+  const CacheStats all = run_with_subset(trace, oracle, {});
+  // Identity check: explicit full subset behaves exactly like empty.
+  std::vector<std::size_t> full(FeatureExtractor::kFeatureCount);
+  std::iota(full.begin(), full.end(), 0);
+  const CacheStats explicit_full = run_with_subset(trace, oracle, full);
+  EXPECT_EQ(all.hits, explicit_full.hits);
+  EXPECT_EQ(all.insertions, explicit_full.insertions);
+  EXPECT_EQ(all.rejected, explicit_full.rejected);
+}
+
+TEST(FeatureSubset, WeakSubsetFiltersLess) {
+  const Trace trace = small_trace();
+  const NextAccessInfo oracle = compute_next_access(trace);
+  const CacheStats strong = run_with_subset(
+      trace, oracle,
+      {FeatureExtractor::kRecency, FeatureExtractor::kAvgOwnerViews});
+  const CacheStats weak = run_with_subset(
+      trace, oracle,
+      {FeatureExtractor::kTerminal, FeatureExtractor::kAccessHour});
+  // The weak slice must not out-hit the strong one.
+  EXPECT_LE(weak.file_hit_rate(), strong.file_hit_rate() + 0.01);
+}
+
+}  // namespace
+}  // namespace otac

@@ -1,0 +1,70 @@
+#include "core/history_table.h"
+
+#include <gtest/gtest.h>
+
+namespace otac {
+namespace {
+
+TEST(HistoryTable, RectifiesWithinM) {
+  HistoryTable table{10};
+  table.record(1, 100);
+  EXPECT_TRUE(table.contains(1));
+  EXPECT_TRUE(table.rectify(1, 150, /*m=*/100));  // distance 50 < 100
+  EXPECT_FALSE(table.contains(1));                // consumed
+  EXPECT_EQ(table.rectified_count(), 1u);
+}
+
+TEST(HistoryTable, BeyondMIsNotRectified) {
+  HistoryTable table{10};
+  table.record(1, 100);
+  EXPECT_FALSE(table.rectify(1, 300, /*m=*/100));  // distance 200 >= 100
+  EXPECT_FALSE(table.contains(1));  // entry still removed (stale verdict)
+  EXPECT_EQ(table.rectified_count(), 0u);
+}
+
+TEST(HistoryTable, UnknownPhotoMisses) {
+  HistoryTable table{10};
+  EXPECT_FALSE(table.rectify(42, 10, 100));
+}
+
+TEST(HistoryTable, FifoEviction) {
+  HistoryTable table{3};
+  table.record(1, 10);
+  table.record(2, 11);
+  table.record(3, 12);
+  table.record(4, 13);  // evicts 1 (oldest)
+  EXPECT_FALSE(table.contains(1));
+  EXPECT_TRUE(table.contains(2));
+  EXPECT_TRUE(table.contains(4));
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(HistoryTable, RerecordRefreshesPosition) {
+  HistoryTable table{2};
+  table.record(1, 10);
+  table.record(2, 11);
+  table.record(1, 12);  // refresh: 1 becomes newest
+  table.record(3, 13);  // evicts 2, not 1
+  EXPECT_TRUE(table.contains(1));
+  EXPECT_FALSE(table.contains(2));
+  // The refreshed position is used for the distance check.
+  EXPECT_TRUE(table.rectify(1, 13, /*m=*/5));  // 13-12=1 < 5
+}
+
+TEST(HistoryTable, ZeroCapacityDisables) {
+  HistoryTable table{0};
+  table.record(1, 10);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.rectify(1, 11, 100));
+}
+
+TEST(HistoryTable, CapacityRule) {
+  // M(1-h)p * factor (§4.4.2).
+  EXPECT_EQ(history_table_capacity(10'000, 0.5, 0.4, 0.05), 100u);
+  EXPECT_EQ(history_table_capacity(0.0, 0.5, 0.4, 0.05), 0u);
+  EXPECT_EQ(history_table_capacity(10'000, 1.0, 0.4, 0.05), 0u);
+  EXPECT_EQ(history_table_capacity(10, 0.5, 0.1, 0.05), 1u);  // floor at 1
+}
+
+}  // namespace
+}  // namespace otac

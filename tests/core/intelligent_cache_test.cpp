@@ -1,0 +1,160 @@
+#include "core/intelligent_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_generator.h"
+#include "trace/trace_stats.h"
+
+namespace otac {
+namespace {
+
+class IntelligentCacheFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadConfig config;
+    config.num_owners = 1'000;
+    config.num_photos = 30'000;
+    trace_ = new Trace{TraceGenerator{config}.generate()};
+    system_ = new IntelligentCache{*trace_};
+    // ~1.5% of the dataset, comparable to the paper's small-cache regime.
+    capacity_ = static_cast<std::uint64_t>(system_->total_object_bytes() *
+                                           0.015);
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    delete trace_;
+    system_ = nullptr;
+    trace_ = nullptr;
+  }
+
+  static RunConfig config_for(PolicyKind kind, AdmissionMode mode) {
+    RunConfig config;
+    config.policy = kind;
+    config.capacity_bytes = capacity_;
+    config.mode = mode;
+    return config;
+  }
+
+  static Trace* trace_;
+  static IntelligentCache* system_;
+  static std::uint64_t capacity_;
+};
+
+Trace* IntelligentCacheFixture::trace_ = nullptr;
+IntelligentCache* IntelligentCacheFixture::system_ = nullptr;
+std::uint64_t IntelligentCacheFixture::capacity_ = 0;
+
+TEST_F(IntelligentCacheFixture, RejectsZeroCapacity) {
+  RunConfig config = config_for(PolicyKind::lru, AdmissionMode::original);
+  config.capacity_bytes = 0;
+  EXPECT_THROW((void)system_->run(config), std::invalid_argument);
+}
+
+TEST_F(IntelligentCacheFixture, HitRateEstimateIsMemoizedAndSane) {
+  const double h1 = system_->estimate_hit_rate(capacity_);
+  const double h2 = system_->estimate_hit_rate(capacity_);
+  EXPECT_DOUBLE_EQ(h1, h2);
+  EXPECT_GT(h1, 0.0);
+  EXPECT_LT(h1, 1.0);
+}
+
+TEST_F(IntelligentCacheFixture, ProposalBeatsOriginalForLru) {
+  const RunResult original =
+      system_->run(config_for(PolicyKind::lru, AdmissionMode::original));
+  const RunResult proposal =
+      system_->run(config_for(PolicyKind::lru, AdmissionMode::proposal));
+
+  // The headline claims: hit rate up, SSD writes sharply down.
+  EXPECT_GT(proposal.stats.file_hit_rate(), original.stats.file_hit_rate());
+  EXPECT_LT(proposal.stats.insertions, original.stats.insertions / 2);
+  EXPECT_LT(proposal.mean_latency_us, original.mean_latency_us);
+  EXPECT_GE(proposal.trainings, 8);
+}
+
+TEST_F(IntelligentCacheFixture, IdealBeatsProposal) {
+  const RunResult proposal =
+      system_->run(config_for(PolicyKind::lru, AdmissionMode::proposal));
+  const RunResult ideal =
+      system_->run(config_for(PolicyKind::lru, AdmissionMode::ideal));
+  EXPECT_GE(ideal.stats.file_hit_rate(),
+            proposal.stats.file_hit_rate() - 0.01);
+  EXPECT_LT(ideal.stats.insertions, proposal.stats.insertions);
+}
+
+TEST_F(IntelligentCacheFixture, BeladyIsUpperBound) {
+  const RunResult belady =
+      system_->run(config_for(PolicyKind::belady, AdmissionMode::original));
+  for (const PolicyKind kind : {PolicyKind::lru, PolicyKind::fifo,
+                                PolicyKind::arc, PolicyKind::lirs}) {
+    const RunResult run =
+        system_->run(config_for(kind, AdmissionMode::original));
+    EXPECT_GE(belady.stats.file_hit_rate() + 1e-9,
+              run.stats.file_hit_rate())
+        << policy_name(kind);
+  }
+}
+
+TEST_F(IntelligentCacheFixture, BypassHasNoHits) {
+  const RunResult bypass =
+      system_->run(config_for(PolicyKind::lru, AdmissionMode::bypass));
+  EXPECT_EQ(bypass.stats.hits, 0u);
+  EXPECT_EQ(bypass.stats.insertions, 0u);
+}
+
+TEST_F(IntelligentCacheFixture, LirsCriteriaIsScaled) {
+  RunConfig lru_config = config_for(PolicyKind::lru, AdmissionMode::ideal);
+  RunConfig lirs_config = config_for(PolicyKind::lirs, AdmissionMode::ideal);
+  const RunResult lru = system_->run(lru_config);
+  const RunResult lirs = system_->run(lirs_config);
+  EXPECT_NEAR(lirs.criteria.m, lru.criteria.m * lirs_config.lirs_lir_fraction,
+              1e-6 * lru.criteria.m);
+}
+
+TEST_F(IntelligentCacheFixture, CostScheduleSwitchesWithCapacity) {
+  OtaConfig ota;
+  const double total = system_->total_object_bytes();
+  const auto small = static_cast<std::uint64_t>(
+      total * ota.cost_switch_capacity_fraction * 0.5);
+  const auto large = static_cast<std::uint64_t>(
+      total * ota.cost_switch_capacity_fraction * 2.0);
+  EXPECT_DOUBLE_EQ(system_->cost_v_for(small, ota), ota.cost_v_small);
+  EXPECT_DOUBLE_EQ(system_->cost_v_for(large, ota), ota.cost_v_large);
+}
+
+TEST_F(IntelligentCacheFixture, LatencyFollowsEquationThree) {
+  const RunResult original =
+      system_->run(config_for(PolicyKind::lru, AdmissionMode::original));
+  const LatencyModel model{LatencyConfig{}};
+  EXPECT_NEAR(original.mean_latency_us,
+              model.mean_access_time_original_us(
+                  original.stats.file_hit_rate()),
+              1e-9);
+}
+
+TEST_F(IntelligentCacheFixture, ProposalWorksForEveryPolicy) {
+  for (const PolicyKind kind : {PolicyKind::lru, PolicyKind::fifo,
+                                PolicyKind::s3lru, PolicyKind::arc,
+                                PolicyKind::lirs}) {
+    const RunResult original =
+        system_->run(config_for(kind, AdmissionMode::original));
+    const RunResult proposal =
+        system_->run(config_for(kind, AdmissionMode::proposal));
+    // Write reduction is the universal claim (Figs. 8-9).
+    EXPECT_LT(proposal.stats.insertions, original.stats.insertions)
+        << policy_name(kind);
+    // Hit rate must not collapse.
+    EXPECT_GT(proposal.stats.file_hit_rate(),
+              original.stats.file_hit_rate() - 0.02)
+        << policy_name(kind);
+  }
+}
+
+TEST(AdmissionModeName, AllNamed) {
+  EXPECT_EQ(admission_mode_name(AdmissionMode::original), "Original");
+  EXPECT_EQ(admission_mode_name(AdmissionMode::proposal), "Proposal");
+  EXPECT_EQ(admission_mode_name(AdmissionMode::ideal), "Ideal");
+  EXPECT_EQ(admission_mode_name(AdmissionMode::bypass), "Bypass");
+}
+
+}  // namespace
+}  // namespace otac

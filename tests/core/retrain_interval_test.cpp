@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "cachesim/simulator.h"
+#include "core/classifier_system.h"
+#include "trace/trace_generator.h"
+
+namespace otac {
+namespace {
+
+Trace small_trace() {
+  WorkloadConfig config;
+  config.num_owners = 800;
+  config.num_photos = 20'000;
+  return TraceGenerator{config}.generate();
+}
+
+TEST(RetrainInterval, IntervalModeTrainsMoreOften) {
+  const Trace trace = small_trace();
+  const NextAccessInfo oracle = compute_next_access(trace);
+
+  const auto run_with = [&](double interval_hours) {
+    ClassifierSystemConfig cs;
+    cs.m = 2'000.0;
+    cs.h = 0.4;
+    cs.p = 0.5;
+    cs.ota.retrain_interval_hours = interval_hours;
+    ClassifierSystem system{trace, oracle, cs};
+    const auto policy = make_policy(PolicyKind::lru, 30'000'000);
+    Simulator sim{trace};
+    (void)sim.run(*policy, system);
+    return system.trainings();
+  };
+
+  const int daily = run_with(0.0);
+  const int six_hourly = run_with(6.0);
+  EXPECT_GE(daily, 8);              // 9-day trace
+  EXPECT_GT(six_hourly, 2 * daily); // ~4x more frequent
+}
+
+TEST(RetrainInterval, FrequentRetrainingDoesNotHurtAccuracy) {
+  const Trace trace = small_trace();
+  const NextAccessInfo oracle = compute_next_access(trace);
+
+  const auto mean_accuracy = [&](double interval_hours) {
+    ClassifierSystemConfig cs;
+    cs.m = 2'000.0;
+    cs.h = 0.4;
+    cs.p = 0.5;
+    cs.ota.retrain_interval_hours = interval_hours;
+    ClassifierSystem system{trace, oracle, cs};
+    const auto policy = make_policy(PolicyKind::lru, 30'000'000);
+    Simulator sim{trace};
+    (void)sim.run(*policy, system);
+    double total = 0.0;
+    std::size_t days = 0;
+    for (const auto& day : system.daily_metrics()) {
+      if (day.day == 0) continue;
+      total += day.raw.accuracy();
+      ++days;
+    }
+    return days ? total / static_cast<double>(days) : 0.0;
+  };
+
+  const double daily = mean_accuracy(0.0);
+  const double frequent = mean_accuracy(6.0);
+  EXPECT_GT(frequent, daily - 0.05);
+}
+
+}  // namespace
+}  // namespace otac

@@ -1,0 +1,142 @@
+#include "core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_generator.h"
+
+namespace otac {
+namespace {
+
+Trace small_trace() {
+  WorkloadConfig config;
+  config.num_owners = 500;
+  config.num_photos = 10'000;
+  return TraceGenerator{config}.generate();
+}
+
+TEST(TrainerLabel, TruncatedLabels) {
+  // Sequence 0 1 0: next[0] = 2.
+  Trace trace;
+  std::vector<PhotoMeta> photos(2);
+  for (auto& p : photos) p.size_bytes = 10;
+  trace.catalog = PhotoCatalog{std::move(photos), {OwnerMeta{}}};
+  for (const PhotoId id : {0u, 1u, 0u}) {
+    Request r;
+    r.photo = id;
+    trace.requests.push_back(r);
+  }
+  const NextAccessInfo oracle = compute_next_access(trace);
+  // Known until 3 (everything): distance 2 <= m=5 -> non-one-time.
+  EXPECT_EQ(DailyTrainer::label_of(oracle, 0, 5.0, 3), 0);
+  // Known until 2: the reaccess at index 2 hasn't been seen yet.
+  EXPECT_EQ(DailyTrainer::label_of(oracle, 0, 5.0, 2), 1);
+  // m too small: one-time even with full knowledge.
+  EXPECT_EQ(DailyTrainer::label_of(oracle, 0, 1.0, 3), 1);
+  // Photo 1 never reaccessed.
+  EXPECT_EQ(DailyTrainer::label_of(oracle, 1, 100.0, 3), 1);
+}
+
+TEST(Trainer, SamplingHonoursPerMinuteBudget) {
+  const Trace trace = small_trace();
+  const NextAccessInfo oracle = compute_next_access(trace);
+  OtaConfig config;
+  config.sample_records_per_minute = 2;
+  DailyTrainer trainer{oracle, config, 100.0, 2.0};
+  // 10 requests within one minute: only 2 kept.
+  std::array<float, FeatureExtractor::kFeatureCount> row{};
+  for (int i = 0; i < 10; ++i) {
+    Request r;
+    r.time = SimTime{30 + i};
+    trainer.offer(static_cast<std::uint64_t>(i), r, row);
+  }
+  EXPECT_EQ(trainer.sample_count(), 2u);
+  // Next minute opens a fresh budget.
+  Request r;
+  r.time = SimTime{65};
+  trainer.offer(10, r, row);
+  EXPECT_EQ(trainer.sample_count(), 3u);
+}
+
+TEST(Trainer, TrainsUsableModelOnRealTrace) {
+  const Trace trace = small_trace();
+  const NextAccessInfo oracle = compute_next_access(trace);
+  OtaConfig config;
+  DailyTrainer trainer{oracle, config, /*m=*/2000.0, /*cost_v=*/2.0};
+
+  FeatureExtractor fx{trace.catalog};
+  std::array<float, FeatureExtractor::kFeatureCount> row{};
+  const std::uint64_t cutoff = trace.requests.size() / 2;
+  for (std::uint64_t i = 0; i < cutoff; ++i) {
+    const Request& r = trace.requests[i];
+    const PhotoMeta& photo = trace.catalog.photo(r.photo);
+    fx.extract(r, photo, row);
+    trainer.offer(i, r, row);
+    fx.observe(r, photo);
+  }
+  ASSERT_GT(trainer.sample_count(), 500u);
+  const auto tree = trainer.train(cutoff, trace.requests[cutoff - 1].time);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_LE(tree->split_count(), config.tree_max_splits);
+  EXPECT_GE(tree->split_count(), 1u);
+
+  // The model must beat the trivial always-one-time baseline on
+  // ground-truth labels of the second half.
+  std::uint64_t correct = 0;
+  std::uint64_t positive = 0;
+  std::uint64_t total = 0;
+  FeatureExtractor fx2{trace.catalog};
+  for (std::uint64_t i = 0; i < trace.requests.size(); ++i) {
+    const Request& r = trace.requests[i];
+    const PhotoMeta& photo = trace.catalog.photo(r.photo);
+    if (i >= cutoff) {
+      fx2.extract(r, photo, row);
+      const int truth =
+          DailyTrainer::label_of(oracle, i, 2000.0, trace.requests.size());
+      const int predicted = tree->predict(row);
+      correct += (predicted == truth);
+      positive += (truth == 1);
+      ++total;
+    }
+    fx2.observe(r, photo);
+  }
+  const double accuracy = static_cast<double>(correct) / total;
+  const double base_rate =
+      std::max(static_cast<double>(positive) / total,
+               1.0 - static_cast<double>(positive) / total);
+  EXPECT_GT(accuracy, base_rate + 0.02);
+}
+
+TEST(Trainer, RefusesTinySampleSets) {
+  const Trace trace = small_trace();
+  const NextAccessInfo oracle = compute_next_access(trace);
+  DailyTrainer trainer{oracle, OtaConfig{}, 100.0, 2.0};
+  std::array<float, FeatureExtractor::kFeatureCount> row{};
+  for (int i = 0; i < 10; ++i) {
+    Request r;
+    r.time = SimTime{i * 61};  // one per minute
+    trainer.offer(static_cast<std::uint64_t>(i), r, row);
+  }
+  EXPECT_FALSE(trainer.train(10, SimTime{700}).has_value());
+}
+
+TEST(Trainer, WindowDropsOldSamples) {
+  const Trace trace = small_trace();
+  const NextAccessInfo oracle = compute_next_access(trace);
+  OtaConfig config;
+  config.training_window_days = 1.0;
+  DailyTrainer trainer{oracle, config, 100.0, 2.0};
+  std::array<float, FeatureExtractor::kFeatureCount> row{};
+  // 100 samples two days ago, spread one per minute.
+  for (int i = 0; i < 100; ++i) {
+    Request r;
+    r.time = SimTime{i * 61};
+    trainer.offer(static_cast<std::uint64_t>(i), r, row);
+  }
+  EXPECT_EQ(trainer.sample_count(), 100u);
+  // Training "now" = 3 days later: all samples fall outside the window.
+  EXPECT_FALSE(trainer.train(200, SimTime{3 * kSecondsPerDay}).has_value());
+  EXPECT_EQ(trainer.sample_count(), 0u);
+}
+
+}  // namespace
+}  // namespace otac

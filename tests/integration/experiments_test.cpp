@@ -1,0 +1,180 @@
+// Integration tests over the experiments layer: the sweep engine, its CSV
+// cache, the Table-1 runner, and the paper's end-to-end orderings at small
+// scale.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "experiments/capacity_sweep.h"
+#include "experiments/classifier_experiments.h"
+#include "experiments/workloads.h"
+
+namespace otac {
+namespace {
+
+class ExperimentsFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    setenv("OTAC_CACHE_DIR", "", 1);  // no disk cache inside tests
+    trace_ = new Trace{load_bench_trace(0.08, 7)};
+    info_ = new BenchWorkloadInfo{describe(*trace_, 0.08, 7)};
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete info_;
+    unsetenv("OTAC_CACHE_DIR");
+  }
+
+  static SweepConfig small_sweep() {
+    SweepConfig config;
+    config.paper_gb = {4.0, 16.0};
+    config.policies = {PolicyKind::lru, PolicyKind::fifo};
+    return config;
+  }
+
+  static Trace* trace_;
+  static BenchWorkloadInfo* info_;
+};
+
+Trace* ExperimentsFixture::trace_ = nullptr;
+BenchWorkloadInfo* ExperimentsFixture::info_ = nullptr;
+
+TEST_F(ExperimentsFixture, WorkloadDescribe) {
+  EXPECT_EQ(info_->seed, 7u);
+  EXPECT_GT(info_->requests, 10'000u);
+  EXPECT_GT(info_->photos, 10'000u);
+  EXPECT_GT(info_->mean_photo_size, 1'000.0);
+}
+
+TEST_F(ExperimentsFixture, MapPaperGbIsProportional) {
+  const double total = info_->total_object_bytes;
+  EXPECT_EQ(map_paper_gb(4.0, total), 2 * map_paper_gb(2.0, total));
+  EXPECT_NEAR(static_cast<double>(map_paper_gb(450.0, total)), total,
+              total * 1e-9);
+}
+
+TEST_F(ExperimentsFixture, SweepProducesAllCells) {
+  const SweepConfig config = small_sweep();
+  const SweepResult sweep = run_capacity_sweep(*trace_, config, *info_);
+  // 2 capacities x (2 policies x 3 modes + belady) = 14 cells.
+  EXPECT_EQ(sweep.cells.size(), 14u);
+  for (const double gb : config.paper_gb) {
+    for (const PolicyKind policy : config.policies) {
+      for (const AdmissionMode mode : config.modes) {
+        EXPECT_TRUE(sweep.find(policy, mode, gb).has_value())
+            << policy_name(policy) << "/" << admission_mode_name(mode) << "@"
+            << gb;
+      }
+    }
+    EXPECT_TRUE(
+        sweep.find(PolicyKind::belady, AdmissionMode::original, gb).has_value());
+  }
+}
+
+TEST_F(ExperimentsFixture, SweepOrderingsMatchPaper) {
+  const SweepConfig config = small_sweep();
+  const SweepResult sweep = run_capacity_sweep(*trace_, config, *info_);
+  for (const double gb : config.paper_gb) {
+    const auto belady =
+        *sweep.find(PolicyKind::belady, AdmissionMode::original, gb);
+    for (const PolicyKind policy : config.policies) {
+      const auto original = *sweep.find(policy, AdmissionMode::original, gb);
+      const auto proposal = *sweep.find(policy, AdmissionMode::proposal, gb);
+      const auto ideal = *sweep.find(policy, AdmissionMode::ideal, gb);
+      // Hit-rate ordering: Belady >= Ideal >= Proposal >= Original (small
+      // tolerance for the proposal's learning noise).
+      EXPECT_GE(belady.file_hit_rate + 1e-9, ideal.file_hit_rate);
+      EXPECT_GE(ideal.file_hit_rate + 0.01, proposal.file_hit_rate);
+      EXPECT_GT(proposal.file_hit_rate, original.file_hit_rate - 0.005);
+      // Writes: Proposal and Ideal write far less than Original.
+      EXPECT_LT(proposal.file_write_rate, 0.6 * original.file_write_rate);
+      EXPECT_LT(ideal.file_write_rate, proposal.file_write_rate + 0.01);
+      // Latency consistent with hit rates (3 ms misses dominate).
+      EXPECT_LT(proposal.latency_us, original.latency_us + 1.0);
+    }
+  }
+}
+
+TEST_F(ExperimentsFixture, SweepCsvRoundTrip) {
+  const SweepConfig config = small_sweep();
+  const SweepResult sweep = run_capacity_sweep(*trace_, config, *info_);
+  const std::string csv = sweep_to_csv(sweep);
+  const auto loaded = sweep_from_csv(csv);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->cells.size(), sweep.cells.size());
+  for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+    const SweepCell& a = sweep.cells[i];
+    const SweepCell& b = loaded->cells[i];
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.mode, b.mode);
+    EXPECT_DOUBLE_EQ(a.paper_gb, b.paper_gb);
+    EXPECT_EQ(a.capacity_bytes, b.capacity_bytes);
+    EXPECT_NEAR(a.file_hit_rate, b.file_hit_rate, 1e-9);
+    EXPECT_NEAR(a.byte_write_rate, b.byte_write_rate, 1e-9);
+    EXPECT_EQ(a.insertions, b.insertions);
+  }
+}
+
+TEST_F(ExperimentsFixture, SweepCsvRejectsGarbage) {
+  EXPECT_FALSE(sweep_from_csv("").has_value());
+  EXPECT_FALSE(sweep_from_csv("random text\n1,2,3\n").has_value());
+  EXPECT_FALSE(sweep_from_csv("policy,mode,paper_gb\n1,2\n").has_value());
+}
+
+TEST_F(ExperimentsFixture, ClassifierDatasetIsSampledAndLabeled) {
+  const NextAccessInfo oracle = compute_next_access(*trace_);
+  const ml::Dataset data =
+      build_classifier_dataset(*trace_, oracle, 5'000.0, 100);
+  EXPECT_GT(data.num_rows(), 1'000u);
+  EXPECT_LE(data.num_rows(), trace_->requests.size());
+  EXPECT_EQ(data.num_features(), FeatureExtractor::kFeatureCount);
+  const double positive_rate = data.positive_weight() / data.total_weight();
+  EXPECT_GT(positive_rate, 0.05);
+  EXPECT_LT(positive_rate, 0.95);
+}
+
+TEST_F(ExperimentsFixture, Table1RunnerRanksTreeHighly) {
+  const NextAccessInfo oracle = compute_next_access(*trace_);
+  const ml::Dataset data =
+      build_classifier_dataset(*trace_, oracle, 5'000.0, 100);
+  Table1Config config;
+  config.max_rows = 6'000;
+  const auto rows = run_table1(data, config);
+  ASSERT_EQ(rows.size(), 7u);
+  double tree_accuracy = 0.0;
+  double best_accuracy = 0.0;
+  for (const auto& row : rows) {
+    EXPECT_GT(row.metrics.accuracy, 0.5) << row.algorithm;
+    EXPECT_GT(row.metrics.auc, 0.5) << row.algorithm;
+    if (row.algorithm == "Decision Tree") tree_accuracy = row.metrics.accuracy;
+    best_accuracy = std::max(best_accuracy, row.metrics.accuracy);
+  }
+  // The deployment argument: the tree is within a whisker of the best.
+  EXPECT_GT(tree_accuracy, best_accuracy - 0.02);
+  EXPECT_GT(tree_accuracy, 0.8);  // the paper's ">80% accuracy" claim
+}
+
+TEST_F(ExperimentsFixture, TreeFactsMatchPaperRegime) {
+  const NextAccessInfo oracle = compute_next_access(*trace_);
+  const ml::Dataset data =
+      build_classifier_dataset(*trace_, oracle, 5'000.0, 100);
+  const TreeConfigFacts facts = tree_config_facts(data, 30);
+  EXPECT_LE(facts.splits, 30u);
+  EXPECT_GE(facts.splits, 5u);
+  EXPECT_LE(facts.height, 12u);
+  EXPECT_LE(facts.mean_comparisons, static_cast<double>(facts.height));
+}
+
+TEST_F(ExperimentsFixture, DailyClassificationCoversMostDays) {
+  const auto days = run_daily_classification(
+      *trace_, PolicyKind::lru,
+      map_paper_gb(10.0, info_->total_object_bytes));
+  EXPECT_GE(days.size(), 7u);
+  for (const auto& day : days) {
+    if (day.day == 0) continue;  // pre-model day
+    EXPECT_GT(day.raw.accuracy(), 0.5) << "day " << day.day;
+  }
+}
+
+}  // namespace
+}  // namespace otac

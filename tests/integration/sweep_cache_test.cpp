@@ -1,0 +1,114 @@
+// Disk-cache behaviour of the experiment layer: a second load must hit the
+// cache (identical results, no recomputation) and corrupt cache files must
+// be regenerated rather than trusted.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "experiments/capacity_sweep.h"
+#include "experiments/workloads.h"
+
+namespace otac {
+namespace {
+
+class SweepCacheFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("otac_sweep_cache_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    setenv("OTAC_CACHE_DIR", dir_.c_str(), 1);
+  }
+  void TearDown() override {
+    unsetenv("OTAC_CACHE_DIR");
+    std::filesystem::remove_all(dir_);
+  }
+
+  static SweepConfig tiny_sweep() {
+    SweepConfig config;
+    config.paper_gb = {8.0};
+    config.policies = {PolicyKind::lru};
+    config.include_belady = false;
+    return config;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SweepCacheFixture, SecondLoadHitsCacheAndMatches) {
+  const Trace trace = load_bench_trace(0.05, 3);
+  const BenchWorkloadInfo info = describe(trace, 0.05, 3);
+  const SweepConfig config = tiny_sweep();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const SweepResult first = load_or_run_sweep(trace, config, info);
+  const auto compute_time = std::chrono::steady_clock::now() - t0;
+
+  // One CSV must now exist in the cache dir.
+  std::size_t csv_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    csv_files += entry.path().extension() == ".csv";
+  }
+  EXPECT_EQ(csv_files, 1u);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  const SweepResult second = load_or_run_sweep(trace, config, info);
+  const auto cached_time = std::chrono::steady_clock::now() - t1;
+
+  ASSERT_EQ(second.cells.size(), first.cells.size());
+  for (std::size_t i = 0; i < first.cells.size(); ++i) {
+    EXPECT_NEAR(second.cells[i].file_hit_rate, first.cells[i].file_hit_rate,
+                1e-9);
+    EXPECT_EQ(second.cells[i].insertions, first.cells[i].insertions);
+  }
+  EXPECT_LT(cached_time, compute_time / 2);
+}
+
+TEST_F(SweepCacheFixture, DifferentConfigGetsDifferentCacheEntry) {
+  const Trace trace = load_bench_trace(0.05, 3);
+  const BenchWorkloadInfo info = describe(trace, 0.05, 3);
+  (void)load_or_run_sweep(trace, tiny_sweep(), info);
+  SweepConfig other = tiny_sweep();
+  other.paper_gb = {4.0};
+  (void)load_or_run_sweep(trace, other, info);
+  std::size_t csv_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    csv_files += entry.path().extension() == ".csv";
+  }
+  EXPECT_EQ(csv_files, 2u);
+}
+
+TEST_F(SweepCacheFixture, CorruptCacheIsRegenerated) {
+  const Trace trace = load_bench_trace(0.05, 3);
+  const BenchWorkloadInfo info = describe(trace, 0.05, 3);
+  const SweepConfig config = tiny_sweep();
+  const SweepResult first = load_or_run_sweep(trace, config, info);
+
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".csv") {
+      std::ofstream file(entry.path(), std::ios::trunc);
+      file << "garbage";
+    }
+  }
+  const SweepResult regenerated = load_or_run_sweep(trace, config, info);
+  ASSERT_EQ(regenerated.cells.size(), first.cells.size());
+  EXPECT_NEAR(regenerated.cells[0].file_hit_rate,
+              first.cells[0].file_hit_rate, 1e-9);
+}
+
+TEST_F(SweepCacheFixture, TraceCacheRoundTrips) {
+  const Trace first = load_bench_trace(0.05, 9);
+  // Second call must load the cached binary and agree exactly.
+  const Trace second = load_bench_trace(0.05, 9);
+  ASSERT_EQ(second.requests.size(), first.requests.size());
+  for (std::size_t i = 0; i < first.requests.size(); i += 997) {
+    ASSERT_EQ(second.requests[i].photo, first.requests[i].photo);
+    ASSERT_EQ(second.requests[i].time.seconds, first.requests[i].time.seconds);
+  }
+}
+
+}  // namespace
+}  // namespace otac

@@ -1,0 +1,64 @@
+#include "ml/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/decision_tree.h"
+#include "ml/naive_bayes.h"
+#include "tests/ml/test_data.h"
+
+namespace otac::ml {
+namespace {
+
+ClassifierFactory tree_factory() {
+  return [] { return std::make_unique<DecisionTree>(); };
+}
+
+TEST(CrossValidate, MetricsOnSeparableData) {
+  const Dataset data = testing::gaussian_blobs(2000, 3, 0.5, 42);
+  Rng rng{1};
+  const CvMetrics metrics = cross_validate(data, tree_factory(), 5, rng);
+  EXPECT_GT(metrics.accuracy, 0.93);
+  EXPECT_GT(metrics.precision, 0.9);
+  EXPECT_GT(metrics.recall, 0.9);
+  EXPECT_GT(metrics.auc, 0.95);
+  EXPECT_GT(metrics.fit_seconds, 0.0);
+  EXPECT_EQ(metrics.confusion.total(), 2000u);
+}
+
+TEST(CrossValidate, PoolsAllRowsExactlyOnce) {
+  const Dataset data = testing::gaussian_blobs(503, 2, 1.0, 42);
+  Rng rng{1};
+  const CvMetrics metrics = cross_validate(data, tree_factory(), 4, rng);
+  EXPECT_EQ(metrics.confusion.total(), 503u);
+}
+
+TEST(CrossValidate, ChanceLevelOnNoise) {
+  const Dataset data = testing::gaussian_blobs(2000, 3, 50.0, 42);
+  Rng rng{1};
+  const CvMetrics metrics = cross_validate(data, tree_factory(), 5, rng);
+  EXPECT_NEAR(metrics.accuracy, 0.5, 0.08);
+  EXPECT_NEAR(metrics.auc, 0.5, 0.08);
+}
+
+TEST(EvaluateSplit, MatchesManualComputation) {
+  const Dataset data = testing::gaussian_blobs(1000, 3, 0.6, 42);
+  Rng rng{2};
+  const auto split = data.train_test_split(0.3, rng);
+  const CvMetrics metrics =
+      evaluate_split(split.train, split.test, tree_factory());
+  EXPECT_EQ(metrics.confusion.total(), split.test.num_rows());
+  EXPECT_GT(metrics.accuracy, 0.9);
+}
+
+TEST(EvaluateSplit, WorksForOtherClassifiers) {
+  const Dataset data = testing::gaussian_blobs(1000, 3, 0.6, 42);
+  Rng rng{2};
+  const auto split = data.train_test_split(0.3, rng);
+  const CvMetrics metrics = evaluate_split(
+      split.train, split.test,
+      [] { return std::make_unique<GaussianNaiveBayes>(); });
+  EXPECT_GT(metrics.accuracy, 0.85);
+}
+
+}  // namespace
+}  // namespace otac::ml

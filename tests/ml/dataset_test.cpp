@@ -1,0 +1,127 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace otac::ml {
+namespace {
+
+Dataset small() {
+  Dataset data{{"a", "b"}};
+  data.add_row(std::vector<float>{1.0F, 2.0F}, 0, 1.0F);
+  data.add_row(std::vector<float>{3.0F, 4.0F}, 1, 2.0F);
+  data.add_row(std::vector<float>{5.0F, 6.0F}, 1, 1.0F);
+  return data;
+}
+
+TEST(Dataset, RejectsBadConstructionAndRows) {
+  EXPECT_THROW(Dataset{std::vector<std::string>{}}, std::invalid_argument);
+  Dataset data{{"a"}};
+  EXPECT_THROW(data.add_row(std::vector<float>{1.0F, 2.0F}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(data.add_row(std::vector<float>{1.0F}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(data.add_row(std::vector<float>{1.0F}, 0, 0.0F),
+               std::invalid_argument);
+}
+
+TEST(Dataset, AccessorsWork) {
+  const Dataset data = small();
+  EXPECT_EQ(data.num_rows(), 3u);
+  EXPECT_EQ(data.num_features(), 2u);
+  EXPECT_EQ(data.label(1), 1);
+  EXPECT_FLOAT_EQ(data.weight(1), 2.0F);
+  EXPECT_FLOAT_EQ(data.value(2, 1), 6.0F);
+  EXPECT_FLOAT_EQ(data.row(0)[0], 1.0F);
+}
+
+TEST(Dataset, WeightAggregates) {
+  const Dataset data = small();
+  EXPECT_DOUBLE_EQ(data.total_weight(), 4.0);
+  EXPECT_DOUBLE_EQ(data.positive_weight(), 3.0);
+}
+
+TEST(Dataset, SubsetRowsAllowsRepeats) {
+  const Dataset data = small();
+  const std::vector<std::size_t> idx{2, 2, 0};
+  const Dataset sub = data.subset_rows(idx);
+  EXPECT_EQ(sub.num_rows(), 3u);
+  EXPECT_FLOAT_EQ(sub.value(0, 0), 5.0F);
+  EXPECT_FLOAT_EQ(sub.value(1, 0), 5.0F);
+  EXPECT_EQ(sub.label(2), 0);
+  const std::vector<std::size_t> bad{7};
+  EXPECT_THROW((void)data.subset_rows(bad), std::out_of_range);
+}
+
+TEST(Dataset, SubsetFeaturesReorders) {
+  const Dataset data = small();
+  const std::vector<std::size_t> features{1, 0};
+  const Dataset sub = data.subset_features(features);
+  EXPECT_EQ(sub.feature_names()[0], "b");
+  EXPECT_FLOAT_EQ(sub.value(0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(sub.value(0, 1), 1.0F);
+  const std::vector<std::size_t> bad{9};
+  EXPECT_THROW((void)data.subset_features(bad), std::out_of_range);
+}
+
+TEST(Dataset, CostMatrixMultipliesNegatives) {
+  Dataset data = small();
+  data.apply_cost_matrix(2.0);
+  EXPECT_FLOAT_EQ(data.weight(0), 2.0F);  // negative row doubled
+  EXPECT_FLOAT_EQ(data.weight(1), 2.0F);  // positive untouched
+  EXPECT_THROW(data.apply_cost_matrix(0.0), std::invalid_argument);
+}
+
+TEST(Dataset, SetWeightsValidates) {
+  Dataset data = small();
+  const std::vector<float> w{1.0F, 1.0F};
+  EXPECT_THROW(data.set_weights(w), std::invalid_argument);
+  const std::vector<float> ok{1.0F, 1.0F, 5.0F};
+  data.set_weights(ok);
+  EXPECT_FLOAT_EQ(data.weight(2), 5.0F);
+}
+
+TEST(Dataset, TrainTestSplitPartitions) {
+  Dataset data{{"x"}};
+  for (int i = 0; i < 100; ++i) {
+    data.add_row(std::vector<float>{static_cast<float>(i)}, i % 2);
+  }
+  Rng rng{42};
+  const auto split = data.train_test_split(0.25, rng);
+  EXPECT_EQ(split.test.num_rows(), 25u);
+  EXPECT_EQ(split.train.num_rows(), 75u);
+  // Each original value appears exactly once across the two parts.
+  std::vector<int> seen(100, 0);
+  for (std::size_t i = 0; i < split.train.num_rows(); ++i) {
+    seen[static_cast<int>(split.train.value(i, 0))] += 1;
+  }
+  for (std::size_t i = 0; i < split.test.num_rows(); ++i) {
+    seen[static_cast<int>(split.test.value(i, 0))] += 1;
+  }
+  EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), 0), 100);
+  for (const int count : seen) EXPECT_EQ(count, 1);
+  EXPECT_THROW((void)data.train_test_split(0.0, rng), std::invalid_argument);
+  EXPECT_THROW((void)data.train_test_split(1.0, rng), std::invalid_argument);
+}
+
+TEST(Dataset, KfoldCoversAllRowsOnce) {
+  Dataset data{{"x"}};
+  for (int i = 0; i < 103; ++i) {
+    data.add_row(std::vector<float>{static_cast<float>(i)}, 0);
+  }
+  Rng rng{42};
+  const auto folds = data.kfold_indices(5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<int> seen(103, 0);
+  for (const auto& fold : folds) {
+    EXPECT_GE(fold.size(), 20u);
+    EXPECT_LE(fold.size(), 21u);
+    for (const std::size_t i : fold) seen[i] += 1;
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+  EXPECT_THROW((void)data.kfold_indices(1, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace otac::ml

@@ -1,0 +1,173 @@
+#include "ml/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/ml/test_data.h"
+
+namespace otac::ml {
+namespace {
+
+using testing::accuracy_on;
+using testing::gaussian_blobs;
+using testing::xor_dataset;
+
+TEST(DecisionTree, RejectsEmptyAndUnfittedUse) {
+  DecisionTree tree;
+  EXPECT_THROW(tree.fit(Dataset{{"x"}}), std::invalid_argument);
+  EXPECT_THROW((void)tree.predict_proba(std::vector<float>{1.0F}),
+               std::logic_error);
+}
+
+TEST(DecisionTree, LearnsLinearSeparation) {
+  const Dataset data = gaussian_blobs(2000, 4, 0.5, 42);
+  DecisionTree tree;
+  tree.fit(data);
+  EXPECT_GT(accuracy_on(tree, data), 0.95);
+}
+
+TEST(DecisionTree, LearnsXor) {
+  const Dataset data = xor_dataset(2000, 42);
+  DecisionTree tree;
+  tree.fit(data);
+  EXPECT_GT(accuracy_on(tree, data), 0.95);
+}
+
+TEST(DecisionTree, RespectsSplitBudget) {
+  const Dataset data = xor_dataset(5000, 42);
+  DecisionTreeConfig config;
+  config.max_splits = 30;  // paper's cap
+  DecisionTree tree{config};
+  tree.fit(data);
+  EXPECT_LE(tree.split_count(), 30u);
+  EXPECT_EQ(tree.node_count(), 2 * tree.split_count() + 1);
+}
+
+TEST(DecisionTree, RespectsDepthCap) {
+  const Dataset data = gaussian_blobs(3000, 6, 1.5, 42);
+  DecisionTreeConfig config;
+  config.max_depth = 3;
+  config.max_splits = 1000;
+  DecisionTree tree{config};
+  tree.fit(data);
+  EXPECT_LE(tree.height(), 3u);
+}
+
+TEST(DecisionTree, PureNodeBecomesLeafImmediately) {
+  Dataset data{{"x"}};
+  for (int i = 0; i < 50; ++i) {
+    data.add_row(std::vector<float>{static_cast<float>(i)}, 1);
+  }
+  DecisionTree tree;
+  tree.fit(data);
+  EXPECT_EQ(tree.split_count(), 0u);
+  EXPECT_DOUBLE_EQ(tree.predict_proba(std::vector<float>{25.0F}), 1.0);
+}
+
+TEST(DecisionTree, SingleThresholdProblemNeedsOneSplit) {
+  Dataset data{{"x"}};
+  for (int i = 0; i < 100; ++i) {
+    data.add_row(std::vector<float>{static_cast<float>(i)}, i < 50 ? 0 : 1);
+  }
+  DecisionTree tree;
+  tree.fit(data);
+  EXPECT_EQ(tree.split_count(), 1u);
+  EXPECT_EQ(tree.height(), 1u);
+  EXPECT_EQ(tree.predict(std::vector<float>{10.0F}), 0);
+  EXPECT_EQ(tree.predict(std::vector<float>{90.0F}), 1);
+}
+
+TEST(DecisionTree, InstanceWeightsShiftTheDecision) {
+  // Mixed region where negatives dominate by count but positives by weight.
+  Dataset data{{"x"}};
+  for (int i = 0; i < 60; ++i) data.add_row(std::vector<float>{0.0F}, 0, 1.0F);
+  for (int i = 0; i < 40; ++i) data.add_row(std::vector<float>{0.0F}, 1, 3.0F);
+  DecisionTree tree;
+  tree.fit(data);
+  EXPECT_EQ(tree.predict(std::vector<float>{0.0F}), 1);
+}
+
+TEST(DecisionTree, CostMatrixReducesFalsePositives) {
+  // Overlapping blobs: raising the false-positive cost (negatives weighted
+  // up, §4.4.1) must not increase the number of false positives.
+  const Dataset data = gaussian_blobs(4000, 3, 1.5, 42);
+  const auto count_fp = [&](double cost) {
+    Dataset weighted = data;
+    weighted.apply_cost_matrix(cost);
+    DecisionTree tree;
+    tree.fit(weighted);
+    std::uint64_t fp = 0;
+    for (std::size_t i = 0; i < data.num_rows(); ++i) {
+      if (data.label(i) == 0 && tree.predict(data.row(i)) == 1) ++fp;
+    }
+    return fp;
+  };
+  EXPECT_LE(count_fp(3.0), count_fp(1.0));
+}
+
+TEST(DecisionTree, FeatureImportanceConcentratesOnSignal) {
+  const Dataset data = gaussian_blobs(3000, 6, 0.8, 42);
+  DecisionTree tree;
+  tree.fit(data);
+  const auto& importance = tree.feature_importance();
+  ASSERT_EQ(importance.size(), 6u);
+  const double signal = importance[0] + importance[1];
+  double noise = 0.0;
+  for (std::size_t f = 2; f < 6; ++f) noise += importance[f];
+  EXPECT_GT(signal, 5.0 * noise);
+}
+
+TEST(DecisionTree, DecisionPathLengthBoundedByHeight) {
+  const Dataset data = xor_dataset(1000, 42);
+  DecisionTree tree;
+  tree.fit(data);
+  Rng rng{7};
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<float> row{
+        static_cast<float>(rng.uniform(-1.0, 1.0)),
+        static_cast<float>(rng.uniform(-1.0, 1.0))};
+    EXPECT_LE(tree.decision_path_length(row), tree.height());
+  }
+}
+
+TEST(DecisionTree, ToTextListsFeatures) {
+  const Dataset data = xor_dataset(500, 42);
+  DecisionTree tree;
+  tree.fit(data);
+  const std::string text = tree.to_text({"x", "y"});
+  EXPECT_NE(text.find("leaf"), std::string::npos);
+  EXPECT_TRUE(text.find("x <=") != std::string::npos ||
+              text.find("y <=") != std::string::npos);
+}
+
+TEST(DecisionTree, DeterministicFits) {
+  const Dataset data = gaussian_blobs(1000, 4, 1.0, 42);
+  DecisionTree a;
+  DecisionTree b;
+  a.fit(data);
+  b.fit(data);
+  Rng rng{9};
+  for (int i = 0; i < 200; ++i) {
+    std::vector<float> row(4);
+    for (auto& v : row) v = static_cast<float>(rng.normal());
+    EXPECT_DOUBLE_EQ(a.predict_proba(row), b.predict_proba(row));
+  }
+}
+
+class TreeNoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TreeNoiseSweep, AccuracyDegradesGracefullyWithNoise) {
+  const Dataset data = gaussian_blobs(3000, 4, GetParam(), 42);
+  Rng rng{1};
+  const auto split = data.train_test_split(0.3, rng);
+  DecisionTree tree;
+  tree.fit(split.train);
+  const double acc = accuracy_on(tree, split.test);
+  EXPECT_GT(acc, 0.55);  // always beats chance on separated blobs
+  EXPECT_LE(acc, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Noise, TreeNoiseSweep,
+                         ::testing::Values(0.3, 0.8, 1.2, 1.8));
+
+}  // namespace
+}  // namespace otac::ml

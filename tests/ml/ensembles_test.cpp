@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "ml/adaboost.h"
+#include "ml/random_forest.h"
+#include "tests/ml/test_data.h"
+
+namespace otac::ml {
+namespace {
+
+using testing::accuracy_on;
+using testing::gaussian_blobs;
+using testing::xor_dataset;
+
+TEST(RandomForest, RejectsBadConfigAndUse) {
+  RandomForestConfig config;
+  config.num_trees = 0;
+  EXPECT_THROW(RandomForest{config}, std::invalid_argument);
+  RandomForest forest;
+  EXPECT_THROW((void)forest.predict_proba(std::vector<float>{1.0F}),
+               std::logic_error);
+}
+
+TEST(RandomForest, LearnsBlobs) {
+  const Dataset data = gaussian_blobs(2000, 4, 0.8, 42);
+  RandomForestConfig config;
+  config.num_trees = 10;
+  RandomForest forest{config};
+  forest.fit(data);
+  EXPECT_GT(accuracy_on(forest, data), 0.9);
+  EXPECT_EQ(forest.tree_count(), 10u);
+}
+
+TEST(RandomForest, LearnsXor) {
+  const Dataset data = xor_dataset(3000, 42);
+  RandomForestConfig config;
+  config.num_trees = 15;
+  RandomForest forest{config};
+  forest.fit(data);
+  EXPECT_GT(accuracy_on(forest, data), 0.9);
+}
+
+TEST(RandomForest, AveragesTreeProbabilities) {
+  const Dataset data = gaussian_blobs(500, 3, 1.0, 42);
+  RandomForestConfig config;
+  config.num_trees = 5;
+  RandomForest forest{config};
+  forest.fit(data);
+  const std::vector<float> row{0.0F, 0.0F, 0.0F};
+  double manual = 0.0;
+  for (std::size_t t = 0; t < forest.tree_count(); ++t) {
+    manual += forest.tree(t).predict_proba(row);
+  }
+  EXPECT_NEAR(forest.predict_proba(row), manual / 5.0, 1e-12);
+}
+
+TEST(RandomForest, GeneralizesBetterThanSingleTreeOnNoisyData) {
+  const Dataset data = gaussian_blobs(4000, 6, 1.6, 42);
+  Rng rng{3};
+  const auto split = data.train_test_split(0.4, rng);
+
+  DecisionTreeConfig overfit;
+  overfit.max_splits = 500;
+  overfit.max_depth = 30;
+  overfit.min_child_weight = 1.0;
+  DecisionTree tree{overfit};
+  tree.fit(split.train);
+
+  RandomForestConfig config;
+  config.num_trees = 20;
+  config.tree = overfit;
+  RandomForest forest{config};
+  forest.fit(split.train);
+
+  EXPECT_GE(accuracy_on(forest, split.test),
+            accuracy_on(tree, split.test) - 0.01);
+}
+
+TEST(AdaBoost, RejectsBadConfigAndUse) {
+  AdaBoostConfig config;
+  config.num_rounds = 0;
+  EXPECT_THROW(AdaBoost{config}, std::invalid_argument);
+  AdaBoost boost;
+  EXPECT_THROW((void)boost.predict_proba(std::vector<float>{1.0F}),
+               std::logic_error);
+}
+
+TEST(AdaBoost, LearnsBlobs) {
+  const Dataset data = gaussian_blobs(2000, 4, 0.8, 42);
+  AdaBoost boost;
+  boost.fit(data);
+  EXPECT_GT(accuracy_on(boost, data), 0.9);
+}
+
+TEST(AdaBoost, LearnsXorWithDepthTwoTrees) {
+  const Dataset data = xor_dataset(3000, 42);
+  AdaBoost boost;
+  boost.fit(data);
+  EXPECT_GT(accuracy_on(boost, data), 0.9);
+}
+
+TEST(AdaBoost, BoostingImprovesOverOneWeakLearner) {
+  const Dataset data = xor_dataset(3000, 7);
+  DecisionTreeConfig weak;
+  weak.max_splits = 1;
+  weak.max_depth = 1;
+  DecisionTree stump{weak};
+  stump.fit(data);
+
+  AdaBoostConfig config;
+  config.tree = DecisionTreeConfig{.max_splits = 3, .max_depth = 2};
+  config.num_rounds = 30;
+  AdaBoost boost{config};
+  boost.fit(data);
+  EXPECT_GT(accuracy_on(boost, data), accuracy_on(stump, data) + 0.2);
+}
+
+TEST(AdaBoost, StopsEarlyOnPureData) {
+  Dataset data{{"x"}};
+  for (int i = 0; i < 100; ++i) {
+    data.add_row(std::vector<float>{static_cast<float>(i)}, i < 50 ? 0 : 1);
+  }
+  AdaBoost boost;
+  boost.fit(data);
+  EXPECT_GE(boost.round_count(), 1u);
+  EXPECT_EQ(boost.predict(std::vector<float>{10.0F}), 0);
+  EXPECT_EQ(boost.predict(std::vector<float>{90.0F}), 1);
+}
+
+}  // namespace
+}  // namespace otac::ml

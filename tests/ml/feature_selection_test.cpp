@@ -1,0 +1,105 @@
+#include "ml/feature_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ml/decision_tree.h"
+#include "tests/ml/test_data.h"
+
+namespace otac::ml {
+namespace {
+
+TEST(BinaryEntropy, KnownValues) {
+  EXPECT_DOUBLE_EQ(binary_entropy(0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(5.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(0.0, 0.0), 0.0);
+  EXPECT_NEAR(binary_entropy(1.0, 4.0), 0.8112781244591328, 1e-12);
+}
+
+TEST(InformationGain, PerfectPredictorGetsFullEntropy) {
+  Dataset data{{"signal", "noise"}};
+  Rng rng{42};
+  for (int i = 0; i < 1000; ++i) {
+    const int label = i % 2;
+    data.add_row(std::vector<float>{static_cast<float>(label),
+                                    static_cast<float>(rng.normal())},
+                 label);
+  }
+  const double signal_gain = information_gain(data, 0);
+  const double noise_gain = information_gain(data, 1);
+  EXPECT_NEAR(signal_gain, 1.0, 1e-6);  // label entropy is 1 bit
+  EXPECT_LT(noise_gain, 0.1);
+  EXPECT_THROW((void)information_gain(data, 5), std::out_of_range);
+}
+
+TEST(InformationGain, MonotoneInSignalStrength) {
+  // Feature = label + noise at increasing noise levels.
+  const auto gain_at = [](double noise) {
+    Dataset data{{"x"}};
+    Rng rng{42};
+    for (int i = 0; i < 4000; ++i) {
+      const int label = i % 2;
+      data.add_row(
+          std::vector<float>{static_cast<float>(label + noise * rng.normal())},
+          label);
+    }
+    return information_gain(data, 0);
+  };
+  const double strong = gain_at(0.2);
+  const double medium = gain_at(1.0);
+  const double weak = gain_at(4.0);
+  EXPECT_GT(strong, medium);
+  EXPECT_GT(medium, weak);
+}
+
+TEST(InformationGain, EmptyDatasetIsZero) {
+  const Dataset data{{"x"}};
+  EXPECT_DOUBLE_EQ(information_gain(data, 0), 0.0);
+}
+
+TEST(InformationGains, OnePerFeature) {
+  const Dataset data = testing::gaussian_blobs(500, 4, 1.0, 42);
+  const auto gains = information_gains(data);
+  EXPECT_EQ(gains.size(), 4u);
+  // Signal features (0,1) must outrank noise features (2,3).
+  EXPECT_GT(gains[0], gains[2]);
+  EXPECT_GT(gains[1], gains[3]);
+}
+
+TEST(ForwardSelect, PicksSignalFeaturesAndStops) {
+  // 2 signal + 4 noise features: selection should keep a small set
+  // containing the signal and not all the noise.
+  const Dataset data = testing::gaussian_blobs(3000, 6, 0.9, 42);
+  const ClassifierFactory factory = [] {
+    return std::make_unique<DecisionTree>();
+  };
+  const ForwardSelectionResult result = forward_select(data, factory);
+  ASSERT_FALSE(result.selected.empty());
+  EXPECT_LE(result.selected.size(), 4u);
+  const bool has_signal =
+      std::find(result.selected.begin(), result.selected.end(), 0u) !=
+          result.selected.end() ||
+      std::find(result.selected.begin(), result.selected.end(), 1u) !=
+          result.selected.end();
+  EXPECT_TRUE(has_signal);
+  EXPECT_EQ(result.gains.size(), 6u);
+  EXPECT_EQ(result.accuracy_trace.size() >= result.selected.size(), true);
+}
+
+TEST(ForwardSelect, FirstPickHasHighestGain) {
+  const Dataset data = testing::gaussian_blobs(2000, 5, 0.9, 42);
+  const ClassifierFactory factory = [] {
+    return std::make_unique<DecisionTree>();
+  };
+  const ForwardSelectionResult result = forward_select(data, factory);
+  const auto gains = result.gains;
+  const std::size_t best = static_cast<std::size_t>(
+      std::max_element(gains.begin(), gains.end()) - gains.begin());
+  ASSERT_FALSE(result.selected.empty());
+  EXPECT_EQ(result.selected.front(), best);
+}
+
+}  // namespace
+}  // namespace otac::ml

@@ -1,0 +1,109 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace otac::ml {
+namespace {
+
+TEST(ConfusionMatrix, Definitions) {
+  ConfusionMatrix cm;
+  // 3 TP, 1 FP, 4 TN, 2 FN
+  for (int i = 0; i < 3; ++i) cm.add(1, 1);
+  cm.add(0, 1);
+  for (int i = 0; i < 4; ++i) cm.add(0, 0);
+  for (int i = 0; i < 2; ++i) cm.add(1, 0);
+
+  EXPECT_EQ(cm.tp, 3u);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.tn, 4u);
+  EXPECT_EQ(cm.fn, 2u);
+  EXPECT_DOUBLE_EQ(cm.precision(), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(cm.recall(), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 7.0 / 10.0);
+  const double p = 0.75, r = 0.6;
+  EXPECT_DOUBLE_EQ(cm.f1(), 2 * p * r / (p + r));
+}
+
+TEST(ConfusionMatrix, EmptyIsZero) {
+  const ConfusionMatrix cm;
+  EXPECT_DOUBLE_EQ(cm.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(), 0.0);
+}
+
+TEST(ConfusionMatrix, FromPredictionsValidates) {
+  const std::vector<int> actual{1, 0, 1};
+  const std::vector<int> predicted{1, 1};
+  EXPECT_THROW((void)confusion_from_predictions(actual, predicted),
+               std::invalid_argument);
+}
+
+TEST(Auc, PerfectSeparation) {
+  const std::vector<int> actual{0, 0, 1, 1};
+  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(auc(actual, scores), 1.0);
+}
+
+TEST(Auc, PerfectlyWrong) {
+  const std::vector<int> actual{1, 1, 0, 0};
+  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(auc(actual, scores), 0.0);
+}
+
+TEST(Auc, RandomScoresNearHalf) {
+  const std::vector<int> actual{0, 1, 0, 1};
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(auc(actual, scores), 0.5);  // all tied => midranks
+}
+
+TEST(Auc, SingleClassReturnsHalf) {
+  const std::vector<int> actual{1, 1, 1};
+  const std::vector<double> scores{0.1, 0.5, 0.9};
+  EXPECT_DOUBLE_EQ(auc(actual, scores), 0.5);
+}
+
+TEST(Auc, KnownMixedCase) {
+  // Positives at scores {0.8, 0.4}, negatives at {0.6, 0.2}.
+  // Pairs: (0.8>0.6), (0.8>0.2), (0.4<0.6), (0.4>0.2) => 3/4.
+  const std::vector<int> actual{1, 1, 0, 0};
+  const std::vector<double> scores{0.8, 0.4, 0.6, 0.2};
+  EXPECT_DOUBLE_EQ(auc(actual, scores), 0.75);
+}
+
+TEST(Auc, TieBetweenClassesCountsHalf) {
+  const std::vector<int> actual{1, 0};
+  const std::vector<double> scores{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(auc(actual, scores), 0.5);
+}
+
+TEST(RocCurve, EndpointsAndMonotonicity) {
+  const std::vector<int> actual{1, 0, 1, 0, 1};
+  const std::vector<double> scores{0.9, 0.8, 0.7, 0.3, 0.2};
+  const auto curve = roc_curve(actual, scores);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+  }
+}
+
+TEST(RocCurve, AgreesWithAucByTrapezoid) {
+  const std::vector<int> actual{1, 0, 1, 0, 1, 0, 1, 1, 0, 0};
+  const std::vector<double> scores{0.9, 0.8, 0.75, 0.7, 0.6,
+                                   0.55, 0.5, 0.3, 0.25, 0.1};
+  const auto curve = roc_curve(actual, scores);
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    area += (curve[i].fpr - curve[i - 1].fpr) *
+            (curve[i].tpr + curve[i - 1].tpr) / 2.0;
+  }
+  EXPECT_NEAR(area, auc(actual, scores), 1e-12);
+}
+
+}  // namespace
+}  // namespace otac::ml

@@ -1,0 +1,83 @@
+#include "ml/scaler.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/ml/test_data.h"
+
+namespace otac::ml {
+namespace {
+
+TEST(Scaler, RejectsEmptyAndMismatch) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.fit(Dataset{{"x"}}), std::invalid_argument);
+  const Dataset data = testing::gaussian_blobs(100, 3, 1.0, 42);
+  scaler.fit(data);
+  std::vector<float> out;
+  EXPECT_THROW(scaler.transform(std::vector<float>{1.0F}, out),
+               std::invalid_argument);
+}
+
+TEST(Scaler, ProducesZeroMeanUnitVariance) {
+  Dataset data{{"a", "b"}};
+  Rng rng{42};
+  for (int i = 0; i < 5000; ++i) {
+    data.add_row(std::vector<float>{
+                     static_cast<float>(10.0 + 3.0 * rng.normal()),
+                     static_cast<float>(-5.0 + 0.5 * rng.normal())},
+                 i % 2);
+  }
+  StandardScaler scaler;
+  scaler.fit(data);
+  const Dataset scaled = scaler.transform(data);
+  for (std::size_t f = 0; f < 2; ++f) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < scaled.num_rows(); ++i) {
+      mean += scaled.value(i, f);
+    }
+    mean /= static_cast<double>(scaled.num_rows());
+    double var = 0.0;
+    for (std::size_t i = 0; i < scaled.num_rows(); ++i) {
+      const double d = scaled.value(i, f) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(scaled.num_rows());
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(Scaler, ConstantFeatureMapsToZero) {
+  Dataset data{{"c"}};
+  for (int i = 0; i < 10; ++i) {
+    data.add_row(std::vector<float>{7.0F}, i % 2);
+  }
+  StandardScaler scaler;
+  scaler.fit(data);
+  std::vector<float> out;
+  scaler.transform(std::vector<float>{7.0F}, out);
+  EXPECT_FLOAT_EQ(out[0], 0.0F);
+}
+
+TEST(Scaler, PreservesLabelsAndWeights) {
+  Dataset data{{"x"}};
+  data.add_row(std::vector<float>{1.0F}, 1, 2.5F);
+  data.add_row(std::vector<float>{2.0F}, 0, 1.5F);
+  StandardScaler scaler;
+  scaler.fit(data);
+  const Dataset scaled = scaler.transform(data);
+  EXPECT_EQ(scaled.label(0), 1);
+  EXPECT_FLOAT_EQ(scaled.weight(0), 2.5F);
+  EXPECT_EQ(scaled.label(1), 0);
+}
+
+TEST(Scaler, WeightedFitUsesWeights) {
+  Dataset data{{"x"}};
+  data.add_row(std::vector<float>{0.0F}, 0, 3.0F);
+  data.add_row(std::vector<float>{4.0F}, 1, 1.0F);
+  StandardScaler scaler;
+  scaler.fit(data);
+  EXPECT_NEAR(scaler.mean()[0], 1.0, 1e-12);  // (3*0 + 1*4)/4
+}
+
+}  // namespace
+}  // namespace otac::ml

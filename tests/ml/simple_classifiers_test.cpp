@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "ml/knn.h"
+#include "ml/logistic.h"
+#include "ml/mlp.h"
+#include "ml/naive_bayes.h"
+#include "tests/ml/test_data.h"
+
+namespace otac::ml {
+namespace {
+
+using testing::accuracy_on;
+using testing::gaussian_blobs;
+using testing::xor_dataset;
+
+TEST(NaiveBayes, LearnsBlobs) {
+  const Dataset data = gaussian_blobs(2000, 4, 0.8, 42);
+  GaussianNaiveBayes nb;
+  nb.fit(data);
+  EXPECT_GT(accuracy_on(nb, data), 0.9);
+}
+
+TEST(NaiveBayes, UnfittedThrows) {
+  GaussianNaiveBayes nb;
+  EXPECT_THROW((void)nb.predict_proba(std::vector<float>{1.0F}),
+               std::logic_error);
+}
+
+TEST(NaiveBayes, PriorsReflectClassImbalance) {
+  const Dataset data = gaussian_blobs(4000, 2, 10.0, 42, 0.9);
+  GaussianNaiveBayes nb;
+  nb.fit(data);
+  // Features are nearly uninformative; posterior tracks the 0.9 prior.
+  EXPECT_GT(nb.predict_proba(std::vector<float>{0.0F, 0.0F}), 0.7);
+}
+
+TEST(NaiveBayes, HandlesSingleClassData) {
+  Dataset data{{"x"}};
+  for (int i = 0; i < 20; ++i) {
+    data.add_row(std::vector<float>{static_cast<float>(i)}, 1);
+  }
+  GaussianNaiveBayes nb;
+  nb.fit(data);
+  EXPECT_GT(nb.predict_proba(std::vector<float>{5.0F}), 0.99);
+}
+
+TEST(Knn, RejectsBadConfig) {
+  KnnConfig config;
+  config.k = 0;
+  EXPECT_THROW(KnnClassifier{config}, std::invalid_argument);
+}
+
+TEST(Knn, LearnsBlobs) {
+  const Dataset data = gaussian_blobs(2000, 4, 0.8, 42);
+  KnnClassifier knn;
+  knn.fit(data);
+  EXPECT_GT(accuracy_on(knn, data), 0.9);
+}
+
+TEST(Knn, LearnsXor) {
+  const Dataset data = xor_dataset(2000, 42);
+  KnnClassifier knn;
+  knn.fit(data);
+  EXPECT_GT(accuracy_on(knn, data), 0.9);
+}
+
+TEST(Knn, SubsamplesBeyondCap) {
+  KnnConfig config;
+  config.max_train_rows = 100;
+  KnnClassifier knn{config};
+  const Dataset data = gaussian_blobs(1000, 2, 0.8, 42);
+  knn.fit(data);
+  EXPECT_EQ(knn.stored_rows(), 100u);
+  EXPECT_GT(accuracy_on(knn, data), 0.85);
+}
+
+TEST(Knn, ExactNearestNeighbourWhenKIsOne) {
+  Dataset data{{"x", "y"}};
+  data.add_row(std::vector<float>{0.0F, 0.0F}, 0);
+  data.add_row(std::vector<float>{10.0F, 10.0F}, 1);
+  KnnConfig config;
+  config.k = 1;
+  KnnClassifier knn{config};
+  knn.fit(data);
+  EXPECT_EQ(knn.predict(std::vector<float>{1.0F, 1.0F}), 0);
+  EXPECT_EQ(knn.predict(std::vector<float>{9.0F, 9.0F}), 1);
+}
+
+TEST(Logistic, LearnsLinearProblem) {
+  const Dataset data = gaussian_blobs(2000, 4, 0.8, 42);
+  LogisticRegression logistic;
+  logistic.fit(data);
+  EXPECT_GT(accuracy_on(logistic, data), 0.9);
+}
+
+TEST(Logistic, CannotLearnXor) {
+  const Dataset data = xor_dataset(2000, 42);
+  LogisticRegression logistic;
+  logistic.fit(data);
+  EXPECT_LT(accuracy_on(logistic, data), 0.6);  // linear model, XOR target
+}
+
+TEST(Logistic, CoefficientsPointAtSignalFeatures) {
+  const Dataset data = gaussian_blobs(3000, 5, 0.8, 42);
+  LogisticRegression logistic;
+  logistic.fit(data);
+  const auto& coef = logistic.coefficients();
+  ASSERT_EQ(coef.size(), 5u);
+  EXPECT_GT(std::abs(coef[0]), 5.0 * std::abs(coef[3]));
+  EXPECT_GT(coef[0], 0.0);  // positive class sits at +1
+}
+
+TEST(Logistic, UnfittedThrows) {
+  LogisticRegression logistic;
+  EXPECT_THROW((void)logistic.predict_proba(std::vector<float>{0.0F}),
+               std::logic_error);
+}
+
+TEST(Mlp, RejectsBadConfig) {
+  MlpConfig config;
+  config.hidden_units = 0;
+  EXPECT_THROW(MlpClassifier{config}, std::invalid_argument);
+  config.hidden_units = 4;
+  config.batch_size = 0;
+  EXPECT_THROW(MlpClassifier{config}, std::invalid_argument);
+}
+
+TEST(Mlp, LearnsBlobs) {
+  const Dataset data = gaussian_blobs(2000, 4, 0.8, 42);
+  MlpClassifier mlp;
+  mlp.fit(data);
+  EXPECT_GT(accuracy_on(mlp, data), 0.9);
+}
+
+TEST(Mlp, LearnsXorUnlikeLogistic) {
+  const Dataset data = xor_dataset(2000, 42);
+  MlpConfig config;
+  config.epochs = 80;
+  MlpClassifier mlp{config};
+  mlp.fit(data);
+  EXPECT_GT(accuracy_on(mlp, data), 0.85);
+}
+
+TEST(Mlp, DeterministicForSeed) {
+  const Dataset data = gaussian_blobs(500, 3, 1.0, 42);
+  MlpClassifier a;
+  MlpClassifier b;
+  a.fit(data);
+  b.fit(data);
+  const std::vector<float> row{0.3F, -0.2F, 0.1F};
+  EXPECT_DOUBLE_EQ(a.predict_proba(row), b.predict_proba(row));
+}
+
+}  // namespace
+}  // namespace otac::ml

@@ -1,0 +1,73 @@
+// Property sweep: the generator's calibration targets must hold across
+// seeds and across one-time-fraction settings, not just the default.
+#include <gtest/gtest.h>
+
+#include "trace/trace_generator.h"
+#include "trace/trace_stats.h"
+
+namespace otac {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, CalibrationHoldsAcrossSeeds) {
+  WorkloadConfig config;
+  config.seed = GetParam();
+  config.num_owners = 1'000;
+  config.num_photos = 30'000;
+  const Trace trace = TraceGenerator{config}.generate();
+  const TraceStats stats = compute_trace_stats(trace);
+  EXPECT_NEAR(stats.one_time_object_fraction(),
+              config.one_time_object_fraction, 0.02);
+  EXPECT_NEAR(stats.one_time_access_share(), config.one_time_access_share,
+              0.025);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+class FractionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FractionSweep, CalibrationHoldsAcrossTargets) {
+  WorkloadConfig config;
+  config.num_owners = 1'000;
+  config.num_photos = 30'000;
+  config.one_time_object_fraction = GetParam();
+  config.one_time_access_share = GetParam() / 4.0;  // keep mean K feasible
+  const Trace trace = TraceGenerator{config}.generate();
+  const TraceStats stats = compute_trace_stats(trace);
+  EXPECT_NEAR(stats.one_time_object_fraction(),
+              config.one_time_object_fraction, 0.025);
+  EXPECT_NEAR(stats.one_time_access_share(), config.one_time_access_share,
+              0.025);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, FractionSweep,
+                         ::testing::Values(0.3, 0.45, 0.615, 0.8));
+
+class HorizonSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HorizonSweep, RequestsRespectHorizon) {
+  WorkloadConfig config;
+  config.num_owners = 500;
+  config.num_photos = 8'000;
+  config.horizon_days = GetParam();
+  const Trace trace = TraceGenerator{config}.generate();
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.horizon.seconds,
+            static_cast<std::int64_t>(GetParam() * kSecondsPerDay));
+  for (const Request& r : trace.requests) {
+    ASSERT_GE(r.time.seconds, 0);
+    ASSERT_LT(r.time.seconds, trace.horizon.seconds);
+  }
+  // Calibration independent of horizon length.
+  const TraceStats stats = compute_trace_stats(trace);
+  EXPECT_NEAR(stats.one_time_object_fraction(),
+              config.one_time_object_fraction, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Horizons, HorizonSweep,
+                         ::testing::Values(2.0, 9.0, 21.0));
+
+}  // namespace
+}  // namespace otac

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/trace_generator.h"
+#include "trace/trace_io.h"
+
+namespace otac {
+namespace {
+
+TEST(CsvImport, RoundTripThroughExport) {
+  WorkloadConfig config;
+  config.num_owners = 300;
+  config.num_photos = 3'000;
+  const Trace original = TraceGenerator{config}.generate();
+
+  std::stringstream csv;
+  export_requests_csv(original, csv);
+  const Trace imported = import_requests_csv(csv);
+
+  ASSERT_EQ(imported.requests.size(), original.requests.size());
+  for (std::size_t i = 0; i < original.requests.size(); ++i) {
+    ASSERT_EQ(imported.requests[i].time.seconds,
+              original.requests[i].time.seconds);
+    ASSERT_EQ(imported.requests[i].terminal, original.requests[i].terminal);
+    // Ids are remapped but sizes/types must correspond per request.
+    const PhotoMeta& a = original.catalog.photo(original.requests[i].photo);
+    const PhotoMeta& b = imported.catalog.photo(imported.requests[i].photo);
+    ASSERT_EQ(a.size_bytes, b.size_bytes);
+    ASSERT_TRUE(a.type == b.type);
+  }
+  // Distinct-object count preserved.
+  EXPECT_EQ(imported.catalog.photo_count(), original.catalog.photo_count());
+}
+
+TEST(CsvImport, ParsesMinimalHandWrittenLog) {
+  std::stringstream csv;
+  csv << "time_s,photo,owner,type,size_bytes,terminal\n"
+      << "0,p1,alice,l5,32768,mobile\n"
+      << "5,p2,bob,a0,4096,pc\n"
+      << "9,p1,alice,l5,32768,pc\n";
+  const Trace trace = import_requests_csv(csv);
+  ASSERT_EQ(trace.requests.size(), 3u);
+  EXPECT_EQ(trace.catalog.photo_count(), 2u);
+  EXPECT_EQ(trace.catalog.owner_count(), 2u);
+  EXPECT_EQ(trace.requests[0].photo, trace.requests[2].photo);
+  EXPECT_EQ(trace.requests[0].terminal, TerminalType::mobile);
+  EXPECT_EQ(trace.requests[2].terminal, TerminalType::pc);
+  EXPECT_EQ(trace.catalog.photo(trace.requests[0].photo).size_bytes, 32768u);
+  EXPECT_EQ(trace.horizon.seconds, 10);
+  // Upload approximated a minute before first access.
+  EXPECT_EQ(trace.catalog.photo(0).upload_time.seconds, -60);
+  // Owner photo counts accumulated.
+  EXPECT_EQ(trace.catalog.owner(0).photo_count, 1u);
+}
+
+TEST(CsvImport, RejectsBadHeader) {
+  std::stringstream csv;
+  csv << "nope\n1,2,3,4,5,6\n";
+  EXPECT_THROW((void)import_requests_csv(csv), std::runtime_error);
+}
+
+TEST(CsvImport, RejectsShortRow) {
+  std::stringstream csv;
+  csv << "time_s,photo,owner,type,size_bytes,terminal\n"
+      << "0,p1,alice\n";
+  EXPECT_THROW((void)import_requests_csv(csv), std::runtime_error);
+}
+
+TEST(CsvImport, RejectsUnknownType) {
+  std::stringstream csv;
+  csv << "time_s,photo,owner,type,size_bytes,terminal\n"
+      << "0,p1,alice,z9,100,pc\n";
+  EXPECT_THROW((void)import_requests_csv(csv), std::runtime_error);
+}
+
+TEST(CsvImport, RejectsUnsortedRows) {
+  std::stringstream csv;
+  csv << "time_s,photo,owner,type,size_bytes,terminal\n"
+      << "10,p1,alice,l5,100,pc\n"
+      << "5,p2,bob,l5,100,pc\n";
+  EXPECT_THROW((void)import_requests_csv(csv), std::runtime_error);
+}
+
+TEST(CsvImport, RejectsBadNumbers) {
+  std::stringstream csv;
+  csv << "time_s,photo,owner,type,size_bytes,terminal\n"
+      << "abc,p1,alice,l5,100,pc\n";
+  EXPECT_THROW((void)import_requests_csv(csv), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace otac

@@ -1,0 +1,69 @@
+#include "trace/diurnal.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace otac {
+namespace {
+
+TEST(Diurnal, RejectsFlatOrInvertedCurve) {
+  DiurnalConfig config;
+  config.peak_to_trough = 1.0;
+  EXPECT_THROW(DiurnalModel{config}, std::invalid_argument);
+}
+
+TEST(Diurnal, PeakAndTroughRatio) {
+  DiurnalConfig config;
+  config.peak_hour = 20.0;
+  config.peak_to_trough = 6.0;
+  DiurnalModel model{config};
+  const double peak = model.intensity(20.0);
+  const double trough = model.intensity(8.0);  // antipodal to the peak
+  EXPECT_NEAR(peak / trough, 6.0, 1e-6);
+}
+
+TEST(Diurnal, MeanIntensityIsOne) {
+  DiurnalModel model;
+  double total = 0.0;
+  constexpr int kSamples = 24 * 60;
+  for (int i = 0; i < kSamples; ++i) {
+    total += model.intensity(24.0 * i / kSamples);
+  }
+  EXPECT_NEAR(total / kSamples, 1.0, 1e-3);
+}
+
+TEST(Diurnal, SampleWithinDay) {
+  DiurnalModel model;
+  Rng rng{42};
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t s = model.sample_second_of_day(rng);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, kSecondsPerDay);
+  }
+}
+
+TEST(Diurnal, EveningBusierThanEarlyMorning) {
+  DiurnalModel model;  // default: trough 05:00, peak 20:00
+  Rng rng{42};
+  int evening = 0;
+  int early = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::int64_t s = model.sample_second_of_day(rng);
+    const int hour = static_cast<int>(s / kSecondsPerHour);
+    if (hour >= 19 && hour < 22) ++evening;
+    if (hour >= 4 && hour < 7) ++early;
+  }
+  EXPECT_GT(evening, early * 3);
+}
+
+TEST(Diurnal, IntensityAtMatchesHourCurve) {
+  DiurnalModel model;
+  const SimTime eight_pm{20 * kSecondsPerHour};
+  EXPECT_NEAR(model.intensity_at(eight_pm), model.intensity(20.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace otac

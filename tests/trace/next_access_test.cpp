@@ -1,0 +1,79 @@
+#include "trace/next_access.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_generator.h"
+
+namespace otac {
+namespace {
+
+Trace make_manual_trace(const std::vector<PhotoId>& sequence,
+                        std::size_t photo_count) {
+  Trace trace;
+  std::vector<PhotoMeta> photos(photo_count);
+  for (auto& p : photos) p.size_bytes = 1000;
+  trace.catalog = PhotoCatalog{std::move(photos), {OwnerMeta{}}};
+  trace.horizon = SimTime{static_cast<std::int64_t>(sequence.size())};
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    Request r;
+    r.time = SimTime{static_cast<std::int64_t>(i)};
+    r.photo = sequence[i];
+    trace.requests.push_back(r);
+  }
+  return trace;
+}
+
+TEST(NextAccess, HandPickedSequence) {
+  // photos: A B A C B A
+  const Trace trace = make_manual_trace({0, 1, 0, 2, 1, 0}, 3);
+  const NextAccessInfo info = compute_next_access(trace);
+  EXPECT_EQ(info.next[0], 2u);
+  EXPECT_EQ(info.next[1], 4u);
+  EXPECT_EQ(info.next[2], 5u);
+  EXPECT_EQ(info.next[3], kNoNextAccess);
+  EXPECT_EQ(info.next[4], kNoNextAccess);
+  EXPECT_EQ(info.next[5], kNoNextAccess);
+
+  EXPECT_FALSE(info.prev_seen[0]);
+  EXPECT_FALSE(info.prev_seen[1]);
+  EXPECT_TRUE(info.prev_seen[2]);
+  EXPECT_FALSE(info.prev_seen[3]);
+  EXPECT_TRUE(info.prev_seen[4]);
+  EXPECT_TRUE(info.prev_seen[5]);
+}
+
+TEST(NextAccess, ReaccessDistance) {
+  const Trace trace = make_manual_trace({0, 1, 0}, 2);
+  const NextAccessInfo info = compute_next_access(trace);
+  EXPECT_EQ(info.reaccess_distance(0), 2u);
+  EXPECT_EQ(info.reaccess_distance(1), kNoNextAccess);
+}
+
+TEST(NextAccess, EmptyTrace) {
+  const Trace trace = make_manual_trace({}, 1);
+  const NextAccessInfo info = compute_next_access(trace);
+  EXPECT_TRUE(info.next.empty());
+  EXPECT_TRUE(info.prev_seen.empty());
+}
+
+TEST(NextAccess, ConsistentOnGeneratedTrace) {
+  WorkloadConfig config;
+  config.num_owners = 500;
+  config.num_photos = 5000;
+  const Trace trace = TraceGenerator{config}.generate();
+  const NextAccessInfo info = compute_next_access(trace);
+  ASSERT_EQ(info.next.size(), trace.requests.size());
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    const std::uint64_t nxt = info.next[i];
+    if (nxt == kNoNextAccess) continue;
+    ASSERT_LT(nxt, trace.requests.size());
+    ASSERT_GT(nxt, i);
+    EXPECT_EQ(trace.requests[nxt].photo, trace.requests[i].photo);
+    // No intermediate occurrence: the next pointer of position nxt must be
+    // strictly beyond nxt, and prev_seen at nxt must be true.
+    EXPECT_TRUE(info.prev_seen[nxt]);
+  }
+}
+
+}  // namespace
+}  // namespace otac

@@ -1,0 +1,92 @@
+#include "trace/social_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace otac {
+namespace {
+
+WorkloadConfig small_config() {
+  WorkloadConfig config;
+  config.num_owners = 20000;
+  return config;
+}
+
+TEST(SocialModel, GeneratesRequestedCount) {
+  Rng rng{42};
+  const auto owners = generate_owners(small_config(), rng);
+  EXPECT_EQ(owners.size(), 20000u);
+}
+
+TEST(SocialModel, MeanFriendsNearTarget) {
+  Rng rng{42};
+  const WorkloadConfig config = small_config();
+  const auto owners = generate_owners(config, rng);
+  double total = 0.0;
+  for (const auto& o : owners) total += o.active_friends;
+  EXPECT_NEAR(total / owners.size(), config.mean_active_friends,
+              0.15 * config.mean_active_friends);
+}
+
+TEST(SocialModel, ActivityIsHeavyTailed) {
+  Rng rng{42};
+  const auto owners = generate_owners(small_config(), rng);
+  double max_activity = 0.0;
+  double total = 0.0;
+  for (const auto& o : owners) {
+    max_activity = std::max<double>(max_activity, o.activity);
+    total += o.activity;
+  }
+  const double mean = total / owners.size();
+  EXPECT_GT(max_activity, 10.0 * mean);  // lognormal tail
+}
+
+TEST(SocialModel, FriendsCorrelateWithActivity) {
+  Rng rng{42};
+  const auto owners = generate_owners(small_config(), rng);
+  std::vector<double> log_activity;
+  std::vector<double> log_friends;
+  for (const auto& o : owners) {
+    log_activity.push_back(std::log(o.activity));
+    log_friends.push_back(std::log(o.active_friends + 1.0));
+  }
+  const double rho = pearson_correlation(log_activity, log_friends);
+  EXPECT_GT(rho, 0.5);
+  EXPECT_LT(rho, 0.95);
+}
+
+TEST(SocialModel, QualityCorrelatesWithFriends) {
+  Rng rng{42};
+  const auto owners = generate_owners(small_config(), rng);
+  std::vector<double> quality;
+  std::vector<double> log_friends;
+  for (const auto& o : owners) {
+    quality.push_back(o.quality);
+    log_friends.push_back(std::log(o.active_friends + 1.0));
+  }
+  const double rho = pearson_correlation(quality, log_friends);
+  EXPECT_GT(rho, 0.25);
+}
+
+TEST(SocialModel, RejectsBadCoupling) {
+  WorkloadConfig config = small_config();
+  config.friends_activity_coupling = 1.5;
+  Rng rng{42};
+  EXPECT_THROW(generate_owners(config, rng), std::invalid_argument);
+}
+
+TEST(PearsonCorrelation, Basics) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson_correlation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(xs, neg), -1.0, 1e-12);
+  const std::vector<double> flat{5, 5, 5, 5};
+  EXPECT_EQ(pearson_correlation(xs, flat), 0.0);
+  EXPECT_THROW((void)pearson_correlation(xs, {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace otac

@@ -1,0 +1,177 @@
+#include "trace/trace_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/trace_stats.h"
+
+namespace otac {
+namespace {
+
+WorkloadConfig test_config() {
+  WorkloadConfig config;
+  config.seed = 42;
+  config.num_owners = 3000;
+  config.num_photos = 60000;
+  return config;
+}
+
+class TraceGeneratorFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = new Trace{TraceGenerator{test_config()}.generate()};
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+  static const Trace& trace() { return *trace_; }
+
+ private:
+  static Trace* trace_;
+};
+
+Trace* TraceGeneratorFixture::trace_ = nullptr;
+
+TEST_F(TraceGeneratorFixture, RequestsSortedByTime) {
+  const auto& reqs = trace().requests;
+  ASSERT_FALSE(reqs.empty());
+  EXPECT_TRUE(std::is_sorted(reqs.begin(), reqs.end(),
+                             [](const Request& a, const Request& b) {
+                               return a.time.seconds < b.time.seconds;
+                             }));
+}
+
+TEST_F(TraceGeneratorFixture, RequestsWithinHorizon) {
+  for (const Request& r : trace().requests) {
+    ASSERT_GE(r.time.seconds, 0);
+    ASSERT_LT(r.time.seconds, trace().horizon.seconds);
+  }
+}
+
+TEST_F(TraceGeneratorFixture, EveryPhotoAccessedAtLeastOnce) {
+  std::vector<bool> seen(trace().catalog.photo_count(), false);
+  for (const Request& r : trace().requests) seen[r.photo] = true;
+  const auto missing = std::count(seen.begin(), seen.end(), false);
+  EXPECT_EQ(missing, 0);
+}
+
+TEST_F(TraceGeneratorFixture, NoAccessBeforeUpload) {
+  // First access of each photo must not precede its upload instant (for
+  // photos uploaded inside the window).
+  std::vector<std::int64_t> first(trace().catalog.photo_count(), -1);
+  for (const Request& r : trace().requests) {
+    if (first[r.photo] < 0) first[r.photo] = r.time.seconds;
+  }
+  for (PhotoId id = 0; id < first.size(); ++id) {
+    const std::int64_t upload = trace().catalog.photo(id).upload_time.seconds;
+    if (upload >= 0 && first[id] >= 0) {
+      EXPECT_GT(first[id], upload) << "photo " << id;
+    }
+  }
+}
+
+TEST_F(TraceGeneratorFixture, OneTimeCalibrationHolds) {
+  const TraceStats stats = compute_trace_stats(trace());
+  const WorkloadConfig config = test_config();
+  EXPECT_NEAR(stats.one_time_object_fraction(),
+              config.one_time_object_fraction, 0.03);
+  EXPECT_NEAR(stats.one_time_access_share(), config.one_time_access_share,
+              0.03);
+  // The paper's headline: hit rate capped at ~74.5% by compulsory misses.
+  EXPECT_NEAR(stats.hit_rate_cap(), 0.745, 0.04);
+}
+
+TEST_F(TraceGeneratorFixture, DiurnalShapeVisible) {
+  std::uint64_t evening = 0;
+  std::uint64_t early = 0;
+  for (const Request& r : trace().requests) {
+    const int hour = hour_of_day(r.time);
+    if (hour >= 19 && hour < 22) ++evening;
+    if (hour >= 4 && hour < 7) ++early;
+  }
+  EXPECT_GT(evening, 2 * early);
+}
+
+TEST_F(TraceGeneratorFixture, MobileShareRoughlyMatches) {
+  std::uint64_t mobile = 0;
+  for (const Request& r : trace().requests) {
+    if (r.terminal == TerminalType::mobile) ++mobile;
+  }
+  const double share =
+      static_cast<double>(mobile) / trace().requests.size();
+  EXPECT_NEAR(share, test_config().mobile_share, 0.02);
+}
+
+TEST_F(TraceGeneratorFixture, LatentScoreExported) {
+  EXPECT_EQ(trace().latent_score.size(), trace().catalog.photo_count());
+}
+
+TEST_F(TraceGeneratorFixture, RecentPhotosDrawMoreAccessesPerPhoto) {
+  // Age decay: photos uploaded inside the window should average more
+  // in-window accesses than backlog photos.
+  std::vector<std::uint32_t> counts(trace().catalog.photo_count(), 0);
+  for (const Request& r : trace().requests) counts[r.photo] += 1;
+  double in_window = 0.0, backlog = 0.0;
+  std::size_t n_in = 0, n_back = 0;
+  for (PhotoId id = 0; id < counts.size(); ++id) {
+    if (trace().catalog.photo(id).upload_time.seconds >= 0) {
+      in_window += counts[id];
+      ++n_in;
+    } else {
+      backlog += counts[id];
+      ++n_back;
+    }
+  }
+  ASSERT_GT(n_in, 0u);
+  ASSERT_GT(n_back, 0u);
+  EXPECT_GT(in_window / n_in, backlog / n_back);
+}
+
+TEST(TraceGenerator, DeterministicForSameSeed) {
+  WorkloadConfig config = test_config();
+  config.num_photos = 5000;
+  config.num_owners = 500;
+  const Trace a = TraceGenerator{config}.generate();
+  const Trace b = TraceGenerator{config}.generate();
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    ASSERT_EQ(a.requests[i].time.seconds, b.requests[i].time.seconds);
+    ASSERT_EQ(a.requests[i].photo, b.requests[i].photo);
+    ASSERT_EQ(a.requests[i].terminal, b.requests[i].terminal);
+  }
+}
+
+TEST(TraceGenerator, SeedChangesTrace) {
+  WorkloadConfig config = test_config();
+  config.num_photos = 5000;
+  config.num_owners = 500;
+  const Trace a = TraceGenerator{config}.generate();
+  config.seed = 43;
+  const Trace b = TraceGenerator{config}.generate();
+  bool any_diff = a.requests.size() != b.requests.size();
+  for (std::size_t i = 0; !any_diff && i < a.requests.size(); ++i) {
+    any_diff = a.requests[i].time.seconds != b.requests[i].time.seconds ||
+               a.requests[i].photo != b.requests[i].photo;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TraceGenerator, RejectsEmptyPopulation) {
+  WorkloadConfig config = test_config();
+  config.num_photos = 0;
+  EXPECT_THROW(TraceGenerator{config}.generate(), std::invalid_argument);
+}
+
+TEST(TraceGenerator, ScaledConfigScalesCounts) {
+  WorkloadConfig config = test_config();
+  const WorkloadConfig half = scaled(config, 0.5);
+  EXPECT_EQ(half.num_photos, config.num_photos / 2);
+  EXPECT_EQ(half.num_owners, config.num_owners / 2);
+  const WorkloadConfig tiny = scaled(config, 1e-9);
+  EXPECT_GE(tiny.num_photos, 1u);
+}
+
+}  // namespace
+}  // namespace otac

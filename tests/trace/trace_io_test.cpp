@@ -1,0 +1,88 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/trace_generator.h"
+
+namespace otac {
+namespace {
+
+Trace generated() {
+  WorkloadConfig config;
+  config.num_owners = 300;
+  config.num_photos = 3000;
+  return TraceGenerator{config}.generate();
+}
+
+TEST(TraceIo, RoundTripExact) {
+  const Trace original = generated();
+  std::stringstream buffer;
+  save_trace(original, buffer);
+  const Trace loaded = load_trace(buffer);
+
+  ASSERT_EQ(loaded.requests.size(), original.requests.size());
+  ASSERT_EQ(loaded.catalog.photo_count(), original.catalog.photo_count());
+  ASSERT_EQ(loaded.catalog.owner_count(), original.catalog.owner_count());
+  EXPECT_EQ(loaded.horizon.seconds, original.horizon.seconds);
+  for (std::size_t i = 0; i < original.requests.size(); ++i) {
+    ASSERT_EQ(loaded.requests[i].time.seconds,
+              original.requests[i].time.seconds);
+    ASSERT_EQ(loaded.requests[i].photo, original.requests[i].photo);
+    ASSERT_EQ(loaded.requests[i].terminal, original.requests[i].terminal);
+  }
+  for (PhotoId id = 0; id < original.catalog.photo_count(); ++id) {
+    const PhotoMeta& a = original.catalog.photo(id);
+    const PhotoMeta& b = loaded.catalog.photo(id);
+    ASSERT_EQ(a.owner, b.owner);
+    ASSERT_EQ(a.size_bytes, b.size_bytes);
+    ASSERT_EQ(a.upload_time.seconds, b.upload_time.seconds);
+    ASSERT_TRUE(a.type == b.type);
+  }
+  ASSERT_EQ(loaded.latent_score.size(), original.latent_score.size());
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace original = generated();
+  const std::string path = testing::TempDir() + "/otac_trace_test.bin";
+  save_trace(original, path);
+  const Trace loaded = load_trace(path);
+  EXPECT_EQ(loaded.requests.size(), original.requests.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "not a trace file at all";
+  EXPECT_THROW(load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncation) {
+  const Trace original = generated();
+  std::stringstream buffer;
+  save_trace(original, buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated{full.substr(0, full.size() / 2)};
+  EXPECT_THROW(load_trace(truncated), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMissingFile) {
+  EXPECT_THROW(load_trace(std::string{"/nonexistent/otac.bin"}),
+               std::runtime_error);
+}
+
+TEST(TraceIo, CsvExportHasHeaderAndRows) {
+  const Trace original = generated();
+  std::stringstream out;
+  export_requests_csv(original, out);
+  std::string line;
+  std::getline(out, line);
+  EXPECT_EQ(line, "time_s,photo,owner,type,size_bytes,terminal");
+  std::size_t rows = 0;
+  while (std::getline(out, line)) ++rows;
+  EXPECT_EQ(rows, original.requests.size());
+}
+
+}  // namespace
+}  // namespace otac

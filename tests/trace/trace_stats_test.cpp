@@ -1,0 +1,69 @@
+#include "trace/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace otac {
+namespace {
+
+Trace tiny_trace() {
+  Trace trace;
+  std::vector<PhotoMeta> photos(3);
+  photos[0].size_bytes = 100;
+  photos[0].type = PhotoType{Resolution::l, PhotoFormat::jpg};
+  photos[1].size_bytes = 200;
+  photos[1].type = PhotoType{Resolution::a, PhotoFormat::png};
+  photos[2].size_bytes = 400;
+  photos[2].type = PhotoType{Resolution::l, PhotoFormat::jpg};
+  trace.catalog = PhotoCatalog{std::move(photos), {OwnerMeta{}}};
+  trace.horizon = SimTime{100};
+  // photo 0 accessed 3x, photo 1 once, photo 2 never.
+  for (const PhotoId id : {0u, 1u, 0u, 0u}) {
+    Request r;
+    r.photo = id;
+    trace.requests.push_back(r);
+  }
+  return trace;
+}
+
+TEST(TraceStats, CountsAndFractions) {
+  const TraceStats stats = compute_trace_stats(tiny_trace());
+  EXPECT_EQ(stats.total_requests, 4u);
+  EXPECT_EQ(stats.distinct_objects, 2u);  // photo 2 never appears
+  EXPECT_EQ(stats.one_time_objects, 1u);
+  EXPECT_EQ(stats.one_time_accesses, 1u);
+  EXPECT_DOUBLE_EQ(stats.one_time_object_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(stats.one_time_access_share(), 0.25);
+  EXPECT_DOUBLE_EQ(stats.hit_rate_cap(), 0.5);
+  EXPECT_DOUBLE_EQ(stats.mean_accesses_per_object, 2.0);
+}
+
+TEST(TraceStats, ByteAccounting) {
+  const TraceStats stats = compute_trace_stats(tiny_trace());
+  EXPECT_DOUBLE_EQ(stats.total_request_bytes, 100.0 * 3 + 200.0);
+  EXPECT_DOUBLE_EQ(stats.total_object_bytes, 300.0);
+  EXPECT_DOUBLE_EQ(stats.mean_request_size_bytes, 500.0 / 4.0);
+}
+
+TEST(TraceStats, PerTypeCounts) {
+  const TraceStats stats = compute_trace_stats(tiny_trace());
+  const auto l5 = static_cast<std::size_t>(
+      type_index(PhotoType{Resolution::l, PhotoFormat::jpg}));
+  const auto a0 = static_cast<std::size_t>(
+      type_index(PhotoType{Resolution::a, PhotoFormat::png}));
+  EXPECT_EQ(stats.requests_by_type[l5], 3u);
+  EXPECT_EQ(stats.requests_by_type[a0], 1u);
+  EXPECT_EQ(stats.objects_by_type[l5], 1u);  // photo 2 never accessed
+  EXPECT_EQ(stats.objects_by_type[a0], 1u);
+}
+
+TEST(TraceStats, EmptyTraceSafe) {
+  Trace trace;
+  trace.catalog = PhotoCatalog{{}, {}};
+  const TraceStats stats = compute_trace_stats(trace);
+  EXPECT_EQ(stats.total_requests, 0u);
+  EXPECT_DOUBLE_EQ(stats.one_time_object_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.hit_rate_cap(), 0.0);
+}
+
+}  // namespace
+}  // namespace otac

@@ -1,0 +1,40 @@
+#include "trace/types.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace otac {
+namespace {
+
+TEST(PhotoType, TwelveDistinctTypes) {
+  std::set<int> codes;
+  for (int i = 0; i < kPhotoTypeCount; ++i) {
+    const PhotoType t = type_from_index(i);
+    EXPECT_EQ(type_index(t), i);
+    codes.insert(type_code(t));
+  }
+  EXPECT_EQ(codes.size(), 12u);
+  EXPECT_EQ(*codes.begin(), 1);
+  EXPECT_EQ(*codes.rbegin(), 12);
+}
+
+TEST(PhotoType, NamesMatchPaperConvention) {
+  EXPECT_EQ(type_name(PhotoType{Resolution::a, PhotoFormat::png}), "a0");
+  EXPECT_EQ(type_name(PhotoType{Resolution::a, PhotoFormat::jpg}), "a5");
+  EXPECT_EQ(type_name(PhotoType{Resolution::l, PhotoFormat::jpg}), "l5");
+  EXPECT_EQ(type_name(PhotoType{Resolution::o, PhotoFormat::png}), "o0");
+}
+
+TEST(PhotoType, RoundTripIndex) {
+  for (int i = 0; i < kPhotoTypeCount; ++i) {
+    EXPECT_EQ(type_index(type_from_index(i)), i);
+  }
+}
+
+TEST(Request, CompactLayout) {
+  EXPECT_LE(sizeof(Request), 16u);
+}
+
+}  // namespace
+}  // namespace otac

@@ -1,0 +1,77 @@
+#include "util/alias_table.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace otac {
+namespace {
+
+TEST(AliasTable, RejectsBadWeights) {
+  const std::vector<double> empty;
+  EXPECT_THROW(AliasTable{std::span<const double>{empty}},
+               std::invalid_argument);
+  const std::vector<double> negative{1.0, -0.5};
+  EXPECT_THROW(AliasTable{std::span<const double>{negative}},
+               std::invalid_argument);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(AliasTable{std::span<const double>{zeros}},
+               std::invalid_argument);
+}
+
+TEST(AliasTable, NormalizesProbabilities) {
+  const std::vector<double> weights{2.0, 6.0, 2.0};
+  AliasTable table{weights};
+  EXPECT_NEAR(table.probability(0), 0.2, 1e-12);
+  EXPECT_NEAR(table.probability(1), 0.6, 1e-12);
+  EXPECT_NEAR(table.probability(2), 0.2, 1e-12);
+}
+
+TEST(AliasTable, SingleBucketAlwaysZero) {
+  const std::vector<double> weights{3.5};
+  AliasTable table{weights};
+  Rng rng{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTable, EmpiricalMatchesWeights) {
+  const std::vector<double> weights{1.0, 2.0, 3.0, 4.0, 0.0, 10.0};
+  AliasTable table{weights};
+  Rng rng{42};
+  std::vector<double> counts(weights.size(), 0.0);
+  constexpr int kDraws = 400000;
+  for (int i = 0; i < kDraws; ++i) counts[table.sample(rng)] += 1.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected = table.probability(i);
+    const double tol =
+        5.0 * std::sqrt(expected * (1 - expected) / kDraws) + 1e-4;
+    EXPECT_NEAR(counts[i] / kDraws, expected, tol) << "bucket " << i;
+  }
+}
+
+TEST(AliasTable, ZeroWeightBucketNeverSampled) {
+  const std::vector<double> weights{1.0, 0.0, 1.0};
+  AliasTable table{weights};
+  Rng rng{42};
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_NE(table.sample(rng), 1u);
+  }
+}
+
+TEST(AliasTable, HandlesManyBuckets) {
+  std::vector<double> weights(10000);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = static_cast<double>(i % 7) + 0.1;
+  }
+  AliasTable table{weights};
+  Rng rng{42};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_LT(table.sample(rng), weights.size());
+  }
+}
+
+}  // namespace
+}  // namespace otac

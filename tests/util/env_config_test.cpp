@@ -1,0 +1,47 @@
+#include "util/env_config.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace otac {
+namespace {
+
+TEST(EnvConfig, FallbacksWhenUnset) {
+  unsetenv("OTAC_TEST_VAR");
+  EXPECT_DOUBLE_EQ(env_double("OTAC_TEST_VAR", 2.5), 2.5);
+  EXPECT_EQ(env_int("OTAC_TEST_VAR", 7), 7);
+  EXPECT_EQ(env_string("OTAC_TEST_VAR", "dflt"), "dflt");
+}
+
+TEST(EnvConfig, ParsesValues) {
+  setenv("OTAC_TEST_VAR", "3.25", 1);
+  EXPECT_DOUBLE_EQ(env_double("OTAC_TEST_VAR", 0.0), 3.25);
+  setenv("OTAC_TEST_VAR", "-12", 1);
+  EXPECT_EQ(env_int("OTAC_TEST_VAR", 0), -12);
+  setenv("OTAC_TEST_VAR", "hello", 1);
+  EXPECT_EQ(env_string("OTAC_TEST_VAR", ""), "hello");
+  unsetenv("OTAC_TEST_VAR");
+}
+
+TEST(EnvConfig, MalformedFallsBack) {
+  setenv("OTAC_TEST_VAR", "12abc", 1);
+  EXPECT_DOUBLE_EQ(env_double("OTAC_TEST_VAR", 1.5), 1.5);
+  EXPECT_EQ(env_int("OTAC_TEST_VAR", 9), 9);
+  unsetenv("OTAC_TEST_VAR");
+}
+
+TEST(EnvConfig, GlobalKnobs) {
+  unsetenv("OTAC_SEED");
+  unsetenv("OTAC_SCALE");
+  EXPECT_EQ(global_seed(), 42u);
+  EXPECT_DOUBLE_EQ(global_scale(), 1.0);
+  setenv("OTAC_SCALE", "-2", 1);  // nonpositive scale is rejected
+  EXPECT_DOUBLE_EQ(global_scale(), 1.0);
+  setenv("OTAC_SCALE", "0.25", 1);
+  EXPECT_DOUBLE_EQ(global_scale(), 0.25);
+  unsetenv("OTAC_SCALE");
+}
+
+}  // namespace
+}  // namespace otac

@@ -1,0 +1,62 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace otac {
+namespace {
+
+FlagParser parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return FlagParser{static_cast<int>(argv.size()), argv.data()};
+}
+
+TEST(Flags, EqualsAndSpaceForms) {
+  const auto flags = parse({"--alpha=1.5", "--name", "value"});
+  EXPECT_DOUBLE_EQ(flags.get("alpha", 0.0), 1.5);
+  EXPECT_EQ(flags.get("name", std::string{}), "value");
+}
+
+TEST(Flags, BooleanSwitch) {
+  const auto flags = parse({"--verbose", "--count=3"});
+  EXPECT_TRUE(flags.get("verbose", false));
+  EXPECT_EQ(flags.get("count", std::int64_t{0}), 3);
+}
+
+TEST(Flags, BooleanExplicitValues) {
+  const auto flags = parse({"--a=true", "--b=0", "--c", "no"});
+  EXPECT_TRUE(flags.get("a", false));
+  EXPECT_FALSE(flags.get("b", true));
+  EXPECT_FALSE(flags.get("c", true));
+  EXPECT_THROW((void)parse({"--d=maybe"}).get("d", false),
+               std::invalid_argument);
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  const auto flags = parse({});
+  EXPECT_FALSE(flags.has("missing"));
+  EXPECT_EQ(flags.get("missing", std::string{"x"}), "x");
+  EXPECT_DOUBLE_EQ(flags.get("missing", 2.5), 2.5);
+  EXPECT_EQ(flags.get("missing", std::int64_t{7}), 7);
+}
+
+TEST(Flags, Positionals) {
+  const auto flags = parse({"input.csv", "--k=2", "output.csv"});
+  ASSERT_EQ(flags.positionals().size(), 2u);
+  EXPECT_EQ(flags.positionals()[0], "input.csv");
+  EXPECT_EQ(flags.positionals()[1], "output.csv");
+  EXPECT_EQ(flags.program(), "prog");
+}
+
+TEST(Flags, MalformedNumbersThrow) {
+  const auto flags = parse({"--x=abc"});
+  EXPECT_THROW((void)flags.get("x", 1.0), std::invalid_argument);
+  EXPECT_THROW((void)flags.get("x", std::int64_t{1}), std::invalid_argument);
+}
+
+TEST(Flags, BareDoubleDashRejected) {
+  EXPECT_THROW(parse({"--"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace otac

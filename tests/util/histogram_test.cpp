@@ -1,0 +1,79 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace otac {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram hist{0.0, 10.0, 10};
+  hist.add(0.5);
+  hist.add(9.5);
+  hist.add(-100.0);  // clamps into bin 0
+  hist.add(100.0);   // clamps into last bin
+  EXPECT_DOUBLE_EQ(hist.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(hist.count(9), 2.0);
+  EXPECT_DOUBLE_EQ(hist.total(), 4.0);
+}
+
+TEST(Histogram, WeightedAdds) {
+  Histogram hist{0.0, 1.0, 2};
+  hist.add(0.25, 3.0);
+  hist.add(0.75, 1.0);
+  EXPECT_DOUBLE_EQ(hist.count(0), 3.0);
+  EXPECT_DOUBLE_EQ(hist.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(hist.total(), 4.0);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  Histogram hist{0.0, 100.0, 100};
+  for (int i = 0; i < 100; ++i) hist.add(i + 0.5);
+  EXPECT_NEAR(hist.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(hist.quantile(0.9), 90.0, 1.0);
+  EXPECT_NEAR(hist.quantile(0.0), 0.0, 1.0);
+  EXPECT_NEAR(hist.quantile(1.0), 100.0, 1.0);
+}
+
+TEST(Histogram, QuantileOnEmptyReturnsLo) {
+  Histogram hist{5.0, 10.0, 5};
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 5.0);
+}
+
+TEST(Histogram, AsciiRendersEveryBin) {
+  Histogram hist{0.0, 2.0, 2};
+  hist.add(0.5);
+  hist.add(1.5);
+  hist.add(1.6);
+  const std::string art = hist.ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace otac

@@ -1,0 +1,183 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace otac {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Rng parent{7};
+  const Rng child_before = parent.fork(3);
+  Rng parent_copy{7};
+  (void)parent_copy;  // fork does not consume parent state
+  Rng child_again = Rng{7}.fork(3);
+  Rng lhs = child_before;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(lhs.next_u64(), child_again.next_u64());
+  }
+}
+
+TEST(Rng, ForksOfDistinctStreamsDiffer) {
+  Rng parent{7};
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng{42};
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, DoubleOpenNeverZero) {
+  Rng rng{42};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.next_double_open(), 0.0);
+  }
+}
+
+TEST(Rng, NextBelowInRangeAndRoughlyUniform) {
+  Rng rng{42};
+  constexpr std::uint64_t kBound = 10;
+  std::vector<int> counts(kBound, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t x = rng.next_below(kBound);
+    ASSERT_LT(x, kBound);
+    counts[x] += 1;
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBound, 500);
+  }
+}
+
+TEST(Rng, NextBelowDegenerateBounds) {
+  Rng rng{42};
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng{42};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t x = rng.uniform_int(-3, 3);
+    ASSERT_GE(x, -3);
+    ASSERT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng{42};
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng{42};
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, LomaxMeanMatchesClosedForm) {
+  // E[Lomax(shape, scale)] = scale / (shape - 1) for shape > 1.
+  Rng rng{42};
+  const double shape = 3.0;
+  const double scale = 2.0;
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.lomax(shape, scale);
+  EXPECT_NEAR(sum / kDraws, scale / (shape - 1.0), 0.05);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng rng{42};
+  const double p = 0.25;
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.geometric(p));
+  }
+  EXPECT_NEAR(sum / kDraws, (1.0 - p) / p, 0.05);
+}
+
+TEST(Rng, GeometricWithCertainSuccessIsZero) {
+  Rng rng{42};
+  EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+class RngPoissonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoissonTest, MeanAndVarianceMatch) {
+  const double mean = GetParam();
+  Rng rng{42};
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = static_cast<double>(rng.poisson(mean));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double sample_mean = sum / kDraws;
+  const double sample_var = sum_sq / kDraws - sample_mean * sample_mean;
+  EXPECT_NEAR(sample_mean, mean, 0.05 * mean + 0.02);
+  EXPECT_NEAR(sample_var, mean, 0.08 * mean + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, RngPoissonTest,
+                         ::testing::Values(0.5, 2.0, 10.0, 50.0, 200.0));
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng{42};
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+}  // namespace
+}  // namespace otac

@@ -1,0 +1,52 @@
+#include "util/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace otac {
+namespace {
+
+TEST(SimTime, Arithmetic) {
+  const SimTime t{100};
+  EXPECT_EQ((t + 50).seconds, 150);
+  EXPECT_EQ((t - 30).seconds, 70);
+  EXPECT_EQ(SimTime{150} - t, 50);
+  EXPECT_LT(t, SimTime{101});
+}
+
+TEST(SimTime, FromDays) {
+  EXPECT_EQ(from_days(1.0).seconds, 86400);
+  EXPECT_EQ(from_days(0.5).seconds, 43200);
+  EXPECT_EQ(from_days(9.0).seconds, 9 * 86400);
+}
+
+TEST(SimTime, DayIndexFloorsNegatives) {
+  EXPECT_EQ(day_index(SimTime{0}), 0);
+  EXPECT_EQ(day_index(SimTime{86399}), 0);
+  EXPECT_EQ(day_index(SimTime{86400}), 1);
+  EXPECT_EQ(day_index(SimTime{-1}), -1);
+  EXPECT_EQ(day_index(SimTime{-86400}), -1);
+  EXPECT_EQ(day_index(SimTime{-86401}), -2);
+}
+
+TEST(SimTime, SecondOfDayAlwaysNonNegative) {
+  EXPECT_EQ(second_of_day(SimTime{0}), 0);
+  EXPECT_EQ(second_of_day(SimTime{-1}), 86399);
+  EXPECT_EQ(second_of_day(SimTime{86400 + 7}), 7);
+}
+
+TEST(SimTime, HourAndMinuteOfDay) {
+  const SimTime eight_pm{20 * 3600 + 15 * 60};
+  EXPECT_EQ(hour_of_day(eight_pm), 20);
+  EXPECT_EQ(minute_of_day(eight_pm), 20 * 60 + 15);
+  EXPECT_EQ(hour_of_day(SimTime{-3600}), 23);
+}
+
+TEST(SimTime, TenMinuteBuckets) {
+  EXPECT_EQ(ten_minute_buckets(0), 0);
+  EXPECT_EQ(ten_minute_buckets(599), 0);
+  EXPECT_EQ(ten_minute_buckets(600), 1);
+  EXPECT_EQ(ten_minute_buckets(3600), 6);
+}
+
+}  // namespace
+}  // namespace otac

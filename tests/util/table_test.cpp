@@ -1,0 +1,61 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace otac {
+namespace {
+
+TEST(TablePrinter, RejectsEmptyHeaderAndArityMismatch) {
+  EXPECT_THROW(TablePrinter{std::vector<std::string>{}}, std::invalid_argument);
+  TablePrinter table{{"a", "b"}};
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, FormatsAlignedColumns) {
+  TablePrinter table{{"name", "value"}};
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TablePrinter, FmtAndPct) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::pct(0.1234, 1), "12.3%");
+}
+
+TEST(TablePrinter, CsvEscapesSpecialCharacters) {
+  TablePrinter table{{"a", "b"}};
+  table.add_row({"plain", "has,comma"});
+  table.add_row({"has\"quote", "line\nbreak"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TablePrinter, WriteCsvRoundTrip) {
+  TablePrinter table{{"k", "v"}};
+  table.add_row({"alpha", "1"});
+  const std::string path = testing::TempDir() + "/otac_table_test.csv";
+  ASSERT_TRUE(table.write_csv(path));
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "k,v");
+  std::remove(path.c_str());
+}
+
+TEST(TablePrinter, WriteCsvFailsOnBadPath) {
+  TablePrinter table{{"k"}};
+  EXPECT_FALSE(table.write_csv("/nonexistent_dir_xyz/file.csv"));
+}
+
+}  // namespace
+}  // namespace otac

@@ -1,0 +1,88 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace otac {
+namespace {
+
+TEST(Zipf, RejectsBadArguments) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -0.5), std::invalid_argument);
+}
+
+TEST(Zipf, SingleElementAlwaysOne) {
+  ZipfSampler zipf{1, 1.2};
+  Rng rng{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 1u);
+}
+
+TEST(Zipf, SamplesWithinRange) {
+  ZipfSampler zipf{1000, 0.9};
+  Rng rng{42};
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t k = zipf.sample(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 1000u);
+  }
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfSampler zipf{500, 1.3};
+  double total = 0.0;
+  for (std::uint64_t k = 1; k <= 500; ++k) total += zipf.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(zipf.pmf(0), 0.0);
+  EXPECT_EQ(zipf.pmf(501), 0.0);
+}
+
+class ZipfAlphaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfAlphaTest, EmpiricalFrequenciesMatchPmf) {
+  const double alpha = GetParam();
+  constexpr std::uint64_t kN = 50;
+  ZipfSampler zipf{kN, alpha};
+  Rng rng{42};
+  std::vector<double> counts(kN + 1, 0.0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) counts[zipf.sample(rng)] += 1.0;
+  for (std::uint64_t k = 1; k <= kN; ++k) {
+    const double expected = zipf.pmf(k);
+    const double observed = counts[k] / kDraws;
+    // 5 sigma binomial tolerance plus small absolute floor.
+    const double tol =
+        5.0 * std::sqrt(expected * (1 - expected) / kDraws) + 1e-4;
+    EXPECT_NEAR(observed, expected, tol) << "k=" << k << " alpha=" << alpha;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfAlphaTest,
+                         ::testing::Values(0.0, 0.5, 1.0, 1.5, 2.5));
+
+TEST(Zipf, UniformWhenAlphaZero) {
+  ZipfSampler zipf{10, 0.0};
+  for (std::uint64_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(zipf.pmf(k), 0.1, 1e-12);
+  }
+}
+
+TEST(Zipf, HeavierAlphaConcentratesOnHead) {
+  ZipfSampler light{1000, 0.6};
+  ZipfSampler heavy{1000, 1.8};
+  Rng rng1{42};
+  Rng rng2{42};
+  double light_head = 0.0;
+  double heavy_head = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (light.sample(rng1) <= 10) light_head += 1.0;
+    if (heavy.sample(rng2) <= 10) heavy_head += 1.0;
+  }
+  EXPECT_GT(heavy_head, light_head * 2.0);
+}
+
+}  // namespace
+}  // namespace otac
