@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_cost_matrix.dir/bench/ablate_cost_matrix.cpp.o"
+  "CMakeFiles/ablate_cost_matrix.dir/bench/ablate_cost_matrix.cpp.o.d"
+  "bench/ablate_cost_matrix"
+  "bench/ablate_cost_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_cost_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_criteria.dir/bench/ablate_criteria.cpp.o"
+  "CMakeFiles/ablate_criteria.dir/bench/ablate_criteria.cpp.o.d"
+  "bench/ablate_criteria"
+  "bench/ablate_criteria.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_criteria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_criteria.
+# This may be replaced when dependencies are built.

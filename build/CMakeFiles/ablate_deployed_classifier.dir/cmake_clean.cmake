@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_deployed_classifier.dir/bench/ablate_deployed_classifier.cpp.o"
+  "CMakeFiles/ablate_deployed_classifier.dir/bench/ablate_deployed_classifier.cpp.o.d"
+  "bench/ablate_deployed_classifier"
+  "bench/ablate_deployed_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_deployed_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

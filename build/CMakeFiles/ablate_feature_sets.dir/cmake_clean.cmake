@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_feature_sets.dir/bench/ablate_feature_sets.cpp.o"
+  "CMakeFiles/ablate_feature_sets.dir/bench/ablate_feature_sets.cpp.o.d"
+  "bench/ablate_feature_sets"
+  "bench/ablate_feature_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_feature_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_history_table.dir/bench/ablate_history_table.cpp.o"
+  "CMakeFiles/ablate_history_table.dir/bench/ablate_history_table.cpp.o.d"
+  "bench/ablate_history_table"
+  "bench/ablate_history_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_history_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_retrain.dir/bench/ablate_retrain.cpp.o"
+  "CMakeFiles/ablate_retrain.dir/bench/ablate_retrain.cpp.o.d"
+  "bench/ablate_retrain"
+  "bench/ablate_retrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_retrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

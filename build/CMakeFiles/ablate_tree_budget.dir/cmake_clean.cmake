@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_tree_budget.dir/bench/ablate_tree_budget.cpp.o"
+  "CMakeFiles/ablate_tree_budget.dir/bench/ablate_tree_budget.cpp.o.d"
+  "bench/ablate_tree_budget"
+  "bench/ablate_tree_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_tree_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_response_time.dir/bench/fig10_response_time.cpp.o"
+  "CMakeFiles/fig10_response_time.dir/bench/fig10_response_time.cpp.o.d"
+  "bench/fig10_response_time"
+  "bench/fig10_response_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_response_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

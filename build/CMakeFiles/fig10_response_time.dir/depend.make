@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_response_time.
+# This may be replaced when dependencies are built.

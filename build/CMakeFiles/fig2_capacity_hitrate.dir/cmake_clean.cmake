@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_capacity_hitrate.dir/bench/fig2_capacity_hitrate.cpp.o"
+  "CMakeFiles/fig2_capacity_hitrate.dir/bench/fig2_capacity_hitrate.cpp.o.d"
+  "bench/fig2_capacity_hitrate"
+  "bench/fig2_capacity_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_capacity_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_photo_types.dir/bench/fig3_photo_types.cpp.o"
+  "CMakeFiles/fig3_photo_types.dir/bench/fig3_photo_types.cpp.o.d"
+  "bench/fig3_photo_types"
+  "bench/fig3_photo_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_photo_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_classification_perf.dir/bench/fig5_classification_perf.cpp.o"
+  "CMakeFiles/fig5_classification_perf.dir/bench/fig5_classification_perf.cpp.o.d"
+  "bench/fig5_classification_perf"
+  "bench/fig5_classification_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_classification_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_file_hitrate.dir/bench/fig6_file_hitrate.cpp.o"
+  "CMakeFiles/fig6_file_hitrate.dir/bench/fig6_file_hitrate.cpp.o.d"
+  "bench/fig6_file_hitrate"
+  "bench/fig6_file_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_file_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_byte_hitrate.dir/bench/fig7_byte_hitrate.cpp.o"
+  "CMakeFiles/fig7_byte_hitrate.dir/bench/fig7_byte_hitrate.cpp.o.d"
+  "bench/fig7_byte_hitrate"
+  "bench/fig7_byte_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_byte_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

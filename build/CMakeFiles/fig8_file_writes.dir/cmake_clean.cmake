@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_file_writes.dir/bench/fig8_file_writes.cpp.o"
+  "CMakeFiles/fig8_file_writes.dir/bench/fig8_file_writes.cpp.o.d"
+  "bench/fig8_file_writes"
+  "bench/fig8_file_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_file_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

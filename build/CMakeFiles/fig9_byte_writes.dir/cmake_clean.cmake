@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_byte_writes.dir/bench/fig9_byte_writes.cpp.o"
+  "CMakeFiles/fig9_byte_writes.dir/bench/fig9_byte_writes.cpp.o.d"
+  "bench/fig9_byte_writes"
+  "bench/fig9_byte_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_byte_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

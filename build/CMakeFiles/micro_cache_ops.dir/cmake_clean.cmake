@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cache_ops.dir/bench/micro_cache_ops.cpp.o"
+  "CMakeFiles/micro_cache_ops.dir/bench/micro_cache_ops.cpp.o.d"
+  "bench/micro_cache_ops"
+  "bench/micro_cache_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cache_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_classifier.dir/bench/micro_classifier.cpp.o"
+  "CMakeFiles/micro_classifier.dir/bench/micro_classifier.cpp.o.d"
+  "bench/micro_classifier"
+  "bench/micro_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

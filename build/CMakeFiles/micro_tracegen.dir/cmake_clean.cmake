@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tracegen.dir/bench/micro_tracegen.cpp.o"
+  "CMakeFiles/micro_tracegen.dir/bench/micro_tracegen.cpp.o.d"
+  "bench/micro_tracegen"
+  "bench/micro_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section2_trace_stats.dir/bench/section2_trace_stats.cpp.o"
+  "CMakeFiles/section2_trace_stats.dir/bench/section2_trace_stats.cpp.o.d"
+  "bench/section2_trace_stats"
+  "bench/section2_trace_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section2_trace_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

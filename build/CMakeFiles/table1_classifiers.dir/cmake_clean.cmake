@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_classifiers.dir/bench/table1_classifiers.cpp.o"
+  "CMakeFiles/table1_classifiers.dir/bench/table1_classifiers.cpp.o.d"
+  "bench/table1_classifiers"
+  "bench/table1_classifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

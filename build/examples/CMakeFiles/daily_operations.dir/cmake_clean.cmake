@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daily_operations.dir/daily_operations.cpp.o"
+  "CMakeFiles/daily_operations.dir/daily_operations.cpp.o.d"
+  "daily_operations"
+  "daily_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daily_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for daily_operations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifetime_study.dir/lifetime_study.cpp.o"
+  "CMakeFiles/lifetime_study.dir/lifetime_study.cpp.o.d"
+  "lifetime_study"
+  "lifetime_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetime_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otac_sim.dir/otac_sim.cpp.o"
+  "CMakeFiles/otac_sim.dir/otac_sim.cpp.o.d"
+  "otac_sim"
+  "otac_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otac_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

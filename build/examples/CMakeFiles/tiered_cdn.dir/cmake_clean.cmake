@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiered_cdn.dir/tiered_cdn.cpp.o"
+  "CMakeFiles/tiered_cdn.dir/tiered_cdn.cpp.o.d"
+  "tiered_cdn"
+  "tiered_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiered_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cachesim/arc.cpp" "src/cachesim/CMakeFiles/otac_cachesim.dir/arc.cpp.o" "gcc" "src/cachesim/CMakeFiles/otac_cachesim.dir/arc.cpp.o.d"
+  "/root/repo/src/cachesim/belady.cpp" "src/cachesim/CMakeFiles/otac_cachesim.dir/belady.cpp.o" "gcc" "src/cachesim/CMakeFiles/otac_cachesim.dir/belady.cpp.o.d"
+  "/root/repo/src/cachesim/fifo.cpp" "src/cachesim/CMakeFiles/otac_cachesim.dir/fifo.cpp.o" "gcc" "src/cachesim/CMakeFiles/otac_cachesim.dir/fifo.cpp.o.d"
+  "/root/repo/src/cachesim/lfu.cpp" "src/cachesim/CMakeFiles/otac_cachesim.dir/lfu.cpp.o" "gcc" "src/cachesim/CMakeFiles/otac_cachesim.dir/lfu.cpp.o.d"
+  "/root/repo/src/cachesim/lirs.cpp" "src/cachesim/CMakeFiles/otac_cachesim.dir/lirs.cpp.o" "gcc" "src/cachesim/CMakeFiles/otac_cachesim.dir/lirs.cpp.o.d"
+  "/root/repo/src/cachesim/lru.cpp" "src/cachesim/CMakeFiles/otac_cachesim.dir/lru.cpp.o" "gcc" "src/cachesim/CMakeFiles/otac_cachesim.dir/lru.cpp.o.d"
+  "/root/repo/src/cachesim/policy_factory.cpp" "src/cachesim/CMakeFiles/otac_cachesim.dir/policy_factory.cpp.o" "gcc" "src/cachesim/CMakeFiles/otac_cachesim.dir/policy_factory.cpp.o.d"
+  "/root/repo/src/cachesim/s3lru.cpp" "src/cachesim/CMakeFiles/otac_cachesim.dir/s3lru.cpp.o" "gcc" "src/cachesim/CMakeFiles/otac_cachesim.dir/s3lru.cpp.o.d"
+  "/root/repo/src/cachesim/simulator.cpp" "src/cachesim/CMakeFiles/otac_cachesim.dir/simulator.cpp.o" "gcc" "src/cachesim/CMakeFiles/otac_cachesim.dir/simulator.cpp.o.d"
+  "/root/repo/src/cachesim/tiered.cpp" "src/cachesim/CMakeFiles/otac_cachesim.dir/tiered.cpp.o" "gcc" "src/cachesim/CMakeFiles/otac_cachesim.dir/tiered.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/otac_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/otac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otac_cachesim.dir/arc.cpp.o"
+  "CMakeFiles/otac_cachesim.dir/arc.cpp.o.d"
+  "CMakeFiles/otac_cachesim.dir/belady.cpp.o"
+  "CMakeFiles/otac_cachesim.dir/belady.cpp.o.d"
+  "CMakeFiles/otac_cachesim.dir/fifo.cpp.o"
+  "CMakeFiles/otac_cachesim.dir/fifo.cpp.o.d"
+  "CMakeFiles/otac_cachesim.dir/lfu.cpp.o"
+  "CMakeFiles/otac_cachesim.dir/lfu.cpp.o.d"
+  "CMakeFiles/otac_cachesim.dir/lirs.cpp.o"
+  "CMakeFiles/otac_cachesim.dir/lirs.cpp.o.d"
+  "CMakeFiles/otac_cachesim.dir/lru.cpp.o"
+  "CMakeFiles/otac_cachesim.dir/lru.cpp.o.d"
+  "CMakeFiles/otac_cachesim.dir/policy_factory.cpp.o"
+  "CMakeFiles/otac_cachesim.dir/policy_factory.cpp.o.d"
+  "CMakeFiles/otac_cachesim.dir/s3lru.cpp.o"
+  "CMakeFiles/otac_cachesim.dir/s3lru.cpp.o.d"
+  "CMakeFiles/otac_cachesim.dir/simulator.cpp.o"
+  "CMakeFiles/otac_cachesim.dir/simulator.cpp.o.d"
+  "CMakeFiles/otac_cachesim.dir/tiered.cpp.o"
+  "CMakeFiles/otac_cachesim.dir/tiered.cpp.o.d"
+  "libotac_cachesim.a"
+  "libotac_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otac_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

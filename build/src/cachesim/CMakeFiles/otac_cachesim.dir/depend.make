@@ -1,0 +1,2 @@
+# Empty dependencies file for otac_cachesim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifier_system.cpp" "src/core/CMakeFiles/otac_core.dir/classifier_system.cpp.o" "gcc" "src/core/CMakeFiles/otac_core.dir/classifier_system.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/otac_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/otac_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/history_table.cpp" "src/core/CMakeFiles/otac_core.dir/history_table.cpp.o" "gcc" "src/core/CMakeFiles/otac_core.dir/history_table.cpp.o.d"
+  "/root/repo/src/core/intelligent_cache.cpp" "src/core/CMakeFiles/otac_core.dir/intelligent_cache.cpp.o" "gcc" "src/core/CMakeFiles/otac_core.dir/intelligent_cache.cpp.o.d"
+  "/root/repo/src/core/ota_criteria.cpp" "src/core/CMakeFiles/otac_core.dir/ota_criteria.cpp.o" "gcc" "src/core/CMakeFiles/otac_core.dir/ota_criteria.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/otac_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/otac_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cachesim/CMakeFiles/otac_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/otac_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/otac_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/otac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otac_core.dir/classifier_system.cpp.o"
+  "CMakeFiles/otac_core.dir/classifier_system.cpp.o.d"
+  "CMakeFiles/otac_core.dir/features.cpp.o"
+  "CMakeFiles/otac_core.dir/features.cpp.o.d"
+  "CMakeFiles/otac_core.dir/history_table.cpp.o"
+  "CMakeFiles/otac_core.dir/history_table.cpp.o.d"
+  "CMakeFiles/otac_core.dir/intelligent_cache.cpp.o"
+  "CMakeFiles/otac_core.dir/intelligent_cache.cpp.o.d"
+  "CMakeFiles/otac_core.dir/ota_criteria.cpp.o"
+  "CMakeFiles/otac_core.dir/ota_criteria.cpp.o.d"
+  "CMakeFiles/otac_core.dir/trainer.cpp.o"
+  "CMakeFiles/otac_core.dir/trainer.cpp.o.d"
+  "libotac_core.a"
+  "libotac_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otac_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

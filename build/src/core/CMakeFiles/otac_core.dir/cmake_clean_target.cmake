@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libotac_core.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otac_experiments.dir/capacity_sweep.cpp.o"
+  "CMakeFiles/otac_experiments.dir/capacity_sweep.cpp.o.d"
+  "CMakeFiles/otac_experiments.dir/classifier_experiments.cpp.o"
+  "CMakeFiles/otac_experiments.dir/classifier_experiments.cpp.o.d"
+  "CMakeFiles/otac_experiments.dir/workloads.cpp.o"
+  "CMakeFiles/otac_experiments.dir/workloads.cpp.o.d"
+  "libotac_experiments.a"
+  "libotac_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otac_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/adaboost.cpp" "src/ml/CMakeFiles/otac_ml.dir/adaboost.cpp.o" "gcc" "src/ml/CMakeFiles/otac_ml.dir/adaboost.cpp.o.d"
+  "/root/repo/src/ml/cross_validation.cpp" "src/ml/CMakeFiles/otac_ml.dir/cross_validation.cpp.o" "gcc" "src/ml/CMakeFiles/otac_ml.dir/cross_validation.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/otac_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/otac_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/otac_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/otac_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/feature_selection.cpp" "src/ml/CMakeFiles/otac_ml.dir/feature_selection.cpp.o" "gcc" "src/ml/CMakeFiles/otac_ml.dir/feature_selection.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/otac_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/otac_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/logistic.cpp" "src/ml/CMakeFiles/otac_ml.dir/logistic.cpp.o" "gcc" "src/ml/CMakeFiles/otac_ml.dir/logistic.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/otac_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/otac_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/otac_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/otac_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/naive_bayes.cpp" "src/ml/CMakeFiles/otac_ml.dir/naive_bayes.cpp.o" "gcc" "src/ml/CMakeFiles/otac_ml.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/otac_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/otac_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/otac_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/otac_ml.dir/scaler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/otac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

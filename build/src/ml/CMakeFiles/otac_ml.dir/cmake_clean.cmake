@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otac_ml.dir/adaboost.cpp.o"
+  "CMakeFiles/otac_ml.dir/adaboost.cpp.o.d"
+  "CMakeFiles/otac_ml.dir/cross_validation.cpp.o"
+  "CMakeFiles/otac_ml.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/otac_ml.dir/dataset.cpp.o"
+  "CMakeFiles/otac_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/otac_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/otac_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/otac_ml.dir/feature_selection.cpp.o"
+  "CMakeFiles/otac_ml.dir/feature_selection.cpp.o.d"
+  "CMakeFiles/otac_ml.dir/knn.cpp.o"
+  "CMakeFiles/otac_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/otac_ml.dir/logistic.cpp.o"
+  "CMakeFiles/otac_ml.dir/logistic.cpp.o.d"
+  "CMakeFiles/otac_ml.dir/metrics.cpp.o"
+  "CMakeFiles/otac_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/otac_ml.dir/mlp.cpp.o"
+  "CMakeFiles/otac_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/otac_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/otac_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/otac_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/otac_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/otac_ml.dir/scaler.cpp.o"
+  "CMakeFiles/otac_ml.dir/scaler.cpp.o.d"
+  "libotac_ml.a"
+  "libotac_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otac_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

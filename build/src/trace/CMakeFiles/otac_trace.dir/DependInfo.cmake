@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/diurnal.cpp" "src/trace/CMakeFiles/otac_trace.dir/diurnal.cpp.o" "gcc" "src/trace/CMakeFiles/otac_trace.dir/diurnal.cpp.o.d"
+  "/root/repo/src/trace/next_access.cpp" "src/trace/CMakeFiles/otac_trace.dir/next_access.cpp.o" "gcc" "src/trace/CMakeFiles/otac_trace.dir/next_access.cpp.o.d"
+  "/root/repo/src/trace/photo_catalog.cpp" "src/trace/CMakeFiles/otac_trace.dir/photo_catalog.cpp.o" "gcc" "src/trace/CMakeFiles/otac_trace.dir/photo_catalog.cpp.o.d"
+  "/root/repo/src/trace/popularity_model.cpp" "src/trace/CMakeFiles/otac_trace.dir/popularity_model.cpp.o" "gcc" "src/trace/CMakeFiles/otac_trace.dir/popularity_model.cpp.o.d"
+  "/root/repo/src/trace/sampler.cpp" "src/trace/CMakeFiles/otac_trace.dir/sampler.cpp.o" "gcc" "src/trace/CMakeFiles/otac_trace.dir/sampler.cpp.o.d"
+  "/root/repo/src/trace/social_model.cpp" "src/trace/CMakeFiles/otac_trace.dir/social_model.cpp.o" "gcc" "src/trace/CMakeFiles/otac_trace.dir/social_model.cpp.o.d"
+  "/root/repo/src/trace/trace_generator.cpp" "src/trace/CMakeFiles/otac_trace.dir/trace_generator.cpp.o" "gcc" "src/trace/CMakeFiles/otac_trace.dir/trace_generator.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/otac_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/otac_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/trace_stats.cpp" "src/trace/CMakeFiles/otac_trace.dir/trace_stats.cpp.o" "gcc" "src/trace/CMakeFiles/otac_trace.dir/trace_stats.cpp.o.d"
+  "/root/repo/src/trace/workload_config.cpp" "src/trace/CMakeFiles/otac_trace.dir/workload_config.cpp.o" "gcc" "src/trace/CMakeFiles/otac_trace.dir/workload_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/otac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otac_trace.dir/diurnal.cpp.o"
+  "CMakeFiles/otac_trace.dir/diurnal.cpp.o.d"
+  "CMakeFiles/otac_trace.dir/next_access.cpp.o"
+  "CMakeFiles/otac_trace.dir/next_access.cpp.o.d"
+  "CMakeFiles/otac_trace.dir/photo_catalog.cpp.o"
+  "CMakeFiles/otac_trace.dir/photo_catalog.cpp.o.d"
+  "CMakeFiles/otac_trace.dir/popularity_model.cpp.o"
+  "CMakeFiles/otac_trace.dir/popularity_model.cpp.o.d"
+  "CMakeFiles/otac_trace.dir/sampler.cpp.o"
+  "CMakeFiles/otac_trace.dir/sampler.cpp.o.d"
+  "CMakeFiles/otac_trace.dir/social_model.cpp.o"
+  "CMakeFiles/otac_trace.dir/social_model.cpp.o.d"
+  "CMakeFiles/otac_trace.dir/trace_generator.cpp.o"
+  "CMakeFiles/otac_trace.dir/trace_generator.cpp.o.d"
+  "CMakeFiles/otac_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/otac_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/otac_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/otac_trace.dir/trace_stats.cpp.o.d"
+  "CMakeFiles/otac_trace.dir/workload_config.cpp.o"
+  "CMakeFiles/otac_trace.dir/workload_config.cpp.o.d"
+  "libotac_trace.a"
+  "libotac_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otac_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/alias_table.cpp" "src/util/CMakeFiles/otac_util.dir/alias_table.cpp.o" "gcc" "src/util/CMakeFiles/otac_util.dir/alias_table.cpp.o.d"
+  "/root/repo/src/util/env_config.cpp" "src/util/CMakeFiles/otac_util.dir/env_config.cpp.o" "gcc" "src/util/CMakeFiles/otac_util.dir/env_config.cpp.o.d"
+  "/root/repo/src/util/flags.cpp" "src/util/CMakeFiles/otac_util.dir/flags.cpp.o" "gcc" "src/util/CMakeFiles/otac_util.dir/flags.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/util/CMakeFiles/otac_util.dir/histogram.cpp.o" "gcc" "src/util/CMakeFiles/otac_util.dir/histogram.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/otac_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/otac_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/otac_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/otac_util.dir/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/otac_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/otac_util.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/util/zipf.cpp" "src/util/CMakeFiles/otac_util.dir/zipf.cpp.o" "gcc" "src/util/CMakeFiles/otac_util.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otac_util.dir/alias_table.cpp.o"
+  "CMakeFiles/otac_util.dir/alias_table.cpp.o.d"
+  "CMakeFiles/otac_util.dir/env_config.cpp.o"
+  "CMakeFiles/otac_util.dir/env_config.cpp.o.d"
+  "CMakeFiles/otac_util.dir/flags.cpp.o"
+  "CMakeFiles/otac_util.dir/flags.cpp.o.d"
+  "CMakeFiles/otac_util.dir/histogram.cpp.o"
+  "CMakeFiles/otac_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/otac_util.dir/rng.cpp.o"
+  "CMakeFiles/otac_util.dir/rng.cpp.o.d"
+  "CMakeFiles/otac_util.dir/table.cpp.o"
+  "CMakeFiles/otac_util.dir/table.cpp.o.d"
+  "CMakeFiles/otac_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/otac_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/otac_util.dir/zipf.cpp.o"
+  "CMakeFiles/otac_util.dir/zipf.cpp.o.d"
+  "libotac_util.a"
+  "libotac_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otac_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cachesim/differential_test.cpp" "tests/CMakeFiles/test_cachesim.dir/cachesim/differential_test.cpp.o" "gcc" "tests/CMakeFiles/test_cachesim.dir/cachesim/differential_test.cpp.o.d"
+  "/root/repo/tests/cachesim/policy_behavior_test.cpp" "tests/CMakeFiles/test_cachesim.dir/cachesim/policy_behavior_test.cpp.o" "gcc" "tests/CMakeFiles/test_cachesim.dir/cachesim/policy_behavior_test.cpp.o.d"
+  "/root/repo/tests/cachesim/policy_edge_test.cpp" "tests/CMakeFiles/test_cachesim.dir/cachesim/policy_edge_test.cpp.o" "gcc" "tests/CMakeFiles/test_cachesim.dir/cachesim/policy_edge_test.cpp.o.d"
+  "/root/repo/tests/cachesim/policy_property_test.cpp" "tests/CMakeFiles/test_cachesim.dir/cachesim/policy_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_cachesim.dir/cachesim/policy_property_test.cpp.o.d"
+  "/root/repo/tests/cachesim/simulator_test.cpp" "tests/CMakeFiles/test_cachesim.dir/cachesim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/test_cachesim.dir/cachesim/simulator_test.cpp.o.d"
+  "/root/repo/tests/cachesim/tiered_test.cpp" "tests/CMakeFiles/test_cachesim.dir/cachesim/tiered_test.cpp.o" "gcc" "tests/CMakeFiles/test_cachesim.dir/cachesim/tiered_test.cpp.o.d"
+  "/root/repo/tests/cachesim/warmup_test.cpp" "tests/CMakeFiles/test_cachesim.dir/cachesim/warmup_test.cpp.o" "gcc" "tests/CMakeFiles/test_cachesim.dir/cachesim/warmup_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cachesim/CMakeFiles/otac_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/otac_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/otac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cachesim.dir/cachesim/differential_test.cpp.o"
+  "CMakeFiles/test_cachesim.dir/cachesim/differential_test.cpp.o.d"
+  "CMakeFiles/test_cachesim.dir/cachesim/policy_behavior_test.cpp.o"
+  "CMakeFiles/test_cachesim.dir/cachesim/policy_behavior_test.cpp.o.d"
+  "CMakeFiles/test_cachesim.dir/cachesim/policy_edge_test.cpp.o"
+  "CMakeFiles/test_cachesim.dir/cachesim/policy_edge_test.cpp.o.d"
+  "CMakeFiles/test_cachesim.dir/cachesim/policy_property_test.cpp.o"
+  "CMakeFiles/test_cachesim.dir/cachesim/policy_property_test.cpp.o.d"
+  "CMakeFiles/test_cachesim.dir/cachesim/simulator_test.cpp.o"
+  "CMakeFiles/test_cachesim.dir/cachesim/simulator_test.cpp.o.d"
+  "CMakeFiles/test_cachesim.dir/cachesim/tiered_test.cpp.o"
+  "CMakeFiles/test_cachesim.dir/cachesim/tiered_test.cpp.o.d"
+  "CMakeFiles/test_cachesim.dir/cachesim/warmup_test.cpp.o"
+  "CMakeFiles/test_cachesim.dir/cachesim/warmup_test.cpp.o.d"
+  "test_cachesim"
+  "test_cachesim.pdb"
+  "test_cachesim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

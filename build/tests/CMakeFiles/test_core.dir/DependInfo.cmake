@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/classifier_system_test.cpp" "tests/CMakeFiles/test_core.dir/core/classifier_system_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/classifier_system_test.cpp.o.d"
+  "/root/repo/tests/core/criteria_test.cpp" "tests/CMakeFiles/test_core.dir/core/criteria_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/criteria_test.cpp.o.d"
+  "/root/repo/tests/core/feature_subset_test.cpp" "tests/CMakeFiles/test_core.dir/core/feature_subset_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/feature_subset_test.cpp.o.d"
+  "/root/repo/tests/core/features_test.cpp" "tests/CMakeFiles/test_core.dir/core/features_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/features_test.cpp.o.d"
+  "/root/repo/tests/core/history_table_test.cpp" "tests/CMakeFiles/test_core.dir/core/history_table_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/history_table_test.cpp.o.d"
+  "/root/repo/tests/core/intelligent_cache_test.cpp" "tests/CMakeFiles/test_core.dir/core/intelligent_cache_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/intelligent_cache_test.cpp.o.d"
+  "/root/repo/tests/core/retrain_interval_test.cpp" "tests/CMakeFiles/test_core.dir/core/retrain_interval_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/retrain_interval_test.cpp.o.d"
+  "/root/repo/tests/core/trainer_test.cpp" "tests/CMakeFiles/test_core.dir/core/trainer_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/trainer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/otac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/otac_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/otac_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/otac_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/otac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

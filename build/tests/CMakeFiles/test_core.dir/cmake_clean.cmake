@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/classifier_system_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/classifier_system_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/criteria_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/criteria_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/feature_subset_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/feature_subset_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/features_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/features_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/history_table_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/history_table_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/intelligent_cache_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/intelligent_cache_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/retrain_interval_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/retrain_interval_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/trainer_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/trainer_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

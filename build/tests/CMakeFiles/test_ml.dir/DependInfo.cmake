@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/classifier_property_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/classifier_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/classifier_property_test.cpp.o.d"
+  "/root/repo/tests/ml/cross_validation_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/cross_validation_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/cross_validation_test.cpp.o.d"
+  "/root/repo/tests/ml/dataset_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/dataset_test.cpp.o.d"
+  "/root/repo/tests/ml/decision_tree_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/decision_tree_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/decision_tree_test.cpp.o.d"
+  "/root/repo/tests/ml/ensembles_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/ensembles_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/ensembles_test.cpp.o.d"
+  "/root/repo/tests/ml/feature_selection_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/feature_selection_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/feature_selection_test.cpp.o.d"
+  "/root/repo/tests/ml/metrics_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/metrics_test.cpp.o.d"
+  "/root/repo/tests/ml/scaler_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/scaler_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/scaler_test.cpp.o.d"
+  "/root/repo/tests/ml/simple_classifiers_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/simple_classifiers_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/simple_classifiers_test.cpp.o.d"
+  "/root/repo/tests/ml/tree_io_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/tree_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/tree_io_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/otac_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/otac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml.dir/ml/classifier_property_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/classifier_property_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/cross_validation_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/cross_validation_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/dataset_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/dataset_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/decision_tree_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/decision_tree_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/ensembles_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/ensembles_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/feature_selection_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/feature_selection_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/metrics_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/metrics_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/scaler_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/scaler_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/simple_classifiers_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/simple_classifiers_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/tree_io_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/tree_io_test.cpp.o.d"
+  "test_ml"
+  "test_ml.pdb"
+  "test_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/calibration_property_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/calibration_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/calibration_property_test.cpp.o.d"
+  "/root/repo/tests/trace/csv_import_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/csv_import_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/csv_import_test.cpp.o.d"
+  "/root/repo/tests/trace/diurnal_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/diurnal_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/diurnal_test.cpp.o.d"
+  "/root/repo/tests/trace/next_access_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/next_access_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/next_access_test.cpp.o.d"
+  "/root/repo/tests/trace/popularity_model_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/popularity_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/popularity_model_test.cpp.o.d"
+  "/root/repo/tests/trace/sampler_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/sampler_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/sampler_test.cpp.o.d"
+  "/root/repo/tests/trace/social_model_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/social_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/social_model_test.cpp.o.d"
+  "/root/repo/tests/trace/trace_generator_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/trace_generator_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/trace_generator_test.cpp.o.d"
+  "/root/repo/tests/trace/trace_io_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/trace_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/trace_io_test.cpp.o.d"
+  "/root/repo/tests/trace/trace_stats_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/trace_stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/trace_stats_test.cpp.o.d"
+  "/root/repo/tests/trace/types_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/types_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/types_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/otac_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/otac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/calibration_property_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/calibration_property_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/csv_import_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/csv_import_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/diurnal_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/diurnal_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/next_access_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/next_access_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/popularity_model_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/popularity_model_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/sampler_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/sampler_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/social_model_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/social_model_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/trace_generator_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/trace_generator_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/trace_io_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/trace_io_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/trace_stats_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/trace_stats_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/types_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/types_test.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

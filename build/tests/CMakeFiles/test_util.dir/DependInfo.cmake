@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/alias_table_test.cpp" "tests/CMakeFiles/test_util.dir/util/alias_table_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/alias_table_test.cpp.o.d"
+  "/root/repo/tests/util/env_config_test.cpp" "tests/CMakeFiles/test_util.dir/util/env_config_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/env_config_test.cpp.o.d"
+  "/root/repo/tests/util/flags_test.cpp" "tests/CMakeFiles/test_util.dir/util/flags_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/flags_test.cpp.o.d"
+  "/root/repo/tests/util/histogram_test.cpp" "tests/CMakeFiles/test_util.dir/util/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/histogram_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/sim_time_test.cpp" "tests/CMakeFiles/test_util.dir/util/sim_time_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/sim_time_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/test_util.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/thread_pool_test.cpp" "tests/CMakeFiles/test_util.dir/util/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/util/zipf_test.cpp" "tests/CMakeFiles/test_util.dir/util/zipf_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/zipf_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/otac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

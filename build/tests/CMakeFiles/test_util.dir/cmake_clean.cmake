@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/alias_table_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/alias_table_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/env_config_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/env_config_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/flags_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/flags_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/histogram_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/histogram_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/rng_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/sim_time_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/sim_time_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/table_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/table_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/thread_pool_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/thread_pool_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/zipf_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/zipf_test.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
