@@ -1,0 +1,51 @@
+// Shared scaffolding for the plain-main micro-benchmarks: steady-clock
+// timing, best-of-N rep selection, and a machine-readable JSON report
+// ({"bench": ..., "cells": [...]}) written next to the working directory so
+// CI and the perf notes in DESIGN.md can diff runs without scraping stdout.
+#pragma once
+
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace otac::bench {
+
+/// Seconds taken by one invocation of `body`.
+inline double time_once(const std::function<void()>& body) {
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+/// Best (minimum) wall time over `reps` invocations. Best-of-N is the right
+/// statistic on shared machines: interference only ever adds time, so the
+/// minimum is the closest observable to the true cost.
+inline double best_of(int reps, const std::function<void()>& body) {
+  double best = time_once(body);
+  for (int r = 1; r < reps; ++r) best = std::min(best, time_once(body));
+  return best;
+}
+
+/// One JSON object per finished cell, preformatted by the bench.
+struct Report {
+  std::string bench;
+  int reps = 1;
+  std::vector<std::string> cells;
+
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"" << bench << "\",\n  \"reps\": " << reps
+        << ",\n  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      out << "    " << cells[i] << (i + 1 < cells.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << path << " (" << cells.size() << " cells)\n";
+  }
+};
+
+}  // namespace otac::bench

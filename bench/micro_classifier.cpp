@@ -1,96 +1,160 @@
 // Micro-benchmarks backing the §5.3.5 constants: t_classify (decision-tree
-// prediction + history-table consultation) and the cost of online feature
-// extraction. The paper measures t_classify = 0.4 us; a 30-split tree of
-// height ~5 should land in that ballpark on modern hardware.
-#include <benchmark/benchmark.h>
+// prediction, paper: 0.4 us including the history table) and the daily
+// retraining cost (paper: "a few minutes" on 144k rows — the presorted
+// splitter makes a single tree a sub-second affair).
+//
+// Runs each cell on the shared thread pool and writes a machine-readable
+// report to BENCH_classifier.json (override with argv[1]). Fit cells use a
+// synthetic 8-feature dataset (deterministic seeds) so fit-time numbers are
+// comparable across machines and revisions.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
-#include "core/classifier_system.h"
-#include "core/features.h"
+#include "bench/bench_json.h"
 #include "core/history_table.h"
-#include "experiments/classifier_experiments.h"
-#include "experiments/workloads.h"
+#include "ml/dataset.h"
 #include "ml/decision_tree.h"
-#include "util/env_config.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
 using namespace otac;
 
-struct MicroContext {
-  Trace trace;
-  NextAccessInfo oracle;
-  ml::Dataset dataset{FeatureExtractor::feature_names()};
-  ml::DecisionTree tree;
-
-  MicroContext() {
-    trace = load_bench_trace(std::min(global_scale(), 0.25), global_seed());
-    oracle = compute_next_access(trace);
-    dataset = build_classifier_dataset(trace, oracle, 20'000.0, 100);
-    ml::DecisionTreeConfig config;
-    config.max_splits = 30;
-    tree = ml::DecisionTree{config};
-    tree.fit(dataset);
+/// Linearly separable-ish labels with noise: uniform features in [0, 100],
+/// alternating-sign weights, so a 30-split tree has real structure to find.
+ml::Dataset make_dataset(std::size_t rows, std::size_t features,
+                         std::uint64_t seed) {
+  std::vector<std::string> names;
+  for (std::size_t f = 0; f < features; ++f) {
+    names.push_back("f" + std::to_string(f));
   }
+  ml::Dataset data{names};
+  Rng rng{seed};
+  std::vector<float> row(features);
+  for (std::size_t i = 0; i < rows; ++i) {
+    float score = 0.0F;
+    for (std::size_t f = 0; f < features; ++f) {
+      row[f] = static_cast<float>(rng.uniform_int(0, 1000)) / 10.0F;
+      score += row[f] * (f % 2 == 0 ? 1.0F : -0.5F);
+    }
+    const int label =
+        (score + static_cast<float>(rng.uniform_int(0, 40))) > 30.0F ? 1 : 0;
+    data.add_row(row, label, 1.0F);
+  }
+  return data;
+}
+
+ml::DecisionTreeConfig tree_config() {
+  ml::DecisionTreeConfig config;
+  config.max_splits = 30;  // the paper's split budget (§3.1.2)
+  return config;
+}
+
+struct CellResult {
+  std::string json;
+  std::string line;
 };
 
-MicroContext& context() {
-  static MicroContext ctx;
-  return ctx;
+CellResult make_result(const std::string& name, std::size_t ops,
+                       double seconds, const std::string& extra_json) {
+  const double ops_per_sec = static_cast<double>(ops) / seconds;
+  const double ns_per_op = seconds * 1e9 / static_cast<double>(ops);
+  CellResult result;
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"cell\": \"%s\", \"ops\": %zu, \"ops_per_sec\": %.0f, "
+                "\"ns_per_op\": %.2f%s}",
+                name.c_str(), ops, ops_per_sec, ns_per_op, extra_json.c_str());
+  result.json = buffer;
+  std::snprintf(buffer, sizeof(buffer), "%-18s %12.0f ops/s %10.1f ns/op",
+                name.c_str(), ops_per_sec, ns_per_op);
+  result.line = buffer;
+  return result;
 }
 
-void BM_TreePredict(benchmark::State& state) {
-  MicroContext& ctx = context();
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ctx.tree.predict_proba(ctx.dataset.row(i)));
-    i = (i + 1) % ctx.dataset.num_rows();
-  }
-  state.SetLabel("t_classify core; paper: 0.4us incl. history table");
+/// Fit cell: ops == rows, plus an explicit fit_seconds field.
+CellResult run_tree_fit(std::size_t rows, int reps) {
+  const ml::Dataset data = make_dataset(rows, 8, 7);
+  std::size_t splits = 0;
+  const double seconds = bench::best_of(reps, [&] {
+    ml::DecisionTree tree{tree_config()};
+    tree.fit(data);
+    splits = tree.split_count();
+  });
+  char extra[96];
+  std::snprintf(extra, sizeof(extra), ", \"fit_seconds\": %.4f, \"splits\": %zu",
+                seconds, splits);
+  return make_result("tree_fit_" + std::to_string(rows / 1000) + "k", rows,
+                     seconds, extra);
 }
-BENCHMARK(BM_TreePredict);
 
-void BM_FeatureExtraction(benchmark::State& state) {
-  MicroContext& ctx = context();
-  FeatureExtractor fx{ctx.trace.catalog};
-  std::array<float, FeatureExtractor::kFeatureCount> row{};
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const Request& request = ctx.trace.requests[i];
-    const PhotoMeta& photo = ctx.trace.catalog.photo(request.photo);
-    fx.extract(request, photo, row);
-    benchmark::DoNotOptimize(row);
-    fx.observe(request, photo);
-    i = (i + 1) % ctx.trace.requests.size();
-  }
-}
-BENCHMARK(BM_FeatureExtraction);
-
-void BM_HistoryTableRecordRectify(benchmark::State& state) {
-  HistoryTable table{4096};
-  std::uint64_t index = 0;
-  for (auto _ : state) {
-    const auto photo = static_cast<PhotoId>(index % 8192);
-    if (!table.rectify(photo, index, 1000.0)) {
-      table.record(photo, index);
+/// Predict cell: t_classify core — one tree traversal per row.
+CellResult run_tree_predict(int reps) {
+  const ml::Dataset data = make_dataset(140'000, 8, 7);
+  ml::DecisionTree tree{tree_config()};
+  tree.fit(data);
+  constexpr std::size_t kOps = 1'000'000;
+  double sink = 0.0;
+  const double seconds = bench::best_of(reps, [&] {
+    for (std::size_t i = 0; i < kOps; ++i) {
+      sink += tree.predict_proba(data.row(i % data.num_rows()));
     }
-    ++index;
-  }
+  });
+  char extra[64];
+  std::snprintf(extra, sizeof(extra), ", \"sink\": %.0f", sink);
+  return make_result("tree_predict", kOps, seconds, extra);
 }
-BENCHMARK(BM_HistoryTableRecordRectify);
 
-void BM_TreeTrainDailySample(benchmark::State& state) {
-  MicroContext& ctx = context();
-  ml::DecisionTreeConfig config;
-  config.max_splits = 30;
-  for (auto _ : state) {
-    ml::DecisionTree tree{config};
-    tree.fit(ctx.dataset);
-    benchmark::DoNotOptimize(tree.split_count());
-  }
-  state.SetLabel("daily retraining cost; paper: 'a few minutes' on 144k rows");
+/// History-table cell: the rectify-or-record step of every classification.
+CellResult run_history_table(int reps) {
+  constexpr std::size_t kOps = 1'000'000;
+  std::size_t rectified = 0;
+  const double seconds = bench::best_of(reps, [&] {
+    HistoryTable table{4096};
+    rectified = 0;
+    for (std::size_t i = 0; i < kOps; ++i) {
+      const auto photo = static_cast<PhotoId>(i % 8192);
+      if (table.rectify(photo, i, 1000.0)) {
+        ++rectified;
+      } else {
+        table.record(photo, i);
+      }
+    }
+  });
+  char extra[64];
+  std::snprintf(extra, sizeof(extra), ", \"rectified\": %zu", rectified);
+  return make_result("history_table", kOps, seconds, extra);
 }
-BENCHMARK(BM_TreeTrainDailySample);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string{"BENCH_classifier.json"};
+  constexpr int kReps = 3;
+
+  const std::vector<std::function<CellResult()>> cells = {
+      [] { return run_tree_fit(35'000, kReps); },
+      [] { return run_tree_fit(140'000, kReps); },
+      [] { return run_tree_predict(kReps); },
+      [] { return run_history_table(kReps); },
+  };
+
+  std::vector<CellResult> results(cells.size());
+  ThreadPool pool;
+  pool.parallel_for(cells.size(),
+                    [&](std::size_t i) { results[i] = cells[i](); });
+
+  bench::Report report;
+  report.bench = "classifier";
+  report.reps = kReps;
+  for (const CellResult& result : results) {
+    std::puts(result.line.c_str());
+    report.cells.push_back(result.json);
+  }
+  report.write(out_path);
+  return 0;
+}

@@ -31,12 +31,15 @@ otac_add_bench(ablate_criteria)
 otac_add_bench(ablate_deployed_classifier)
 otac_add_bench(ablate_feature_sets)
 
+# Plain-main micro-benchmarks: run policy x workload cells on the thread
+# pool and emit BENCH_<name>.json reports (see bench/bench_json.h).
+otac_add_bench(micro_classifier)
+otac_add_bench(micro_cache_ops)
+
 # google-benchmark micro-benchmarks.
 function(otac_add_micro name)
   otac_add_bench(${name})
   target_link_libraries(${name} PRIVATE benchmark::benchmark)
 endfunction()
 
-otac_add_micro(micro_classifier)
-otac_add_micro(micro_cache_ops)
 otac_add_micro(micro_tracegen)

@@ -6,36 +6,39 @@
 namespace otac {
 
 bool ArcCache::contains(PhotoId key) const {
-  const auto it = index_.find(key);
-  if (it == index_.end()) return false;
-  const ListId list = it->second->list;
+  const auto node = index_.find(key);
+  if (node == OpenHashIndex<PhotoId>::npos) return false;
+  const ListId list = pool_[node].list;
   return list == kT1 || list == kT2;
 }
 
 std::size_t ArcCache::object_count() const {
-  return lists_[kT1].size() + lists_[kT2].size();
+  return lists_[kT1].size + lists_[kT2].size;
 }
 
-void ArcCache::move_to(List::iterator it, ListId to) {
-  const ListId from = it->list;
-  bytes_[from] -= it->size;
-  bytes_[to] += it->size;
-  it->list = to;
-  lists_[to].splice(lists_[to].begin(), lists_[from], it);
+void ArcCache::move_to(Index node, ListId to) {
+  Entry& entry = pool_[node];
+  const ListId from = entry.list;
+  bytes_[from] -= entry.size;
+  bytes_[to] += entry.size;
+  entry.list = to;
+  pool_.move_front(lists_[from], lists_[to], node);
 }
 
-void ArcCache::drop(List::iterator it) {
-  bytes_[it->list] -= it->size;
-  index_.erase(it->key);
-  lists_[it->list].erase(it);
+void ArcCache::drop(Index node) {
+  const Entry& entry = pool_[node];
+  bytes_[entry.list] -= entry.size;
+  index_.erase(entry.key);
+  pool_.unlink(lists_[entry.list], node);
+  pool_.release(node);
 }
 
 bool ArcCache::access(PhotoId key, std::uint32_t /*size_bytes*/) {
-  const auto it = index_.find(key);
-  if (it == index_.end()) return false;
-  const ListId list = it->second->list;
+  const auto node = index_.find(key);
+  if (node == OpenHashIndex<PhotoId>::npos) return false;
+  const ListId list = pool_[node].list;
   if (list != kT1 && list != kT2) return false;  // ghost: still a miss
-  move_to(it->second, kT2);
+  move_to(node, kT2);
   return true;
 }
 
@@ -48,12 +51,12 @@ void ArcCache::replace(bool ghost_hit_in_b2, std::uint32_t incoming) {
          (ghost_hit_in_b2 && static_cast<double>(bytes_[kT1]) >= p_) ||
          lists_[kT2].empty());
     if (t1_over) {
-      const auto victim = std::prev(lists_[kT1].end());
-      notify_evict(victim->key, victim->size);
+      const auto victim = lists_[kT1].tail;
+      notify_evict(pool_[victim].key, pool_[victim].size);
       move_to(victim, kB1);
     } else if (!lists_[kT2].empty()) {
-      const auto victim = std::prev(lists_[kT2].end());
-      notify_evict(victim->key, victim->size);
+      const auto victim = lists_[kT2].tail;
+      notify_evict(pool_[victim].key, pool_[victim].size);
       move_to(victim, kB2);
     } else {
       break;  // nothing resident to evict
@@ -65,11 +68,11 @@ void ArcCache::trim_ghosts() {
   const std::uint64_t c = capacity_bytes();
   // ARC invariants in byte form: |T1|+|B1| <= c and everything <= 2c.
   while (!lists_[kB1].empty() && bytes_[kT1] + bytes_[kB1] > c) {
-    drop(std::prev(lists_[kB1].end()));
+    drop(lists_[kB1].tail);
   }
   while (!lists_[kB2].empty() &&
          bytes_[kT1] + bytes_[kT2] + bytes_[kB1] + bytes_[kB2] > 2 * c) {
-    drop(std::prev(lists_[kB2].end()));
+    drop(lists_[kB2].tail);
   }
 }
 
@@ -78,8 +81,8 @@ bool ArcCache::insert(PhotoId key, std::uint32_t size_bytes) {
   const auto found = index_.find(key);
   const double c = static_cast<double>(capacity_bytes());
 
-  if (found != index_.end()) {
-    const ListId list = found->second->list;
+  if (found != OpenHashIndex<PhotoId>::npos) {
+    const ListId list = pool_[found].list;
     assert(list == kB1 || list == kB2);
     if (list == kB1) {
       // Recency ghost hit: grow T1's target.
@@ -98,8 +101,8 @@ bool ArcCache::insert(PhotoId key, std::uint32_t size_bytes) {
       p_ = std::max(0.0, p_ - ratio * size_bytes);
       replace(true, size_bytes);
     }
-    found->second->size = size_bytes;  // sizes are stable, but be safe
-    move_to(found->second, kT2);
+    pool_[found].size = size_bytes;  // sizes are stable, but be safe
+    move_to(found, kT2);
     trim_ghosts();
     return true;
   }
@@ -107,12 +110,12 @@ bool ArcCache::insert(PhotoId key, std::uint32_t size_bytes) {
   // Brand-new object (ARC Case IV).
   if (bytes_[kT1] + bytes_[kB1] >= capacity_bytes()) {
     if (bytes_[kT1] < capacity_bytes() && !lists_[kB1].empty()) {
-      drop(std::prev(lists_[kB1].end()));
+      drop(lists_[kB1].tail);
       replace(false, size_bytes);
     } else if (!lists_[kT1].empty()) {
       // B1 empty and T1 at capacity: delete T1's LRU outright (no ghost).
-      const auto victim = std::prev(lists_[kT1].end());
-      notify_evict(victim->key, victim->size);
+      const auto victim = lists_[kT1].tail;
+      notify_evict(pool_[victim].key, pool_[victim].size);
       drop(victim);
     }
   } else {
@@ -120,9 +123,10 @@ bool ArcCache::insert(PhotoId key, std::uint32_t size_bytes) {
   }
   replace(false, size_bytes);  // ensure fit regardless of the branch taken
 
-  lists_[kT1].push_front(Entry{key, size_bytes, kT1});
+  const auto node = pool_.acquire(Entry{key, size_bytes, kT1});
+  pool_.push_front(lists_[kT1], node);
   bytes_[kT1] += size_bytes;
-  index_.emplace(key, lists_[kT1].begin());
+  index_.insert(key, node);
   trim_ghosts();
   return true;
 }

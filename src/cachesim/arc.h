@@ -3,12 +3,14 @@
 // bytes, and the adaptation target p moves in byte units proportional to
 // the ghost-hit object's size. With unit sizes this degrades exactly to the
 // textbook algorithm (tested).
+//
+// The four lists share one slab pool (ghosts reuse the same node, no
+// realloc on the T1->B1 transition); residency is one open-addressing probe.
 #pragma once
 
-#include <list>
-#include <unordered_map>
-
 #include "cachesim/cache_policy.h"
+#include "cachesim/slab_list.h"
+#include "util/open_hash.h"
 
 namespace otac {
 
@@ -33,24 +35,26 @@ class ArcCache final : public CachePolicy {
   }
 
  private:
-  enum ListId : std::size_t { kT1 = 0, kT2 = 1, kB1 = 2, kB2 = 3 };
+  enum ListId : std::uint8_t { kT1 = 0, kT2 = 1, kB1 = 2, kB2 = 3 };
 
   struct Entry {
     PhotoId key;
     std::uint32_t size;
     ListId list;
   };
-  using List = std::list<Entry>;
+  using Pool = SlabList<Entry>;
+  using Index = Pool::Index;
 
-  void move_to(List::iterator it, ListId to);
-  void drop(List::iterator it);
+  void move_to(Index node, ListId to);
+  void drop(Index node);
   /// Evict from T1/T2 into the ghost lists until `incoming` fits.
   void replace(bool ghost_hit_in_b2, std::uint32_t incoming);
   void trim_ghosts();
 
-  List lists_[4];  // front = MRU
+  Pool pool_;
+  Pool::ListRef lists_[4];  // head = MRU
   std::uint64_t bytes_[4] = {0, 0, 0, 0};
-  std::unordered_map<PhotoId, List::iterator> index_;
+  OpenHashIndex<PhotoId> index_;
   double p_ = 0.0;
 };
 

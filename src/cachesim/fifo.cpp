@@ -13,14 +13,17 @@ bool FifoCache::insert(PhotoId key, std::uint32_t size_bytes) {
   if (size_bytes > capacity_bytes()) return false;
   while (used_ + size_bytes > capacity_bytes()) {
     assert(!queue_.empty());
-    const Entry victim = queue_.front();
-    queue_.pop_front();
+    const auto node = queue_.head;
+    const Entry victim = pool_[node];
+    pool_.unlink(queue_, node);
+    pool_.release(node);
     index_.erase(victim.key);
     used_ -= victim.size;
     notify_evict(victim.key, victim.size);
   }
-  queue_.push_back(Entry{key, size_bytes});
-  index_.emplace(key, std::prev(queue_.end()));
+  const auto node = pool_.acquire(Entry{key, size_bytes});
+  pool_.push_back(queue_, node);
+  index_.insert(key, node);
   used_ += size_bytes;
   return true;
 }

@@ -1,10 +1,11 @@
 // First-In-First-Out: eviction in insertion order; hits do not refresh.
+//
+// Same allocation-free substrate as LRU: slab pool + open-addressing index.
 #pragma once
 
-#include <list>
-#include <unordered_map>
-
 #include "cachesim/cache_policy.h"
+#include "cachesim/slab_list.h"
+#include "util/open_hash.h"
 
 namespace otac {
 
@@ -29,9 +30,11 @@ class FifoCache final : public CachePolicy {
     PhotoId key;
     std::uint32_t size;
   };
+  using Pool = SlabList<Entry>;
 
-  std::list<Entry> queue_;  // front = oldest
-  std::unordered_map<PhotoId, std::list<Entry>::iterator> index_;
+  Pool pool_;
+  Pool::ListRef queue_;  // head = oldest
+  OpenHashIndex<PhotoId> index_;
   std::uint64_t used_ = 0;
 };
 

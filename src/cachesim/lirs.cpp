@@ -16,41 +16,44 @@ LirsCache::LirsCache(std::uint64_t capacity_bytes, double lir_fraction)
   lir_capacity_ = std::max<std::uint64_t>(lir_capacity_, 1);
 }
 
-void LirsCache::stack_push_top(PhotoId key, Entry& entry) {
-  stack_.push_front(key);
-  entry.stack_it = stack_.begin();
-  entry.in_stack = true;
+void LirsCache::stack_push_top(Index node) {
+  pool_.push_front(stack_, node, kStack);
+  pool_[node].in_stack = true;
 }
 
-void LirsCache::stack_remove(Entry& entry) {
-  if (!entry.in_stack) return;
-  stack_.erase(entry.stack_it);
-  entry.in_stack = false;
+void LirsCache::stack_remove(Index node) {
+  if (!pool_[node].in_stack) return;
+  pool_.unlink(stack_, node, kStack);
+  pool_[node].in_stack = false;
 }
 
-void LirsCache::queue_push_back(PhotoId key, Entry& entry) {
-  queue_.push_back(key);
-  entry.queue_it = std::prev(queue_.end());
-  entry.in_queue = true;
+void LirsCache::queue_push_back(Index node) {
+  pool_.push_back(queue_, node, kQueue);
+  pool_[node].in_queue = true;
 }
 
-void LirsCache::queue_remove(Entry& entry) {
-  if (!entry.in_queue) return;
-  queue_.erase(entry.queue_it);
-  entry.in_queue = false;
+void LirsCache::queue_remove(Index node) {
+  if (!pool_[node].in_queue) return;
+  pool_.unlink(queue_, node, kQueue);
+  pool_[node].in_queue = false;
+}
+
+void LirsCache::forget(Index node) {
+  table_.erase(pool_[node].key);
+  pool_.release(node);
 }
 
 void LirsCache::prune() {
   while (!stack_.empty()) {
-    const PhotoId bottom = stack_.back();
-    Entry& entry = table_.at(bottom);
+    const Index bottom = stack_.tail;
+    Entry& entry = pool_[bottom];
     if (entry.state == State::lir) break;
     // Non-LIR at the bottom: remove from the stack.
-    stack_.pop_back();
+    pool_.unlink(stack_, bottom, kStack);
     entry.in_stack = false;
     if (entry.state == State::hir_nonresident) {
-      nonres_.erase(entry.nonres_it);
-      table_.erase(bottom);
+      pool_.unlink(nonres_, bottom, kNonres);
+      forget(bottom);
     }
   }
 }
@@ -60,34 +63,33 @@ void LirsCache::shrink_lir() {
     // Bottom of the stack is always a LIR block (post-prune invariant).
     prune();
     if (stack_.empty()) break;
-    const PhotoId bottom = stack_.back();
-    Entry& entry = table_.at(bottom);
+    const Index bottom = stack_.tail;
+    Entry& entry = pool_[bottom];
     assert(entry.state == State::lir);
-    stack_.pop_back();
+    pool_.unlink(stack_, bottom, kStack);
     entry.in_stack = false;
     entry.state = State::hir_resident;
     lir_bytes_ -= entry.size;
-    queue_push_back(bottom, entry);
+    queue_push_back(bottom);
     prune();
   }
 }
 
 void LirsCache::evict_to_fit(std::uint64_t incoming) {
   while (resident_bytes_ + incoming > capacity_bytes() && !queue_.empty()) {
-    const PhotoId victim = queue_.front();
-    queue_.pop_front();
-    Entry& entry = table_.at(victim);
+    const Index victim = queue_.head;
+    Entry& entry = pool_[victim];
+    pool_.unlink(queue_, victim, kQueue);
     entry.in_queue = false;
     assert(entry.state == State::hir_resident);
     resident_bytes_ -= entry.size;
     resident_count_ -= 1;
-    notify_evict(victim, entry.size);
+    notify_evict(entry.key, entry.size);
     if (entry.in_stack) {
       entry.state = State::hir_nonresident;
-      nonres_.push_back(victim);
-      entry.nonres_it = std::prev(nonres_.end());
+      pool_.push_back(nonres_, victim, kNonres);
     } else {
-      table_.erase(victim);
+      forget(victim);
     }
   }
 }
@@ -100,14 +102,14 @@ void LirsCache::make_room(std::uint64_t incoming) {
   while (resident_bytes_ + incoming > capacity_bytes() && !stack_.empty()) {
     prune();
     if (stack_.empty()) break;
-    const PhotoId bottom = stack_.back();
-    Entry& entry = table_.at(bottom);
+    const Index bottom = stack_.tail;
+    Entry& entry = pool_[bottom];
     assert(entry.state == State::lir);
-    stack_.pop_back();
+    pool_.unlink(stack_, bottom, kStack);
     entry.in_stack = false;
     entry.state = State::hir_resident;
     lir_bytes_ -= entry.size;
-    queue_push_back(bottom, entry);
+    queue_push_back(bottom);
     prune();
     evict_to_fit(incoming);
   }
@@ -117,63 +119,65 @@ void LirsCache::enforce_nonresident_bound() {
   // Cap ghost metadata: at most 2x the resident object count (plus slack
   // for small caches). Oldest ghosts go first.
   const std::size_t bound = std::max<std::size_t>(64, 2 * resident_count_);
-  while (nonres_.size() > bound) {
-    const PhotoId victim = nonres_.front();
-    nonres_.pop_front();
-    Entry& entry = table_.at(victim);
-    stack_remove(entry);
-    table_.erase(victim);
+  while (nonres_.size > bound) {
+    const Index victim = nonres_.head;
+    pool_.unlink(nonres_, victim, kNonres);
+    stack_remove(victim);
+    forget(victim);
     prune();
   }
 }
 
 bool LirsCache::contains(PhotoId key) const {
-  const auto it = table_.find(key);
-  return it != table_.end() && it->second.state != State::hir_nonresident;
+  const auto node = table_.find(key);
+  return node != OpenHashIndex<PhotoId>::npos &&
+         pool_[node].state != State::hir_nonresident;
 }
 
 bool LirsCache::access(PhotoId key, std::uint32_t /*size_bytes*/) {
-  const auto it = table_.find(key);
-  if (it == table_.end() || it->second.state == State::hir_nonresident) {
+  const auto node = table_.find(key);
+  if (node == OpenHashIndex<PhotoId>::npos ||
+      pool_[node].state == State::hir_nonresident) {
     return false;
   }
-  Entry& entry = it->second;
+  Entry& entry = pool_[node];
   if (entry.state == State::lir) {
-    const bool was_bottom = entry.stack_it == std::prev(stack_.end());
-    stack_remove(entry);
-    stack_push_top(key, entry);
+    const bool was_bottom = stack_.tail == node;
+    stack_remove(node);
+    stack_push_top(node);
     if (was_bottom) prune();
     return true;
   }
   // Resident HIR hit.
   if (entry.in_stack) {
     // IRR beat the oldest LIR: promote.
-    stack_remove(entry);
-    stack_push_top(key, entry);
-    queue_remove(entry);
+    stack_remove(node);
+    stack_push_top(node);
+    queue_remove(node);
     entry.state = State::lir;
     lir_bytes_ += entry.size;
     shrink_lir();
   } else {
-    stack_push_top(key, entry);
-    queue_remove(entry);
-    queue_push_back(key, entry);
+    stack_push_top(node);
+    queue_remove(node);
+    queue_push_back(node);
   }
   return true;
 }
 
 bool LirsCache::insert(PhotoId key, std::uint32_t size_bytes) {
   if (size_bytes > capacity_bytes()) return false;
-  const auto it = table_.find(key);
-  assert(it == table_.end() || it->second.state == State::hir_nonresident);
+  const auto found = table_.find(key);
+  assert(found == OpenHashIndex<PhotoId>::npos ||
+         pool_[found].state == State::hir_nonresident);
 
-  if (it != table_.end() && it->second.in_stack) {
+  if (found != OpenHashIndex<PhotoId>::npos && pool_[found].in_stack) {
     // Non-resident HIR still on the stack: low IRR, promote straight to LIR.
-    Entry& entry = it->second;
-    nonres_.erase(entry.nonres_it);
-    stack_remove(entry);
+    Entry& entry = pool_[found];
+    pool_.unlink(nonres_, found, kNonres);
+    stack_remove(found);
     make_room(size_bytes);
-    stack_push_top(key, entry);
+    stack_push_top(found);
     entry.state = State::lir;
     entry.size = size_bytes;
     lir_bytes_ += size_bytes;
@@ -184,29 +188,28 @@ bool LirsCache::insert(PhotoId key, std::uint32_t size_bytes) {
     enforce_nonresident_bound();
     return true;
   }
-  if (it != table_.end()) {
+  if (found != OpenHashIndex<PhotoId>::npos) {
     // Stale non-resident entry that fell off the stack: forget it.
-    nonres_.erase(it->second.nonres_it);
-    table_.erase(it);
+    pool_.unlink(nonres_, found, kNonres);
+    forget(found);
   }
 
-  Entry entry;
-  entry.size = size_bytes;
   make_room(size_bytes);
   if (lir_bytes_ + size_bytes <= lir_capacity_) {
     // Warm-up: LIR share not yet full, new blocks become LIR directly.
-    entry.state = State::lir;
-    auto [pos, inserted] = table_.emplace(key, entry);
-    stack_push_top(key, pos->second);
+    const Index node = pool_.acquire(Entry{key, size_bytes, State::lir});
+    table_.insert(key, node);
+    stack_push_top(node);
     lir_bytes_ += size_bytes;
     resident_bytes_ += size_bytes;
     resident_count_ += 1;
     return true;
   }
-  entry.state = State::hir_resident;
-  auto [pos, inserted] = table_.emplace(key, entry);
-  stack_push_top(key, pos->second);
-  queue_push_back(key, pos->second);
+  const Index node =
+      pool_.acquire(Entry{key, size_bytes, State::hir_resident});
+  table_.insert(key, node);
+  stack_push_top(node);
+  queue_push_back(node);
   resident_bytes_ += size_bytes;
   resident_count_ += 1;
   evict_to_fit(0);
@@ -216,17 +219,21 @@ bool LirsCache::insert(PhotoId key, std::uint32_t size_bytes) {
 
 bool LirsCache::check_invariants() const {
   if (!stack_.empty()) {
-    const auto bottom = table_.find(stack_.back());
-    if (bottom == table_.end()) return false;
-    if (bottom->second.state != State::lir) return false;
+    if (pool_[stack_.tail].state != State::lir) return false;
   }
   std::uint64_t lir = 0;
   std::uint64_t resident = 0;
   std::size_t count = 0;
-  for (const auto& [key, entry] : table_) {
+  // Walk every tracked entry through the stack, queue, and ghost lists;
+  // dedupe via the state machine (every entry is on the stack, the queue,
+  // or the ghost list — entries on both S and Q are counted once via S).
+  std::size_t seen = 0;
+  for (Index node = stack_.head; node != npos; node = pool_.next(node, kStack)) {
+    const Entry& entry = pool_[node];
+    if (!entry.in_stack) return false;
+    ++seen;
     if (entry.state == State::lir) {
       lir += entry.size;
-      if (!entry.in_stack) return false;
       if (entry.in_queue) return false;
     }
     if (entry.state != State::hir_nonresident) {
@@ -234,10 +241,21 @@ bool LirsCache::check_invariants() const {
       count += 1;
     }
     if (entry.state == State::hir_resident && !entry.in_queue) return false;
-    if (entry.state == State::hir_nonresident &&
-        (!entry.in_stack || entry.in_queue)) {
-      return false;
-    }
+  }
+  if (seen != stack_.size) return false;
+  for (Index node = queue_.head; node != npos; node = pool_.next(node, kQueue)) {
+    const Entry& entry = pool_[node];
+    if (!entry.in_queue) return false;
+    if (entry.state != State::hir_resident) return false;
+    if (entry.in_stack) continue;  // already counted via the stack walk
+    resident += entry.size;
+    count += 1;
+  }
+  for (Index node = nonres_.head; node != npos;
+       node = pool_.next(node, kNonres)) {
+    const Entry& entry = pool_[node];
+    if (entry.state != State::hir_nonresident) return false;
+    if (!entry.in_stack || entry.in_queue) return false;
   }
   return lir == lir_bytes_ && resident == resident_bytes_ &&
          count == resident_count_ && resident_bytes_ <= capacity_bytes() &&

@@ -7,12 +7,16 @@
 // IRR lower than the oldest LIR and is promoted. The stack fraction
 // C_s/C = lir_fraction is the paper's R_s used to scale the LIRS one-time
 // criteria (M_LIRS = M_LRU * R_s, §5.2).
+//
+// One slab node per tracked block carries three independent link channels
+// (stack S, queue Q, non-resident ghost order), so a block can sit on S and
+// Q simultaneously without auxiliary std::list iterators; the per-key
+// unordered_map is replaced by an open-addressing index into the slab.
 #pragma once
 
-#include <list>
-#include <unordered_map>
-
 #include "cachesim/cache_policy.h"
+#include "cachesim/slab_list.h"
+#include "util/open_hash.h"
 
 namespace otac {
 
@@ -24,7 +28,9 @@ class LirsCache final : public CachePolicy {
   bool access(PhotoId key, std::uint32_t size_bytes) override;
   bool insert(PhotoId key, std::uint32_t size_bytes) override;
   [[nodiscard]] bool contains(PhotoId key) const override;
-  [[nodiscard]] std::uint64_t used_bytes() const override { return resident_bytes_; }
+  [[nodiscard]] std::uint64_t used_bytes() const override {
+    return resident_bytes_;
+  }
   [[nodiscard]] std::size_t object_count() const override {
     return resident_count_;
   }
@@ -39,20 +45,26 @@ class LirsCache final : public CachePolicy {
  private:
   enum class State : std::uint8_t { lir, hir_resident, hir_nonresident };
 
+  /// Link channels of the shared slab node.
+  enum Channel : unsigned { kStack = 0, kQueue = 1, kNonres = 2 };
+
   struct Entry {
+    PhotoId key = 0;
     std::uint32_t size = 0;
     State state = State::hir_resident;
     bool in_stack = false;
     bool in_queue = false;
-    std::list<PhotoId>::iterator stack_it;
-    std::list<PhotoId>::iterator queue_it;
-    std::list<PhotoId>::iterator nonres_it;
   };
+  using Pool = SlabList<Entry, 3>;
+  using Index = Pool::Index;
+  static constexpr Index npos = Pool::npos;
 
-  void stack_push_top(PhotoId key, Entry& entry);
-  void stack_remove(Entry& entry);
-  void queue_push_back(PhotoId key, Entry& entry);
-  void queue_remove(Entry& entry);
+  void stack_push_top(Index node);
+  void stack_remove(Index node);
+  void queue_push_back(Index node);
+  void queue_remove(Index node);
+  /// Drop the entry everywhere and recycle its slab node.
+  void forget(Index node);
   /// Remove non-LIR entries from the stack bottom (LIRS "stack pruning").
   void prune();
   /// Demote stack-bottom LIR blocks until LIR bytes fit their share.
@@ -70,10 +82,11 @@ class LirsCache final : public CachePolicy {
   std::uint64_t resident_bytes_ = 0;
   std::size_t resident_count_ = 0;
 
-  std::list<PhotoId> stack_;   // front = most recent
-  std::list<PhotoId> queue_;   // front = next eviction
-  std::list<PhotoId> nonres_;  // front = oldest non-resident (bound enforcement)
-  std::unordered_map<PhotoId, Entry> table_;
+  Pool pool_;
+  Pool::ListRef stack_;   // head = most recent
+  Pool::ListRef queue_;   // head = next eviction
+  Pool::ListRef nonres_;  // head = oldest non-resident (bound enforcement)
+  OpenHashIndex<PhotoId> table_;
 };
 
 }  // namespace otac

@@ -5,9 +5,9 @@
 namespace otac {
 
 bool LruCache::access(PhotoId key, std::uint32_t /*size_bytes*/) {
-  const auto it = index_.find(key);
-  if (it == index_.end()) return false;
-  order_.splice(order_.begin(), order_, it->second);
+  const auto node = index_.find(key);
+  if (node == OpenHashIndex<PhotoId>::npos) return false;
+  pool_.move_front(order_, order_, node);
   return true;
 }
 
@@ -15,16 +15,19 @@ bool LruCache::insert(PhotoId key, std::uint32_t size_bytes) {
   assert(!index_.contains(key) && "insert of resident key");
   if (size_bytes > capacity_bytes()) return false;
   while (used_ + size_bytes > capacity_bytes()) evict_one();
-  order_.push_front(Entry{key, size_bytes});
-  index_.emplace(key, order_.begin());
+  const auto node = pool_.acquire(Entry{key, size_bytes});
+  pool_.push_front(order_, node);
+  index_.insert(key, node);
   used_ += size_bytes;
   return true;
 }
 
 void LruCache::evict_one() {
   assert(!order_.empty());
-  const Entry victim = order_.back();
-  order_.pop_back();
+  const auto node = order_.tail;
+  const Entry victim = pool_[node];
+  pool_.unlink(order_, node);
+  pool_.release(node);
   index_.erase(victim.key);
   used_ -= victim.size;
   notify_evict(victim.key, victim.size);

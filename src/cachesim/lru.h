@@ -1,10 +1,13 @@
 // Least-Recently-Used: the paper's baseline replacement algorithm.
+//
+// Hot-path layout: entries live in a contiguous slab (no per-touch heap
+// allocation) and residency is tracked by a single open-addressing probe —
+// see slab_list.h / util/open_hash.h.
 #pragma once
 
-#include <list>
-#include <unordered_map>
-
 #include "cachesim/cache_policy.h"
+#include "cachesim/slab_list.h"
+#include "util/open_hash.h"
 
 namespace otac {
 
@@ -29,10 +32,13 @@ class LruCache final : public CachePolicy {
     PhotoId key;
     std::uint32_t size;
   };
+  using Pool = SlabList<Entry>;
+
   void evict_one();
 
-  std::list<Entry> order_;  // front = most recent
-  std::unordered_map<PhotoId, std::list<Entry>::iterator> index_;
+  Pool pool_;
+  Pool::ListRef order_;  // head = most recent
+  OpenHashIndex<PhotoId> index_;
   std::uint64_t used_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "cachesim/s3lru.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace otac {
@@ -17,17 +18,16 @@ std::uint64_t S3LruCache::used_bytes() const {
 }
 
 bool S3LruCache::access(PhotoId key, std::uint32_t /*size_bytes*/) {
-  const auto it = index_.find(key);
-  if (it == index_.end()) return false;
-  const auto node = it->second;
-  const int from = node->segment;
+  const auto node = index_.find(key);
+  if (node == OpenHashIndex<PhotoId>::npos) return false;
+  Entry& entry = pool_[node];
+  const int from = entry.segment;
   const int to = std::min(from + 1, kSegments - 1);
-  auto& source = lists_[static_cast<std::size_t>(from)];
-  auto& target = lists_[static_cast<std::size_t>(to)];
-  used_[static_cast<std::size_t>(from)] -= node->size;
-  used_[static_cast<std::size_t>(to)] += node->size;
-  node->segment = to;
-  target.splice(target.begin(), source, node);
+  used_[static_cast<std::size_t>(from)] -= entry.size;
+  used_[static_cast<std::size_t>(to)] += entry.size;
+  entry.segment = to;
+  pool_.move_front(lists_[static_cast<std::size_t>(from)],
+                   lists_[static_cast<std::size_t>(to)], node);
   rebalance();
   return true;
 }
@@ -37,8 +37,9 @@ bool S3LruCache::insert(PhotoId key, std::uint32_t size_bytes) {
   // An object larger than the probationary segment would evict itself on
   // the spot; refuse instead of producing a phantom insertion.
   if (size_bytes > segment_capacity_[0]) return false;
-  lists_[0].push_front(Entry{key, size_bytes, 0});
-  index_.emplace(key, lists_[0].begin());
+  const auto node = pool_.acquire(Entry{key, size_bytes, 0});
+  pool_.push_front(lists_[0], node);
+  index_.insert(key, node);
   used_[0] += size_bytes;
   rebalance();
   return true;
@@ -53,18 +54,21 @@ void S3LruCache::rebalance() {
     while (used_[static_cast<std::size_t>(segment)] >
            segment_capacity_[static_cast<std::size_t>(segment)]) {
       assert(!list.empty());
-      const auto victim = std::prev(list.end());
-      used_[static_cast<std::size_t>(segment)] -= victim->size;
-      used_[static_cast<std::size_t>(segment - 1)] += victim->size;
-      victim->segment = segment - 1;
-      below.splice(below.begin(), list, victim);
+      const auto victim = list.tail;
+      Entry& entry = pool_[victim];
+      used_[static_cast<std::size_t>(segment)] -= entry.size;
+      used_[static_cast<std::size_t>(segment - 1)] += entry.size;
+      entry.segment = segment - 1;
+      pool_.move_front(list, below, victim);
     }
   }
   auto& probation = lists_[0];
   while (used_[0] > segment_capacity_[0]) {
     assert(!probation.empty());
-    const Entry victim = probation.back();
-    probation.pop_back();
+    const auto node = probation.tail;
+    const Entry victim = pool_[node];
+    pool_.unlink(probation, node);
+    pool_.release(node);
     index_.erase(victim.key);
     used_[0] -= victim.size;
     notify_evict(victim.key, victim.size);

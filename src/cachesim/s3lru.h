@@ -8,13 +8,16 @@
 // objects therefore never pollute the protected segments — S3LRU is one of
 // the "advanced algorithms with their own strategies against one-time
 // accesses" (§5.2), which is why the classifier helps it less.
+//
+// All three segment lists share one slab pool; promotion/demotion is a
+// link splice, never an allocation.
 #pragma once
 
 #include <array>
-#include <list>
-#include <unordered_map>
 
 #include "cachesim/cache_policy.h"
+#include "cachesim/slab_list.h"
+#include "util/open_hash.h"
 
 namespace otac {
 
@@ -45,15 +48,16 @@ class S3LruCache final : public CachePolicy {
     std::uint32_t size;
     int segment;
   };
-  using List = std::list<Entry>;
+  using Pool = SlabList<Entry>;
 
   /// Demote overflowing segments downward; evict out of segment 0.
   void rebalance();
 
-  std::array<List, kSegments> lists_;  // front = MRU of that segment
+  Pool pool_;
+  std::array<Pool::ListRef, kSegments> lists_;  // head = MRU of that segment
   std::array<std::uint64_t, kSegments> used_{};
   std::array<std::uint64_t, kSegments> segment_capacity_{};
-  std::unordered_map<PhotoId, List::iterator> index_;
+  OpenHashIndex<PhotoId> index_;
 };
 
 }  // namespace otac

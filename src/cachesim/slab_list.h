@@ -1,0 +1,149 @@
+// Slab-backed intrusive doubly-linked lists for the replacement policies.
+//
+// std::list pays a heap allocation per node and scatters nodes across the
+// heap; every splice chases three cold pointers. Here all nodes of a policy
+// live in one contiguous pool addressed by 32-bit indices, freed nodes are
+// recycled through a free list, and link fields are stored inline — so a
+// recency touch (unlink + push_front) is a handful of stores into memory
+// that is usually already in cache, and policies never allocate after the
+// pool warms up.
+//
+// A node can participate in several lists at once (LIRS keeps a block on
+// its recency stack and its resident queue simultaneously); each list uses
+// one of `Channels` independent (prev, next) link pairs. List heads are
+// plain `ListRef` values owned by the policy; all mutation goes through the
+// pool so link updates stay in one place.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace otac {
+
+template <typename T, unsigned Channels = 1>
+class SlabList {
+  static_assert(Channels >= 1);
+
+ public:
+  using Index = std::uint32_t;
+  static constexpr Index npos = 0xFFFFFFFFu;
+
+  /// Head/tail/size of one list. Multiple lists may share the pool (ARC's
+  /// T1/T2/B1/B2) as long as each node is on at most one list per channel.
+  struct ListRef {
+    Index head = npos;
+    Index tail = npos;
+    std::size_t size = 0;
+
+    [[nodiscard]] bool empty() const noexcept { return head == npos; }
+  };
+
+  explicit SlabList(std::size_t expected = 0) { nodes_.reserve(expected); }
+
+  /// Take a node from the free list (or grow the pool) — not yet linked.
+  Index acquire(T value) {
+    Index i;
+    if (free_ != npos) {
+      i = free_;
+      free_ = nodes_[i].next[0];
+    } else {
+      i = static_cast<Index>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    Node& node = nodes_[i];
+    node.value = std::move(value);
+    for (unsigned c = 0; c < Channels; ++c) {
+      node.prev[c] = npos;
+      node.next[c] = npos;
+    }
+    return i;
+  }
+
+  /// Return a node to the free list. Must already be unlinked everywhere.
+  void release(Index i) {
+    nodes_[i].next[0] = free_;
+    free_ = i;
+  }
+
+  [[nodiscard]] T& operator[](Index i) noexcept { return nodes_[i].value; }
+  [[nodiscard]] const T& operator[](Index i) const noexcept {
+    return nodes_[i].value;
+  }
+
+  [[nodiscard]] Index next(Index i, unsigned channel = 0) const noexcept {
+    return nodes_[i].next[channel];
+  }
+  [[nodiscard]] Index prev(Index i, unsigned channel = 0) const noexcept {
+    return nodes_[i].prev[channel];
+  }
+
+  void push_front(ListRef& list, Index i, unsigned channel = 0) {
+    Node& node = nodes_[i];
+    node.prev[channel] = npos;
+    node.next[channel] = list.head;
+    if (list.head != npos) {
+      nodes_[list.head].prev[channel] = i;
+    } else {
+      list.tail = i;
+    }
+    list.head = i;
+    ++list.size;
+  }
+
+  void push_back(ListRef& list, Index i, unsigned channel = 0) {
+    Node& node = nodes_[i];
+    node.next[channel] = npos;
+    node.prev[channel] = list.tail;
+    if (list.tail != npos) {
+      nodes_[list.tail].next[channel] = i;
+    } else {
+      list.head = i;
+    }
+    list.tail = i;
+    ++list.size;
+  }
+
+  void unlink(ListRef& list, Index i, unsigned channel = 0) {
+    Node& node = nodes_[i];
+    if (node.prev[channel] != npos) {
+      nodes_[node.prev[channel]].next[channel] = node.next[channel];
+    } else {
+      assert(list.head == i);
+      list.head = node.next[channel];
+    }
+    if (node.next[channel] != npos) {
+      nodes_[node.next[channel]].prev[channel] = node.prev[channel];
+    } else {
+      assert(list.tail == i);
+      list.tail = node.prev[channel];
+    }
+    node.prev[channel] = npos;
+    node.next[channel] = npos;
+    --list.size;
+  }
+
+  /// splice-to-front: the std::list::splice(begin, ...) idiom of every
+  /// recency policy, without touching an allocator.
+  void move_front(ListRef& from, ListRef& to, Index i, unsigned channel = 0) {
+    unlink(from, i, channel);
+    push_front(to, i, channel);
+  }
+
+  /// Number of pool slots (resident + free); memory high-water mark.
+  [[nodiscard]] std::size_t slots() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    T value{};
+    Index prev[Channels];
+    Index next[Channels];
+  };
+
+  std::vector<Node> nodes_;
+  Index free_ = npos;
+};
+
+}  // namespace otac

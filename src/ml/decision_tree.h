@@ -6,6 +6,11 @@
 // "upper limit of splitting times to 30" (§3.1.2, ~3x the feature count).
 // Cost-sensitive learning enters through instance weights (Dataset), so the
 // v-weighted cost matrix of §4.4.1 needs no tree-specific handling.
+//
+// Training uses the presort-partition scheme: feature orders are sorted
+// once per fit and partitioned down the tree, so each node's split search
+// is a linear scan (daily retrains and the forest/boosting ensembles that
+// refit dozens of trees ride on this).
 #pragma once
 
 #include <cstdint>
@@ -85,8 +90,14 @@ class DecisionTree final : public Classifier {
     bool valid = false;
   };
 
-  SplitChoice find_best_split(const Dataset& data,
-                              const std::vector<std::size_t>& rows,
+  /// Presorted row orders shared by every node of one fit() call; see the
+  /// implementation notes in decision_tree.cpp.
+  struct PresortIndex;
+
+  /// Scan the node's presorted segment [begin, begin+count) of each
+  /// considered feature for the best Gini cut — no sorting on this path.
+  SplitChoice find_best_split(const Dataset& data, const PresortIndex& index,
+                              std::size_t begin, std::size_t count,
                               Rng& feature_rng) const;
 
   DecisionTreeConfig config_;

@@ -1,0 +1,139 @@
+// Open-addressing hash index: integral key -> 32-bit slot handle.
+//
+// The cache policies pay a hash probe on *every* request, so the index is
+// built for that path: linear probing over a flat power-of-two slot array
+// (one cache line covers several probes), no per-node allocation, and
+// backward-shift deletion instead of tombstones so lookup cost never
+// degrades as entries churn. Values are dense 32-bit handles into a slab
+// (see cachesim/slab_list.h); `npos` is reserved as the empty marker.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace otac {
+
+template <typename Key = std::uint64_t>
+class OpenHashIndex {
+ public:
+  static constexpr std::uint32_t npos = 0xFFFFFFFFu;
+
+  explicit OpenHashIndex(std::size_t expected = 0) {
+    std::size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    slots_.assign(cap, Slot{Key{}, npos});
+    mask_ = cap - 1;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Slot handle for `key`, or npos when absent.
+  [[nodiscard]] std::uint32_t find(Key key) const noexcept {
+    std::size_t i = hash(key) & mask_;
+    while (slots_[i].value != npos) {
+      if (slots_[i].key == key) return slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    return npos;
+  }
+
+  [[nodiscard]] bool contains(Key key) const noexcept {
+    return find(key) != npos;
+  }
+
+  /// Insert a key that must not be present. `value` must not be npos.
+  void insert(Key key, std::uint32_t value) {
+    assert(value != npos && "npos is the empty marker");
+    assert(find(key) == npos && "duplicate key");
+    if ((size_ + 1) * 2 > mask_ + 1) grow();
+    std::size_t i = hash(key) & mask_;
+    while (slots_[i].value != npos) i = (i + 1) & mask_;
+    slots_[i] = Slot{key, value};
+    ++size_;
+  }
+
+  /// Update the handle of an existing key.
+  void assign(Key key, std::uint32_t value) {
+    std::size_t i = hash(key) & mask_;
+    while (true) {
+      assert(slots_[i].value != npos && "assign of absent key");
+      if (slots_[i].key == key) {
+        slots_[i].value = value;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Remove a key that must be present (backward-shift deletion keeps the
+  /// probe sequences of the survivors intact — no tombstones).
+  void erase(Key key) {
+    std::size_t i = hash(key) & mask_;
+    while (true) {
+      assert(slots_[i].value != npos && "erase of absent key");
+      if (slots_[i].key == key) break;
+      i = (i + 1) & mask_;
+    }
+    std::size_t hole = i;
+    std::size_t probe = i;
+    while (true) {
+      probe = (probe + 1) & mask_;
+      if (slots_[probe].value == npos) break;
+      const std::size_t home = hash(slots_[probe].key) & mask_;
+      // The entry at `probe` may fill the hole iff its home position does
+      // not lie strictly inside (hole, probe] in circular order.
+      const bool movable = hole <= probe ? (home <= hole || home > probe)
+                                         : (home <= hole && home > probe);
+      if (movable) {
+        slots_[hole] = slots_[probe];
+        hole = probe;
+      }
+    }
+    slots_[hole].value = npos;
+    --size_;
+  }
+
+  void clear() noexcept {
+    for (Slot& slot : slots_) slot.value = npos;
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    Key key;
+    std::uint32_t value;  // npos == empty
+  };
+
+  [[nodiscard]] static std::size_t hash(Key key) noexcept {
+    // splitmix64 finalizer: full avalanche so dense PhotoIds spread evenly.
+    auto x = static_cast<std::uint64_t>(key);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    const std::size_t cap = (mask_ + 1) << 1;
+    slots_.assign(cap, Slot{Key{}, npos});
+    mask_ = cap - 1;
+    for (const Slot& slot : old) {
+      if (slot.value == npos) continue;
+      std::size_t i = hash(slot.key) & mask_;
+      while (slots_[i].value != npos) i = (i + 1) & mask_;
+      slots_[i] = slot;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace otac

@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 
@@ -61,18 +62,29 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  // Block-cyclic work stealing: lanes claim chunks of indices rather than
+  // single ones, so cheap bodies (per-request feature hashing and the like)
+  // don't pay one contended fetch_add per index. The chunk shrinks with n
+  // so small sweeps (a capacity sweep is ~10 simulations) still spread over
+  // every lane instead of serializing behind one big grab.
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
   const std::size_t lanes = std::min(n, thread_count());
+  const std::size_t chunk =
+      std::clamp<std::size_t>(n / (lanes * 8), 1, 64);
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     submit([&] {
-      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        try {
-          body(i);
-        } catch (...) {
-          const std::lock_guard lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+      for (std::size_t base = next.fetch_add(chunk); base < n;
+           base = next.fetch_add(chunk)) {
+        const std::size_t end = std::min(base + chunk, n);
+        for (std::size_t i = base; i < end; ++i) {
+          try {
+            body(i);
+          } catch (...) {
+            const std::lock_guard lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
         }
       }
     });

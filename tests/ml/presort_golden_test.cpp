@@ -1,0 +1,99 @@
+// Golden-equivalence pin for the presort-partition CART rewrite.
+//
+// The serialized-tree hashes below were captured from the seed splitter
+// (per-node gather + std::sort, commit 34e37c1) on a fixed synthetic
+// dataset. The presorted splitter must produce the *identical* tree —
+// same splits, thresholds, probabilities, and importance — which holds
+// because unit weights make the double accumulations exact, thresholds
+// are midpoints of distinct boundary values, and the RNG draw sequence of
+// feature subsampling is unchanged. Any reordering bug, tie-handling
+// slip, or float deviation changes the serialize() blob and trips these.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "util/rng.h"
+
+namespace otac::ml {
+namespace {
+
+Dataset make_golden_dataset(std::size_t rows, std::size_t features,
+                            std::uint64_t seed) {
+  std::vector<std::string> names;
+  for (std::size_t f = 0; f < features; ++f) {
+    names.push_back("f" + std::to_string(f));
+  }
+  Dataset data{names};
+  Rng rng{seed};
+  std::vector<float> row(features);
+  for (std::size_t i = 0; i < rows; ++i) {
+    float score = 0.0F;
+    for (std::size_t f = 0; f < features; ++f) {
+      row[f] = static_cast<float>(rng.uniform_int(0, 1000)) / 10.0F;
+      score += row[f] * (f % 2 == 0 ? 1.0F : -0.5F);
+    }
+    const int label =
+        (score + static_cast<float>(rng.uniform_int(0, 40))) > 30.0F ? 1 : 0;
+    data.add_row(row, label, 1.0F);
+  }
+  return data;
+}
+
+std::uint64_t blob_hash(const std::string& blob) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : blob) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+TEST(PresortGolden, FullFeatureTreeMatchesSeedSplitter) {
+  const Dataset data = make_golden_dataset(4000, 6, 99);
+  DecisionTreeConfig config;
+  config.max_splits = 30;
+  DecisionTree tree{config};
+  tree.fit(data);
+
+  EXPECT_EQ(tree.split_count(), 30U);
+  EXPECT_EQ(tree.height(), 8U);
+  EXPECT_EQ(tree.node_count(), 61U);
+  EXPECT_EQ(blob_hash(tree.serialize()), 0x5715a8d9e1cde63bULL)
+      << "serialized tree diverged from the seed splitter";
+}
+
+TEST(PresortGolden, FeatureSubsampledTreeMatchesSeedSplitter) {
+  // Random-forest mode: pins the RNG draw sequence of feature subsampling
+  // on top of the split arithmetic.
+  const Dataset data = make_golden_dataset(4000, 6, 99);
+  DecisionTreeConfig config;
+  config.max_splits = 30;
+  config.max_features = 2;
+  config.feature_subsample_seed = 1234;
+  DecisionTree tree{config};
+  tree.fit(data);
+
+  EXPECT_EQ(tree.split_count(), 30U);
+  EXPECT_EQ(blob_hash(tree.serialize()), 0x184bb9d7b7e7e7f1ULL)
+      << "serialized tree diverged from the seed splitter";
+}
+
+TEST(PresortGolden, RefitProducesIdenticalTree) {
+  // fit() must be stateless across calls: the presort index is rebuilt per
+  // fit, so refitting the same data yields the same blob.
+  const Dataset data = make_golden_dataset(1000, 4, 5);
+  DecisionTreeConfig config;
+  config.max_splits = 15;
+  DecisionTree tree{config};
+  tree.fit(data);
+  const std::string first = tree.serialize();
+  tree.fit(data);
+  EXPECT_EQ(tree.serialize(), first);
+}
+
+}  // namespace
+}  // namespace otac::ml
