@@ -2,16 +2,28 @@
 // live through a multi-day trace — daily 05:00 retraining, per-day
 // classifier quality, the history table correcting mistakes, and the final
 // decision tree in human-readable form.
+//
+// With --checkpoint-dir=DIR the run becomes restartable: an existing
+// checkpoint in DIR is validated and restored before the simulation
+// (corrupt generations fall back previous -> cold start), and the final
+// classifier state is persisted crash-safely on exit — rerun the binary to
+// see day 0 start warm with the previous run's tree.
 #include <iostream>
 
 #include "cachesim/simulator.h"
+#include "core/checkpoint.h"
 #include "core/classifier_system.h"
 #include "core/ota_criteria.h"
 #include "trace/trace_generator.h"
+#include "util/flags.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace otac;
+
+  const FlagParser flags{argc, argv};
+  const std::string checkpoint_dir =
+      flags.get("checkpoint-dir", std::string{});
 
   WorkloadConfig workload;
   workload.seed = 11;
@@ -49,6 +61,34 @@ int main() {
   std::cout << "history table capacity: " << classifier.history().capacity()
             << " entries (M(1-h)p x 0.05)\n\n";
 
+  if (!checkpoint_dir.empty()) {
+    const CheckpointManager manager{checkpoint_dir};
+    const CheckpointLoad loaded = manager.load();
+    std::cout << "checkpoint load from " << checkpoint_dir << ": "
+              << checkpoint_origin_name(loaded.origin);
+    if (loaded.rejected_files > 0) {
+      std::cout << " (" << loaded.rejected_files
+                << " corrupt generation(s) rejected)";
+    }
+    std::cout << "\n";
+    if (loaded.origin != CheckpointOrigin::none) {
+      const bool model_ok = classifier.restore(loaded.snapshot);
+      std::cout << "  restored: " << loaded.snapshot.samples.size()
+                << " trainer samples, " << loaded.snapshot.history.size()
+                << " history entries, "
+                << (loaded.snapshot.model_blob.empty()
+                        ? std::string{"no model"}
+                        : model_ok ? std::string{"model ok"}
+                                   : std::string{"model REJECTED -> admit-all"})
+                << "\n";
+      if (loaded.snapshot.m != criteria.m) {
+        std::cout << "  note: checkpointed M=" << loaded.snapshot.m
+                  << " differs from this run's M=" << criteria.m << "\n";
+      }
+    }
+    std::cout << "\n";
+  }
+
   const auto policy = make_policy(PolicyKind::lru, capacity);
   Simulator sim{trace};
   sim.set_day_callback([](std::int64_t day, std::uint64_t index) {
@@ -82,5 +122,27 @@ int main() {
             << TablePrinter::pct(stats.file_hit_rate()) << ", SSD writes "
             << stats.insertions << " (" << stats.rejected
             << " misses bypassed the cache)\n";
+
+  const DegradationCounters& degraded = classifier.degradation();
+  if (degraded.total() > 0) {
+    std::cout << "serving degradations: " << degraded.retrain_failures
+              << " retrain failures, " << degraded.rejected_models
+              << " rejected models, " << degraded.nonfinite_feature_requests
+              << " non-finite-feature fallbacks, "
+              << degraded.predict_failures << " predict fallbacks\n";
+  }
+
+  if (!checkpoint_dir.empty()) {
+    CheckpointManager manager{checkpoint_dir};
+    try {
+      manager.save(classifier.snapshot());
+      std::cout << "checkpoint saved to " << manager.current_path() << "\n";
+    } catch (const std::exception& error) {
+      // A failed save must not fail the run — the previous generation is
+      // still intact on disk by construction.
+      std::cout << "checkpoint save FAILED (" << error.what()
+                << "); previous generation retained\n";
+    }
+  }
   return 0;
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Run the robustness suite (failpoint registry, crash-safe checkpointing,
+# crash-recovery harness) under AddressSanitizer + UndefinedBehaviorSanitizer.
+# "Never UB" claims in tests/integration/crash_recovery_test.cpp are only as
+# good as the instrumentation they run under — this script is the gate.
+#
+# Usage: scripts/check_robustness.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . -DOTAC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" --target test_robustness -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L robustness --output-on-failure -j"$(nproc)"
+
+echo "robustness suite clean under ASan+UBSan"

@@ -1,0 +1,102 @@
+// Crash-safe persistence of the deployed classifier state (§4.4.3's daily
+// handoff made restartable): a ClassifierSnapshot captures everything the
+// serving tier needs to resume — deserialized-tree blob, history-table
+// contents, trainer reservoir, criteria params, and the retrain-schedule
+// counters — and CheckpointManager writes it with the classic durability
+// recipe: temp file + per-section CRC32 + atomic rename, previous
+// generation retained.
+//
+// Failure behavior is the contract, not an afterthought:
+//  - save() either lands a complete, checksummed file or leaves the
+//    previous generation(s) untouched (torn/partial writes stay in *.tmp);
+//  - load() validates magic/version/section checksums and falls back
+//    current -> previous -> cold start, never returning a half-read
+//    snapshot;
+//  - the write/rotate/rename path is instrumented with named failpoints
+//    (failpoint_names()) so tests can script every crash point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/history_table.h"
+#include "core/trainer.h"
+
+namespace otac {
+
+struct ClassifierSnapshot {
+  /// Criteria/deployment params the state was computed under. Restoring
+  /// into a system configured differently is allowed but reported.
+  double m = 0.0;
+  double h = 0.0;
+  double p = 0.0;
+  double cost_v = 0.0;
+
+  /// DecisionTree::serialize() blob of the serving model; empty = the
+  /// system had no model yet (admit-all phase).
+  std::string model_blob;
+
+  /// History table contents, oldest-first, plus its telemetry counter.
+  std::vector<HistoryTable::Entry> history;
+  std::uint64_t history_rectified = 0;
+
+  /// Trainer reservoir (time-ascending) and per-minute budget cursor.
+  std::vector<TrainingSample> samples;
+  std::int64_t trainer_minute = std::numeric_limits<std::int64_t>::min();
+  int trainer_minute_count = 0;
+
+  /// Retrain-schedule counters.
+  std::int64_t last_trained_day = std::numeric_limits<std::int64_t>::min();
+  std::int64_t last_trained_time = std::numeric_limits<std::int64_t>::min();
+  int trainings = 0;
+};
+
+enum class CheckpointOrigin {
+  none,      ///< nothing loadable on disk — cold start
+  current,   ///< the latest generation validated cleanly
+  previous,  ///< the latest was corrupt/missing; previous generation used
+};
+
+[[nodiscard]] std::string checkpoint_origin_name(CheckpointOrigin origin);
+
+struct CheckpointLoad {
+  ClassifierSnapshot snapshot;  ///< default-constructed when origin == none
+  CheckpointOrigin origin = CheckpointOrigin::none;
+  /// Files present but rejected (bad magic/version/CRC/bounds) on the way
+  /// to `origin` — degradation telemetry.
+  int rejected_files = 0;
+};
+
+class CheckpointManager {
+ public:
+  /// `dir` is created on first save(); load() on a missing dir cold-starts.
+  explicit CheckpointManager(std::string dir);
+
+  /// Durably persist a snapshot. Throws (std::runtime_error or
+  /// fail::FailpointTriggered) on any failure; on-disk generations are
+  /// never left in a state load() cannot recover from.
+  void save(const ClassifierSnapshot& snapshot);
+
+  /// Validate-and-load with fallback; never throws on corrupt input.
+  [[nodiscard]] CheckpointLoad load() const;
+
+  [[nodiscard]] std::string current_path() const;
+  [[nodiscard]] std::string previous_path() const;
+  [[nodiscard]] std::string temp_path() const;
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// Sectioned wire format (exposed for tests and external tooling).
+  [[nodiscard]] static std::string encode(const ClassifierSnapshot& snapshot);
+  /// Throws std::runtime_error on any structural or checksum violation.
+  [[nodiscard]] static ClassifierSnapshot decode(const std::string& bytes);
+
+  /// Every failpoint scripted inside save()/load() — the crash-recovery
+  /// harness iterates this list so new crash points cannot dodge coverage.
+  [[nodiscard]] static const std::vector<std::string>& failpoint_names();
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace otac

@@ -1,5 +1,8 @@
 #include "core/classifier_system.h"
 
+#include <cmath>
+#include <stdexcept>
+
 namespace otac {
 
 ClassifierSystem::ClassifierSystem(const Trace& trace,
@@ -20,14 +23,39 @@ bool ClassifierSystem::admit(std::uint64_t index, const Request& request,
   extractor_.extract(request, photo, scratch_);
   bool predicted_one_time;
   const std::vector<std::size_t>& subset = config_.ota.feature_subset;
-  if (subset.empty()) {
-    predicted_one_time = model_->predict(scratch_) == 1;
-  } else {
-    projected_.resize(subset.size());
-    for (std::size_t k = 0; k < subset.size(); ++k) {
-      projected_[k] = scratch_[subset[k]];
+  // Graceful degradation: a request whose features come out non-finite
+  // (corrupt catalog entry, clock skew) or whose prediction throws must
+  // fall back to plain admission — never crash the serving path, never
+  // feed garbage through the tree.
+  const auto finite = [](std::span<const float> values) {
+    for (const float v : values) {
+      if (!std::isfinite(v)) return false;
     }
-    predicted_one_time = model_->predict(projected_) == 1;
+    return true;
+  };
+  try {
+    if (subset.empty()) {
+      if (!finite(scratch_)) {
+        ++degradation_.nonfinite_feature_requests;
+        return true;
+      }
+      predicted_one_time = model_->predict(scratch_) == 1;
+    } else {
+      projected_.resize(subset.size());
+      for (std::size_t k = 0; k < subset.size(); ++k) {
+        // .at(): a misconfigured subset index degrades via the catch below
+        // instead of reading out of bounds.
+        projected_[k] = scratch_.at(subset[k]);
+      }
+      if (!finite(projected_)) {
+        ++degradation_.nonfinite_feature_requests;
+        return true;
+      }
+      predicted_one_time = model_->predict(projected_) == 1;
+    }
+  } catch (const std::exception&) {
+    ++degradation_.predict_failures;
+    return true;
   }
 
   bool final_one_time = predicted_one_time;
@@ -87,11 +115,77 @@ void ClassifierSystem::observe(std::uint64_t index, const Request& request,
     if (due) last_trained_day_ = day;
   }
   if (due) {
-    if (auto tree = trainer_.train(index, request.time)) {
-      model_ = std::move(tree);
-      ++trainings_;
+    // Retrain failures and rejected models must not take down serving:
+    // keep the last-good tree (or the admit-all fallback when none).
+    try {
+      if (auto tree = trainer_.train(index, request.time)) {
+        if (validate_model(*tree)) {
+          model_ = std::move(tree);
+          ++trainings_;
+        } else {
+          ++degradation_.rejected_models;
+        }
+      }
+    } catch (const std::exception&) {
+      ++degradation_.retrain_failures;
     }
     last_trained_time_ = request.time.seconds;
+  }
+}
+
+bool ClassifierSystem::validate_model(const ml::DecisionTree& tree) const {
+  const std::vector<std::size_t>& subset = config_.ota.feature_subset;
+  const std::size_t arity =
+      subset.empty() ? FeatureExtractor::kFeatureCount : subset.size();
+  if (tree.node_count() == 0) return false;
+  if (tree.feature_importance().size() != arity) return false;
+  try {
+    const std::vector<float> probe(arity, 0.0F);
+    const double proba = tree.predict_proba(probe);
+    return std::isfinite(proba) && proba >= 0.0 && proba <= 1.0;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+ClassifierSnapshot ClassifierSystem::snapshot() const {
+  ClassifierSnapshot snap;
+  snap.m = config_.m;
+  snap.h = config_.h;
+  snap.p = config_.p;
+  snap.cost_v = config_.cost_v;
+  if (model_) snap.model_blob = model_->serialize();
+  snap.history = history_.entries();
+  snap.history_rectified = history_.rectified_count();
+  snap.samples.assign(trainer_.samples().begin(), trainer_.samples().end());
+  snap.trainer_minute = trainer_.current_minute();
+  snap.trainer_minute_count = trainer_.minute_count();
+  snap.last_trained_day = last_trained_day_;
+  snap.last_trained_time = last_trained_time_;
+  snap.trainings = trainings_;
+  return snap;
+}
+
+bool ClassifierSystem::restore(const ClassifierSnapshot& snapshot) {
+  history_.restore(snapshot.history, snapshot.history_rectified);
+  trainer_.restore({snapshot.samples.begin(), snapshot.samples.end()},
+                   snapshot.trainer_minute, snapshot.trainer_minute_count);
+  last_trained_day_ = snapshot.last_trained_day;
+  last_trained_time_ = snapshot.last_trained_time;
+  trainings_ = snapshot.trainings;
+
+  model_.reset();  // absent/corrupt model == admit-all (Original behavior)
+  if (snapshot.model_blob.empty()) return true;
+  try {
+    ml::DecisionTree tree = ml::DecisionTree::deserialize(snapshot.model_blob);
+    if (!validate_model(tree)) {
+      throw std::invalid_argument("model failed validation");
+    }
+    model_ = std::move(tree);
+    return true;
+  } catch (const std::exception&) {
+    ++degradation_.rejected_models;
+    return false;
   }
 }
 

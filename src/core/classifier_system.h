@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cachesim/admission.h"
+#include "core/checkpoint.h"
 #include "core/config.h"
 #include "core/features.h"
 #include "core/history_table.h"
@@ -41,6 +42,26 @@ struct DayClassifierMetrics {
   std::int64_t day = 0;
   ml::ConfusionMatrix raw;        // tree verdicts
   ml::ConfusionMatrix corrected;  // after history-table rectification
+};
+
+/// Every time the serving path degrades instead of failing it increments a
+/// counter here (Flashield's rule: an ML cache component must fail toward
+/// conservative admission, i.e. the paper's Original admit-all behavior).
+struct DegradationCounters {
+  /// Retrain threw — last-good tree kept serving.
+  std::uint64_t retrain_failures = 0;
+  /// A trained or checkpointed model failed validation — rejected; the
+  /// previous tree (or admit-all when none) keeps serving.
+  std::uint64_t rejected_models = 0;
+  /// Requests whose features came out non-finite — admitted via fallback.
+  std::uint64_t nonfinite_feature_requests = 0;
+  /// predict() threw (arity mismatch etc.) — admitted via fallback.
+  std::uint64_t predict_failures = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return retrain_failures + rejected_models + nonfinite_feature_requests +
+           predict_failures;
+  }
 };
 
 class ClassifierSystem final : public AdmissionPolicy {
@@ -72,10 +93,25 @@ class ClassifierSystem final : public AdmissionPolicy {
   [[nodiscard]] const ClassifierSystemConfig& config() const noexcept {
     return config_;
   }
+  [[nodiscard]] const DegradationCounters& degradation() const noexcept {
+    return degradation_;
+  }
+
+  /// Capture the full serving state for crash-safe persistence.
+  [[nodiscard]] ClassifierSnapshot snapshot() const;
+
+  /// Install checkpointed state. A corrupt or arity-mismatched model blob
+  /// leaves the system model-less (admit-all fallback), counts a rejected
+  /// model, and returns false; every other section is still restored.
+  bool restore(const ClassifierSnapshot& snapshot);
 
  private:
   void record_metric(std::int64_t day, int actual, int raw_prediction,
                      int corrected_prediction);
+
+  /// A model is servable iff it is fitted, matches the deployed feature
+  /// arity, and yields a finite probability on a probe row.
+  [[nodiscard]] bool validate_model(const ml::DecisionTree& tree) const;
 
   ClassifierSystemConfig config_;
   const NextAccessInfo* oracle_;
@@ -89,6 +125,7 @@ class ClassifierSystem final : public AdmissionPolicy {
   std::int64_t last_trained_day_ = std::numeric_limits<std::int64_t>::min();
   std::int64_t last_trained_time_ = std::numeric_limits<std::int64_t>::min();
   int trainings_ = 0;
+  DegradationCounters degradation_;
   std::vector<DayClassifierMetrics> daily_;
   std::array<float, FeatureExtractor::kFeatureCount> scratch_{};
   std::vector<float> projected_;  // scratch for the deployed feature subset

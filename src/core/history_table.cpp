@@ -38,11 +38,31 @@ bool HistoryTable::rectify(PhotoId photo, std::uint64_t index, double m) {
   return false;
 }
 
+std::vector<HistoryTable::Entry> HistoryTable::entries() const {
+  std::vector<Entry> out;
+  out.reserve(fifo_.size());
+  for (const Slot& slot : fifo_) out.push_back(Entry{slot.photo, slot.index});
+  return out;
+}
+
+void HistoryTable::restore(const std::vector<Entry>& oldest_first,
+                           std::uint64_t rectified_count) {
+  fifo_.clear();
+  map_.clear();
+  for (const Entry& entry : oldest_first) record(entry.photo, entry.index);
+  rectified_ = rectified_count;
+}
+
 std::size_t history_table_capacity(double m, double h, double p,
                                    double factor) {
   const double entries = m * (1.0 - h) * p * factor;
-  if (entries <= 0.0) return 0;
-  return static_cast<std::size_t>(std::max(1.0, std::round(entries)));
+  // NaN inputs (e.g. criteria computed from a degenerate trace) must not
+  // reach the round/cast below — `!(x > 0)` is true for NaN.
+  if (!(entries > 0.0)) return 0;
+  // Clamp before the size_t cast: a runaway M would otherwise be UB.
+  constexpr double kMaxEntries = 1e12;
+  return static_cast<std::size_t>(
+      std::max(1.0, std::round(std::min(entries, kMaxEntries))));
 }
 
 }  // namespace otac

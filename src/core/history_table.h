@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <vector>
 
 #include "trace/types.h"
 
@@ -37,6 +38,20 @@ class HistoryTable {
   [[nodiscard]] std::uint64_t rectified_count() const noexcept {
     return rectified_;
   }
+
+  struct Entry {
+    PhotoId photo = 0;
+    std::uint64_t index = 0;
+  };
+
+  /// Current contents, oldest-first (checkpointing).
+  [[nodiscard]] std::vector<Entry> entries() const;
+
+  /// Replace the contents with a checkpointed snapshot (oldest-first).
+  /// Entries beyond capacity are dropped FIFO-style (oldest first), so a
+  /// snapshot from a larger table degrades instead of overflowing.
+  void restore(const std::vector<Entry>& oldest_first,
+               std::uint64_t rectified_count);
 
  private:
   struct Slot {

@@ -108,6 +108,7 @@ RunResult IntelligentCache::run(const RunConfig& config) const {
       result.stats = sim.run(*policy, admission);
       result.daily = admission.daily_metrics();
       result.trainings = admission.trainings();
+      result.degradation = admission.degradation();
       break;
     }
   }

@@ -48,6 +48,9 @@ struct RunResult {
   std::size_t history_capacity = 0;
   std::vector<DayClassifierMetrics> daily;  // proposal only
   int trainings = 0;
+  /// Serving-path degradations (proposal only): retrain failures, rejected
+  /// models, fallback admits. Zero on a healthy run.
+  DegradationCounters degradation;
   double mean_latency_us = 0.0;  // Eq. 3 with this run's hit rate
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/failpoint.h"
+
 namespace otac {
 
 DailyTrainer::DailyTrainer(const NextAccessInfo& oracle, OtaConfig config,
@@ -35,8 +37,19 @@ int DailyTrainer::label_of(const NextAccessInfo& oracle, std::uint64_t index,
   return reaccessed_within_m ? 0 : 1;  // 1 = one-time-access (positive)
 }
 
+void DailyTrainer::restore(std::deque<TrainingSample> samples,
+                           std::int64_t minute, int minute_count) {
+  samples_ = std::move(samples);
+  current_minute_ = minute;
+  minute_count_ = minute_count;
+}
+
 std::optional<ml::DecisionTree> DailyTrainer::train(std::uint64_t now_index,
                                                     SimTime now) {
+  // Fault-injection surface: a production retrain can die on anything from
+  // OOM to a poisoned sample batch; the serving tier must keep the
+  // last-good tree (see ClassifierSystem::observe).
+  OTAC_FAILPOINT_THROW("trainer.train.fail");
   // Drop samples older than the training window.
   const SimTime window_start =
       now - static_cast<std::int64_t>(config_.training_window_days *

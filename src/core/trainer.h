@@ -53,6 +53,20 @@ class DailyTrainer {
   }
   [[nodiscard]] double cost_v() const noexcept { return cost_v_; }
 
+  // --- checkpointing ---------------------------------------------------
+  [[nodiscard]] const std::deque<TrainingSample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] std::int64_t current_minute() const noexcept {
+    return current_minute_;
+  }
+  [[nodiscard]] int minute_count() const noexcept { return minute_count_; }
+
+  /// Replace the reservoir with checkpointed samples (time-ascending) and
+  /// the per-minute budget cursor.
+  void restore(std::deque<TrainingSample> samples, std::int64_t minute,
+               int minute_count);
+
  private:
   const NextAccessInfo* oracle_;
   OtaConfig config_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
@@ -368,6 +369,17 @@ DecisionTree DecisionTree::deserialize(const std::string& blob) {
   if (!in || magic != "otac-dtree" || version != 1) {
     throw std::invalid_argument("DecisionTree: bad serialization header");
   }
+  // Bound the declared sizes against the blob before resizing: every node
+  // line and importance entry needs at least two bytes of text, so counts
+  // beyond blob.size() are corrupt headers, not big trees. This keeps a
+  // flipped count byte from turning into an attacker-chosen allocation.
+  if (node_count == 0 || node_count > blob.size() ||
+      feature_count > blob.size()) {
+    throw std::invalid_argument("DecisionTree: implausible header counts");
+  }
+  if (splits >= node_count || height >= node_count) {
+    throw std::invalid_argument("DecisionTree: inconsistent header counts");
+  }
   DecisionTree tree;
   tree.splits_ = splits;
   tree.height_ = height;
@@ -379,17 +391,43 @@ DecisionTree DecisionTree::deserialize(const std::string& blob) {
   tree.importance_.resize(feature_count);
   for (double& gain : tree.importance_) in >> gain;
   if (!in) throw std::invalid_argument("DecisionTree: truncated blob");
-  // Structural validation: child ids must be in range and non-cyclic by
-  // construction (children always have larger indices in our builder).
-  for (const Node& node : tree.nodes_) {
-    if (node.feature >= 0) {
-      const bool in_range =
-          node.left > 0 && node.right > 0 &&
-          static_cast<std::size_t>(node.left) < node_count &&
-          static_cast<std::size_t>(node.right) < node_count;
-      if (!in_range) {
-        throw std::invalid_argument("DecisionTree: invalid child index");
+  // Structural validation. Children must point strictly forward (our
+  // builder always appends children after the parent), which rules out
+  // cycles and guarantees predict() terminates; features must exist; all
+  // floats must be finite with probabilities in [0, 1].
+  for (std::size_t i = 0; i < node_count; ++i) {
+    const Node& node = tree.nodes_[i];
+    if (!std::isfinite(node.probability) || node.probability < 0.0F ||
+        node.probability > 1.0F) {
+      throw std::invalid_argument("DecisionTree: invalid node probability");
+    }
+    if (node.depth >= node_count) {
+      throw std::invalid_argument("DecisionTree: invalid node depth");
+    }
+    if (node.feature < 0) {
+      if (node.feature != -1 || node.left != -1 || node.right != -1) {
+        throw std::invalid_argument("DecisionTree: malformed leaf");
       }
+      continue;
+    }
+    if (static_cast<std::size_t>(node.feature) >= feature_count) {
+      throw std::invalid_argument("DecisionTree: feature id out of range");
+    }
+    if (!std::isfinite(node.threshold)) {
+      throw std::invalid_argument("DecisionTree: non-finite threshold");
+    }
+    const bool forward =
+        node.left > static_cast<std::int32_t>(i) &&
+        node.right > static_cast<std::int32_t>(i) &&
+        static_cast<std::size_t>(node.left) < node_count &&
+        static_cast<std::size_t>(node.right) < node_count;
+    if (!forward) {
+      throw std::invalid_argument("DecisionTree: invalid child index");
+    }
+  }
+  for (const double gain : tree.importance_) {
+    if (!std::isfinite(gain) || gain < 0.0) {
+      throw std::invalid_argument("DecisionTree: invalid importance");
     }
   }
   return tree;

@@ -1,5 +1,6 @@
 #include "trace/trace_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <limits>
 #include <ostream>
@@ -33,9 +34,31 @@ void write_vector(std::ostream& out, const std::vector<T>& values) {
   }
 }
 
+/// Bytes left between the current position and the end of a seekable
+/// stream; max() when the stream cannot be positioned (socket-like).
+std::uint64_t remaining_bytes(std::istream& in) {
+  const std::istream::pos_type current = in.tellg();
+  if (current == std::istream::pos_type(-1)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(current);
+  if (end == std::istream::pos_type(-1) || end < current) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return static_cast<std::uint64_t>(end - current);
+}
+
 template <typename T>
 std::vector<T> read_vector(std::istream& in) {
   const auto count = read_pod<std::uint64_t>(in);
+  // Bound the declared record count against what the stream can actually
+  // hold before allocating: a flipped length byte must fail cleanly, not
+  // become a multi-gigabyte resize followed by a short read.
+  if (count > remaining_bytes(in) / sizeof(T)) {
+    throw std::runtime_error("trace_io: record count exceeds stream size");
+  }
   std::vector<T> values(count);
   if (count > 0) {
     in.read(reinterpret_cast<char*>(values.data()),
@@ -80,9 +103,49 @@ Trace load_trace(std::istream& in) {
   trace.horizon = SimTime{read_pod<std::int64_t>(in)};
   auto photos = read_vector<PhotoMeta>(in);
   auto owners = read_vector<OwnerMeta>(in);
+  auto requests = read_vector<Request>(in);
+  auto latent_score = read_vector<float>(in);
+
+  // Referential and value validation: a corrupt file must be rejected
+  // here, not crash the simulator later through an out-of-range id or a
+  // NaN score propagating into the popularity math.
+  for (const PhotoMeta& photo : photos) {
+    if (photo.owner >= owners.size()) {
+      throw std::runtime_error("trace_io: photo owner id out of range");
+    }
+    // Corrupted enum bytes would index the 12-entry type tables OOB.
+    if (static_cast<int>(photo.type.resolution) >= kResolutionCount ||
+        static_cast<int>(photo.type.format) >= kFormatCount) {
+      throw std::runtime_error("trace_io: invalid photo type");
+    }
+  }
+  for (const OwnerMeta& owner : owners) {
+    if (!std::isfinite(owner.activity) || !std::isfinite(owner.quality)) {
+      throw std::runtime_error("trace_io: non-finite owner attributes");
+    }
+  }
+  std::int64_t previous_time = std::numeric_limits<std::int64_t>::min();
+  for (const Request& request : requests) {
+    if (request.photo >= photos.size()) {
+      throw std::runtime_error("trace_io: request photo id out of range");
+    }
+    if (request.time.seconds < previous_time) {
+      throw std::runtime_error("trace_io: requests not time-sorted");
+    }
+    previous_time = request.time.seconds;
+  }
+  if (!latent_score.empty() && latent_score.size() != photos.size()) {
+    throw std::runtime_error("trace_io: latent score count mismatch");
+  }
+  for (const float score : latent_score) {
+    if (!std::isfinite(score)) {
+      throw std::runtime_error("trace_io: non-finite latent score");
+    }
+  }
+
   trace.catalog = PhotoCatalog{std::move(photos), std::move(owners)};
-  trace.requests = read_vector<Request>(in);
-  trace.latent_score = read_vector<float>(in);
+  trace.requests = std::move(requests);
+  trace.latent_score = std::move(latent_score);
   return trace;
 }
 
@@ -128,10 +191,22 @@ Trace import_requests_csv(std::istream& in) {
     std::int64_t time = 0;
     std::uint64_t size = 0;
     try {
-      time = std::stoll(time_s);
-      size = std::stoull(size_s);
+      std::size_t time_used = 0;
+      std::size_t size_used = 0;
+      time = std::stoll(time_s, &time_used);
+      size = std::stoull(size_s, &size_used);
+      // Trailing garbage ("12x", "1e9", "nan") must not half-parse.
+      if (time_used != time_s.size() || size_used != size_s.size()) {
+        throw std::invalid_argument("trailing characters");
+      }
     } catch (const std::exception&) {
       throw std::runtime_error("import_requests_csv: bad number in row " +
+                               std::to_string(row));
+    }
+    if (time < 0 ||
+        size > std::numeric_limits<std::uint32_t>::max() ||
+        size_s.find('-') != std::string::npos) {
+      throw std::runtime_error("import_requests_csv: value out of range in row " +
                                std::to_string(row));
     }
     if (time < previous_time) {

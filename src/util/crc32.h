@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+// Guards the checkpoint file sections against torn writes and bit rot;
+// matches zlib's crc32() so externally written sections can be verified
+// with standard tools.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace otac {
+
+/// One-shot or incremental: pass the previous return value as `seed` to
+/// continue a running checksum (seed 0 starts a fresh one).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0) noexcept;
+
+[[nodiscard]] inline std::uint32_t crc32(std::string_view bytes,
+                                         std::uint32_t seed = 0) noexcept {
+  return crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace otac

@@ -1,0 +1,88 @@
+#include "util/failpoint.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace otac::fail {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::enable(const std::string& name, Spec spec) {
+  const std::lock_guard lock(mutex_);
+  State& state = states_[name];
+  state.spec = spec;
+  state.enabled = true;
+  state.hits = 0;
+  state.fires = 0;
+  state.rng = spec.seed;
+}
+
+void Registry::disable(const std::string& name) {
+  const std::lock_guard lock(mutex_);
+  const auto it = states_.find(name);
+  if (it != states_.end()) it->second.enabled = false;
+}
+
+void Registry::disable_all() {
+  const std::lock_guard lock(mutex_);
+  for (auto& [name, state] : states_) state.enabled = false;
+}
+
+bool Registry::should_fire(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  State& state = states_[std::string{name}];
+  ++state.hits;
+  if (!state.enabled) return false;
+
+  bool fire = false;
+  switch (state.spec.trigger) {
+    case Trigger::always:
+      fire = true;
+      break;
+    case Trigger::once:
+      fire = true;
+      state.enabled = false;  // disarm after the first firing
+      break;
+    case Trigger::every_nth:
+      fire = state.hits % state.spec.n == 0;
+      break;
+    case Trigger::probability: {
+      // SplitMix64 keeps the per-failpoint stream reproducible from the
+      // seed regardless of what other failpoints do.
+      const double u =
+          static_cast<double>(splitmix64(state.rng) >> 11) * 0x1.0p-53;
+      fire = u < state.spec.p;
+      break;
+    }
+  }
+  if (fire) ++state.fires;
+  return fire;
+}
+
+std::uint64_t Registry::hits(const std::string& name) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = states_.find(name);
+  return it == states_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t Registry::fires(const std::string& name) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = states_.find(name);
+  return it == states_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> Registry::evaluated_names() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [name, state] : states_) {
+    if (state.hits > 0) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace otac::fail

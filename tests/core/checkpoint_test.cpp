@@ -1,0 +1,254 @@
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "util/crc32.h"
+
+namespace otac {
+namespace {
+
+ClassifierSnapshot sample_snapshot() {
+  ClassifierSnapshot snap;
+  snap.m = 12'345.0;
+  snap.h = 0.42;
+  snap.p = 0.61;
+  snap.cost_v = 2.0;
+  snap.model_blob = "otac-dtree 1 1 0 0 2\n-1 0 -1 -1 0.75 0\n0 0 \n";
+  snap.history = {{7, 100}, {9, 140}, {2, 190}};
+  snap.history_rectified = 5;
+  for (int i = 0; i < 4; ++i) {
+    TrainingSample sample;
+    for (std::size_t f = 0; f < sample.features.size(); ++f) {
+      sample.features[f] = static_cast<float>(i * 10 + f);
+    }
+    sample.index = static_cast<std::uint64_t>(1000 + i);
+    sample.time = SimTime{3600 * (i + 1)};
+    snap.samples.push_back(sample);
+  }
+  snap.trainer_minute = 240;
+  snap.trainer_minute_count = 17;
+  snap.last_trained_day = 3;
+  snap.last_trained_time = 3 * 86400 + 5 * 3600;
+  snap.trainings = 3;
+  return snap;
+}
+
+void expect_equal(const ClassifierSnapshot& a, const ClassifierSnapshot& b) {
+  EXPECT_DOUBLE_EQ(a.m, b.m);
+  EXPECT_DOUBLE_EQ(a.h, b.h);
+  EXPECT_DOUBLE_EQ(a.p, b.p);
+  EXPECT_DOUBLE_EQ(a.cost_v, b.cost_v);
+  EXPECT_EQ(a.model_blob, b.model_blob);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].photo, b.history[i].photo);
+    EXPECT_EQ(a.history[i].index, b.history[i].index);
+  }
+  EXPECT_EQ(a.history_rectified, b.history_rectified);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].features, b.samples[i].features);
+    EXPECT_EQ(a.samples[i].index, b.samples[i].index);
+    EXPECT_EQ(a.samples[i].time.seconds, b.samples[i].time.seconds);
+  }
+  EXPECT_EQ(a.trainer_minute, b.trainer_minute);
+  EXPECT_EQ(a.trainer_minute_count, b.trainer_minute_count);
+  EXPECT_EQ(a.last_trained_day, b.last_trained_day);
+  EXPECT_EQ(a.last_trained_time, b.last_trained_time);
+  EXPECT_EQ(a.trainings, b.trainings);
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/otac_checkpoint_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointTest, EncodeDecodeRoundTrip) {
+  const ClassifierSnapshot original = sample_snapshot();
+  const std::string bytes = CheckpointManager::encode(original);
+  expect_equal(CheckpointManager::decode(bytes), original);
+}
+
+TEST_F(CheckpointTest, EmptySnapshotRoundTrips) {
+  const ClassifierSnapshot empty;
+  const std::string bytes = CheckpointManager::encode(empty);
+  const ClassifierSnapshot decoded = CheckpointManager::decode(bytes);
+  EXPECT_TRUE(decoded.model_blob.empty());
+  EXPECT_TRUE(decoded.history.empty());
+  EXPECT_TRUE(decoded.samples.empty());
+}
+
+TEST_F(CheckpointTest, SaveLoadRoundTrip) {
+  CheckpointManager manager{dir_};
+  const ClassifierSnapshot original = sample_snapshot();
+  manager.save(original);
+  const CheckpointLoad loaded = manager.load();
+  EXPECT_EQ(loaded.origin, CheckpointOrigin::current);
+  EXPECT_EQ(loaded.rejected_files, 0);
+  expect_equal(loaded.snapshot, original);
+}
+
+TEST_F(CheckpointTest, MissingDirectoryColdStarts) {
+  const CheckpointManager manager{dir_ + "/never_created"};
+  const CheckpointLoad loaded = manager.load();
+  EXPECT_EQ(loaded.origin, CheckpointOrigin::none);
+  EXPECT_EQ(loaded.rejected_files, 0);
+}
+
+TEST_F(CheckpointTest, SecondSaveKeepsPreviousGeneration) {
+  CheckpointManager manager{dir_};
+  ClassifierSnapshot first = sample_snapshot();
+  first.trainings = 1;
+  manager.save(first);
+  ClassifierSnapshot second = sample_snapshot();
+  second.trainings = 2;
+  manager.save(second);
+  EXPECT_TRUE(std::filesystem::exists(manager.previous_path()));
+  const CheckpointLoad loaded = manager.load();
+  EXPECT_EQ(loaded.origin, CheckpointOrigin::current);
+  EXPECT_EQ(loaded.snapshot.trainings, 2);
+}
+
+TEST_F(CheckpointTest, CorruptCurrentFallsBackToPrevious) {
+  CheckpointManager manager{dir_};
+  ClassifierSnapshot first = sample_snapshot();
+  first.trainings = 1;
+  manager.save(first);
+  ClassifierSnapshot second = sample_snapshot();
+  second.trainings = 2;
+  manager.save(second);
+
+  // Flip one payload byte of the current generation: CRC must catch it.
+  std::string bytes;
+  {
+    std::ifstream in(manager.current_path(), std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>{in}, {});
+  }
+  bytes[bytes.size() / 2] ^= 0x01;
+  {
+    std::ofstream out(manager.current_path(),
+                      std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  const CheckpointLoad loaded = manager.load();
+  EXPECT_EQ(loaded.origin, CheckpointOrigin::previous);
+  EXPECT_EQ(loaded.rejected_files, 1);
+  EXPECT_EQ(loaded.snapshot.trainings, 1);
+}
+
+TEST_F(CheckpointTest, BothGenerationsCorruptColdStarts) {
+  CheckpointManager manager{dir_};
+  manager.save(sample_snapshot());
+  manager.save(sample_snapshot());
+  for (const std::string& path :
+       {manager.current_path(), manager.previous_path()}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  const CheckpointLoad loaded = manager.load();
+  EXPECT_EQ(loaded.origin, CheckpointOrigin::none);
+  EXPECT_EQ(loaded.rejected_files, 2);
+}
+
+TEST_F(CheckpointTest, TruncationAtEveryBoundaryRejectsCleanly) {
+  const std::string bytes = CheckpointManager::encode(sample_snapshot());
+  // Every proper prefix must throw — never crash, never half-load.
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 7) {
+    EXPECT_THROW((void)CheckpointManager::decode(bytes.substr(0, cut)),
+                 std::runtime_error)
+        << "prefix length " << cut;
+  }
+}
+
+TEST_F(CheckpointTest, EveryByteFlipIsRejected) {
+  const std::string bytes = CheckpointManager::encode(sample_snapshot());
+  // Headers, lengths, payloads, checksums: any single-bit flip must be
+  // rejected (CRC or structural validation), except flips confined to
+  // payload bytes whose CRC byte is *also* what we flipped — impossible
+  // for single flips, so expect a throw everywhere.
+  for (std::size_t pos = 0; pos < bytes.size(); pos += 3) {
+    std::string corrupt = bytes;
+    corrupt[pos] ^= 0x10;
+    EXPECT_THROW((void)CheckpointManager::decode(corrupt), std::runtime_error)
+        << "flipped byte " << pos;
+  }
+}
+
+TEST_F(CheckpointTest, VersionMismatchRejected) {
+  std::string bytes = CheckpointManager::encode(sample_snapshot());
+  bytes[4] = 0x7F;  // version field follows the 4-byte magic
+  EXPECT_THROW((void)CheckpointManager::decode(bytes), std::runtime_error);
+}
+
+TEST_F(CheckpointTest, HugeDeclaredCountsRejectedWithoutAllocation) {
+  // A corrupt section length must fail the bounds check, not trigger a
+  // multi-gigabyte resize. Build a file with a huge history count but a
+  // tiny payload: decode must throw std::runtime_error.
+  ClassifierSnapshot snap;
+  std::string bytes = CheckpointManager::encode(snap);
+  // Locate the history section (id 3) and corrupt its count field while
+  // refreshing the CRC so only the bounds check can catch it.
+  // Simpler: hand-build a payload with count = 2^60 and a valid CRC.
+  std::string payload;
+  const std::uint64_t rectified = 0;
+  const std::uint64_t huge = 1ULL << 60;
+  payload.append(reinterpret_cast<const char*>(&rectified), 8);
+  payload.append(reinterpret_cast<const char*>(&huge), 8);
+  const std::uint32_t magic = 0x4F54434B;
+  const std::uint32_t version = 1;
+  const std::uint32_t sections = 4;
+  std::string file;
+  file.append(reinterpret_cast<const char*>(&magic), 4);
+  file.append(reinterpret_cast<const char*>(&version), 4);
+  file.append(reinterpret_cast<const char*>(&sections), 4);
+  const auto append_section = [&file](std::uint32_t id,
+                                      const std::string& body) {
+    const std::uint64_t size = body.size();
+    const std::uint32_t checksum = crc32(body);
+    file.append(reinterpret_cast<const char*>(&id), 4);
+    file.append(reinterpret_cast<const char*>(&size), 8);
+    file.append(body);
+    file.append(reinterpret_cast<const char*>(&checksum), 4);
+  };
+  // Params section from a valid encode (reuse the real encoder's bytes by
+  // decoding offsets is brittle; instead encode an empty snapshot and keep
+  // its params/model/trainer sections, swapping in the evil history one).
+  // Build params body directly:
+  std::string params;
+  const double zeros[4] = {0, 0, 0, 0};
+  params.append(reinterpret_cast<const char*>(zeros), 32);
+  const std::int64_t never = std::numeric_limits<std::int64_t>::min();
+  params.append(reinterpret_cast<const char*>(&never), 8);
+  params.append(reinterpret_cast<const char*>(&never), 8);
+  const std::int32_t zero32 = 0;
+  params.append(reinterpret_cast<const char*>(&zero32), 4);
+  append_section(1, params);
+  append_section(2, "");
+  append_section(3, payload);  // huge count, tiny body
+  std::string trainer;
+  trainer.append(reinterpret_cast<const char*>(&never), 8);
+  trainer.append(reinterpret_cast<const char*>(&zero32), 4);
+  const std::uint32_t dim = 9;
+  trainer.append(reinterpret_cast<const char*>(&dim), 4);
+  const std::uint64_t zero64 = 0;
+  trainer.append(reinterpret_cast<const char*>(&zero64), 8);
+  append_section(4, trainer);
+  EXPECT_THROW((void)CheckpointManager::decode(file), std::runtime_error);
+  (void)bytes;
+}
+
+}  // namespace
+}  // namespace otac

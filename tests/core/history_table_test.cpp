@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace otac {
 namespace {
 
@@ -56,6 +58,74 @@ TEST(HistoryTable, ZeroCapacityDisables) {
   table.record(1, 10);
   EXPECT_EQ(table.size(), 0u);
   EXPECT_FALSE(table.rectify(1, 11, 100));
+}
+
+TEST(HistoryTable, ZeroCapacityRestoreIsInert) {
+  HistoryTable table{0};
+  table.restore({{1, 10}, {2, 11}}, /*rectified_count=*/4);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.rectified_count(), 4u);  // counter survives, entries don't
+  EXPECT_FALSE(table.rectify(1, 12, 100));
+}
+
+TEST(HistoryTable, CapacityOneHoldsExactlyNewestEntry) {
+  HistoryTable table{1};
+  table.record(1, 10);
+  table.record(2, 11);  // evicts 1
+  EXPECT_FALSE(table.contains(1));
+  EXPECT_TRUE(table.contains(2));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.rectify(2, 12, /*m=*/5));
+  EXPECT_EQ(table.size(), 0u);
+  // Re-record after consume keeps working at capacity one.
+  table.record(3, 13);
+  EXPECT_TRUE(table.contains(3));
+}
+
+TEST(HistoryTable, EntriesRoundTripThroughRestore) {
+  HistoryTable source{3};
+  source.record(1, 10);
+  source.record(2, 11);
+  source.record(3, 12);
+  (void)source.rectify(2, 13, /*m=*/100);
+  const auto entries = source.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries.front().photo, 1u);  // oldest first
+  EXPECT_EQ(entries.back().photo, 3u);
+
+  HistoryTable copy{3};
+  copy.restore(entries, source.rectified_count());
+  EXPECT_EQ(copy.size(), source.size());
+  EXPECT_EQ(copy.rectified_count(), 1u);
+  EXPECT_TRUE(copy.contains(1));
+  EXPECT_TRUE(copy.contains(3));
+  // FIFO order preserved: a new record evicts the oldest restored entry.
+  copy.record(4, 14);
+  copy.record(5, 15);
+  EXPECT_FALSE(copy.contains(1));
+  EXPECT_TRUE(copy.contains(3));
+}
+
+TEST(HistoryTable, RestoreIntoSmallerCapacityKeepsNewest) {
+  HistoryTable table{2};
+  table.restore({{1, 10}, {2, 11}, {3, 12}}, 0);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_FALSE(table.contains(1));  // oldest dropped, newest kept
+  EXPECT_TRUE(table.contains(2));
+  EXPECT_TRUE(table.contains(3));
+}
+
+TEST(HistoryTable, CapacityRuleRejectsHostileInputs) {
+  // NaN and negative products must size the table to zero (disabled), and
+  // absurd magnitudes must clamp instead of overflowing the cast.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(history_table_capacity(nan, 0.5, 0.4, 0.05), 0u);
+  EXPECT_EQ(history_table_capacity(10'000, nan, 0.4, 0.05), 0u);
+  EXPECT_EQ(history_table_capacity(-5'000, 0.5, 0.4, 0.05), 0u);
+  EXPECT_EQ(history_table_capacity(10'000, 1.5, 0.4, 0.05), 0u);
+  const double huge = std::numeric_limits<double>::infinity();
+  EXPECT_LE(history_table_capacity(huge, 0.0, 1.0, 1.0),
+            static_cast<std::uint64_t>(1e12) + 1);
 }
 
 TEST(HistoryTable, CapacityRule) {

@@ -1,0 +1,367 @@
+// Crash-recovery harness (the acceptance gate of the robustness PR): every
+// failpoint registered inside the checkpoint write/load path is fired in
+// turn, plus direct on-disk corruption (truncation at every boundary, bit
+// flips, deleted generations). After each injected failure the recovered
+// system must hold either the last-good model — verified by serialized-blob
+// comparison — or a clean cold start with the admit-all fallback active.
+// Never UB, never a half-loaded model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "cachesim/simulator.h"
+#include "core/checkpoint.h"
+#include "core/classifier_system.h"
+#include "core/ota_criteria.h"
+#include "trace/trace_generator.h"
+#include "util/failpoint.h"
+
+namespace otac {
+namespace {
+
+/// One trained system shared by all tests (training is the slow part).
+struct TrainedWorld {
+  Trace trace;
+  NextAccessInfo oracle;
+  ClassifierSystemConfig cs_config;
+  ClassifierSnapshot trained;  // snapshot of a fully trained classifier
+
+  TrainedWorld() {
+    WorkloadConfig workload;
+    workload.seed = 7;
+    workload.num_owners = 500;
+    workload.num_photos = 12'000;
+    workload.horizon_days = 3.0;
+    trace = TraceGenerator{workload}.generate();
+    oracle = compute_next_access(trace);
+
+    double dataset_bytes = 0.0;
+    for (const auto& photo : trace.catalog.photos()) {
+      dataset_bytes += photo.size_bytes;
+    }
+    const auto capacity = static_cast<std::uint64_t>(dataset_bytes * 0.015);
+    const CriteriaResult criteria =
+        compute_criteria(trace, oracle, capacity, /*h=*/0.5);
+    cs_config.m = criteria.m;
+    cs_config.h = criteria.h;
+    cs_config.p = criteria.p;
+    cs_config.collect_daily_metrics = false;
+
+    ClassifierSystem classifier{trace, oracle, cs_config};
+    const auto policy = make_policy(PolicyKind::lru, capacity);
+    Simulator sim{trace};
+    (void)sim.run(*policy, classifier);
+    trained = classifier.snapshot();
+  }
+};
+
+TrainedWorld& world() {
+  static TrainedWorld instance;
+  return instance;
+}
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fail::Registry::instance().disable_all();
+    dir_ = testing::TempDir() + "/otac_crash_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override {
+    fail::Registry::instance().disable_all();
+    std::filesystem::remove_all(dir_);
+  }
+
+  /// Restore `snapshot` into a fresh system and serve a slice of the trace
+  /// through it — proves the recovered state is actually servable.
+  static void serve_with(const ClassifierSnapshot& snapshot,
+                         bool expect_model) {
+    ClassifierSystem classifier{world().trace, world().oracle,
+                                world().cs_config};
+    (void)classifier.restore(snapshot);
+    EXPECT_EQ(classifier.has_model(), expect_model);
+    const auto& requests = world().trace.requests;
+    const std::size_t n = std::min<std::size_t>(2000, requests.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const Request& request = requests[i];
+      const PhotoMeta& photo = world().trace.catalog.photo(request.photo);
+      const bool admitted = classifier.admit(i, request, photo);
+      if (!expect_model) {
+        EXPECT_TRUE(admitted);  // cold start == admit-all fallback
+      }
+      classifier.observe(i, request, photo, false);
+    }
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CrashRecoveryTest, WorldActuallyTrained) {
+  ASSERT_FALSE(world().trained.model_blob.empty())
+      << "harness precondition: the shared world must end up with a model";
+  ASSERT_GT(world().trained.trainings, 0);
+}
+
+#if defined(OTAC_FAILPOINTS_ENABLED) && OTAC_FAILPOINTS_ENABLED
+
+TEST_F(CrashRecoveryTest, EveryWriteFailpointRecoversToLastGoodOrNew) {
+  const ClassifierSnapshot& good = world().trained;
+  ClassifierSnapshot older = good;
+  older.trainings = good.trainings - 1;  // distinguishable older generation
+
+  for (const std::string& name : CheckpointManager::failpoint_names()) {
+    if (name == "checkpoint.load.io") continue;  // load-side; covered below
+    SCOPED_TRACE(name);
+    const std::string dir = dir_ + "/" + name;
+    CheckpointManager manager{dir};
+    manager.save(older);  // becomes the previous generation
+    manager.save(good);   // last-good current
+
+    ClassifierSnapshot newer = good;
+    newer.trainings = good.trainings + 1;
+    fail::Registry::instance().enable_once(name);
+    bool save_ok = true;
+    try {
+      manager.save(newer);
+    } catch (const std::exception&) {
+      save_ok = false;
+    }
+    fail::Registry::instance().disable_all();
+    EXPECT_GT(fail::Registry::instance().fires(name), 0u)
+        << "failpoint never evaluated — the site was removed or renamed";
+
+    const CheckpointLoad loaded = manager.load();
+    ASSERT_NE(loaded.origin, CheckpointOrigin::none)
+        << "a failed save must never destroy both on-disk generations";
+    // The recovered model must be byte-identical to a known generation:
+    // the new one (save survived), or last-good / older (rolled back).
+    const bool is_known = loaded.snapshot.model_blob == good.model_blob ||
+                          loaded.snapshot.model_blob == older.model_blob;
+    EXPECT_TRUE(is_known) << "recovered blob matches no known generation";
+    EXPECT_TRUE(save_ok || loaded.snapshot.trainings != newer.trainings ||
+                loaded.snapshot.model_blob == good.model_blob)
+        << "failed save must not surface the interrupted snapshot unless "
+           "it landed completely";
+
+    // And the recovered snapshot must actually serve.
+    serve_with(loaded.snapshot, /*expect_model=*/true);
+
+    // The failure must not wedge the manager: a clean retry lands.
+    manager.save(newer);
+    const CheckpointLoad after_retry = manager.load();
+    EXPECT_EQ(after_retry.origin, CheckpointOrigin::current);
+    EXPECT_EQ(after_retry.snapshot.trainings, newer.trainings);
+  }
+}
+
+TEST_F(CrashRecoveryTest, BitflipSaveIsCaughtAtLoadTime) {
+  // checkpoint.write.bitflip "succeeds" silently — the CRC must reject the
+  // current generation and fall back to the previous one.
+  const ClassifierSnapshot& good = world().trained;
+  CheckpointManager manager{dir_};
+  manager.save(good);
+
+  ClassifierSnapshot newer = good;
+  newer.trainings = good.trainings + 1;
+  fail::Registry::instance().enable_once("checkpoint.write.bitflip");
+  manager.save(newer);  // no exception: the corruption is silent
+  fail::Registry::instance().disable_all();
+
+  const CheckpointLoad loaded = manager.load();
+  EXPECT_EQ(loaded.origin, CheckpointOrigin::previous);
+  EXPECT_EQ(loaded.rejected_files, 1);
+  EXPECT_EQ(loaded.snapshot.model_blob, good.model_blob);
+  serve_with(loaded.snapshot, /*expect_model=*/true);
+}
+
+TEST_F(CrashRecoveryTest, LoadIoFailureFallsBack) {
+  const ClassifierSnapshot& good = world().trained;
+  CheckpointManager manager{dir_};
+  ClassifierSnapshot older = good;
+  older.trainings = good.trainings - 1;
+  manager.save(older);
+  manager.save(good);
+
+  fail::Registry::instance().enable_once("checkpoint.load.io");
+  const CheckpointLoad loaded = manager.load();
+  fail::Registry::instance().disable_all();
+  EXPECT_EQ(loaded.origin, CheckpointOrigin::previous);
+  EXPECT_EQ(loaded.snapshot.trainings, older.trainings);
+  serve_with(loaded.snapshot, /*expect_model=*/true);
+}
+
+TEST_F(CrashRecoveryTest, RetrainFailureKeepsServingLastGoodTree) {
+  // trainer.train.fail on every retrain: the system must keep the restored
+  // tree and count the failures — serving never stops.
+  ClassifierSystem classifier{world().trace, world().oracle,
+                              world().cs_config};
+  // Reset the retrain schedule: a snapshot taken at the end of the trace
+  // would otherwise suppress retraining for the whole replay.
+  ClassifierSnapshot snapshot = world().trained;
+  snapshot.last_trained_day = std::numeric_limits<std::int64_t>::min();
+  snapshot.last_trained_time = std::numeric_limits<std::int64_t>::min();
+  ASSERT_TRUE(classifier.restore(snapshot));
+  ASSERT_TRUE(classifier.has_model());
+  const std::string before = classifier.model()->serialize();
+
+  fail::Registry::instance().enable("trainer.train.fail");
+  const auto& requests = world().trace.requests;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Request& request = requests[i];
+    const PhotoMeta& photo = world().trace.catalog.photo(request.photo);
+    (void)classifier.admit(i, request, photo);
+    classifier.observe(i, request, photo, false);
+  }
+  fail::Registry::instance().disable_all();
+
+  EXPECT_GT(classifier.degradation().retrain_failures, 0u);
+  ASSERT_TRUE(classifier.has_model());
+  EXPECT_EQ(classifier.model()->serialize(), before)
+      << "failed retrains must not replace the last-good tree";
+}
+
+#endif  // OTAC_FAILPOINTS_ENABLED
+
+TEST_F(CrashRecoveryTest, TruncatedCurrentAtEveryBoundaryFallsBack) {
+  const ClassifierSnapshot& good = world().trained;
+  CheckpointManager manager{dir_};
+  ClassifierSnapshot older = good;
+  older.trainings = good.trainings - 1;
+  manager.save(older);
+  manager.save(good);
+
+  std::string bytes;
+  {
+    std::ifstream in(manager.current_path(), std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>{in}, {});
+  }
+  // Simulated torn writes of the *published* file (e.g. filesystem without
+  // atomic rename semantics): every prefix must fall back to previous.
+  for (std::size_t cut = 0; cut < bytes.size();
+       cut += std::max<std::size_t>(1, bytes.size() / 64)) {
+    std::ofstream out(manager.current_path(),
+                      std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    const CheckpointLoad loaded = manager.load();
+    ASSERT_EQ(loaded.origin, CheckpointOrigin::previous) << "cut " << cut;
+    ASSERT_EQ(loaded.snapshot.model_blob, older.model_blob);
+  }
+}
+
+TEST_F(CrashRecoveryTest, BitFlippedCurrentFallsBack) {
+  const ClassifierSnapshot& good = world().trained;
+  CheckpointManager manager{dir_};
+  ClassifierSnapshot older = good;
+  older.trainings = good.trainings - 1;
+  manager.save(older);
+  manager.save(good);
+
+  std::string bytes;
+  {
+    std::ifstream in(manager.current_path(), std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>{in}, {});
+  }
+  for (std::size_t pos = 0; pos < bytes.size();
+       pos += std::max<std::size_t>(1, bytes.size() / 97)) {
+    std::string corrupt = bytes;
+    corrupt[pos] ^= 0x08;
+    {
+      std::ofstream out(manager.current_path(),
+                        std::ios::binary | std::ios::trunc);
+      out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+    }
+    const CheckpointLoad loaded = manager.load();
+    ASSERT_EQ(loaded.origin, CheckpointOrigin::previous) << "byte " << pos;
+    ASSERT_EQ(loaded.snapshot.model_blob, older.model_blob);
+  }
+}
+
+TEST_F(CrashRecoveryTest, BothGenerationsGoneMeansCleanColdStart) {
+  const ClassifierSnapshot& good = world().trained;
+  CheckpointManager manager{dir_};
+  manager.save(good);
+  manager.save(good);
+  for (const std::string& path :
+       {manager.current_path(), manager.previous_path()}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "\xde\xad\xbe\xef corrupted beyond recognition";
+  }
+  const CheckpointLoad loaded = manager.load();
+  EXPECT_EQ(loaded.origin, CheckpointOrigin::none);
+  EXPECT_EQ(loaded.rejected_files, 2);
+  // Cold start: fresh system, no model, admit-all fallback active.
+  serve_with(loaded.snapshot, /*expect_model=*/false);
+}
+
+TEST_F(CrashRecoveryTest, CorruptModelBlobDegradesToAdmitAll) {
+  // A snapshot whose model section is valid CRC-wise but holds a logically
+  // corrupt tree (e.g. written by a buggy trainer) must degrade to
+  // admit-all, not crash or serve garbage.
+  ClassifierSnapshot snapshot = world().trained;
+  snapshot.model_blob = "otac-dtree 1 2 1 1 9\n0 nan 1 1 0.5 0\n";
+
+  ClassifierSystem classifier{world().trace, world().oracle,
+                              world().cs_config};
+  EXPECT_FALSE(classifier.restore(snapshot));
+  EXPECT_FALSE(classifier.has_model());
+  EXPECT_EQ(classifier.degradation().rejected_models, 1u);
+  // History/trainer sections still restored — only the model degraded.
+  EXPECT_EQ(classifier.history().rectified_count(),
+            snapshot.history_rectified);
+
+  const Request& request = world().trace.requests.front();
+  EXPECT_TRUE(classifier.admit(0, request,
+                               world().trace.catalog.photo(request.photo)));
+}
+
+TEST_F(CrashRecoveryTest, ArityMismatchedModelIsRejectedOnRestore) {
+  // A tree trained for a different feature subset must not be served.
+  ClassifierSnapshot snapshot = world().trained;
+  snapshot.model_blob = "otac-dtree 1 1 0 0 3\n-1 0 -1 -1 0.5 0\n0 0 0 \n";
+  ClassifierSystem classifier{world().trace, world().oracle,
+                              world().cs_config};
+  EXPECT_FALSE(classifier.restore(snapshot));
+  EXPECT_FALSE(classifier.has_model());
+  EXPECT_EQ(classifier.degradation().rejected_models, 1u);
+}
+
+TEST_F(CrashRecoveryTest, MisconfiguredSubsetDegradesPerRequest) {
+  // A deployed feature subset pointing outside the extractor's nine
+  // features must route every prediction to the fallback admit, counted
+  // as predict_failures — not read out of bounds.
+  ClassifierSystemConfig config = world().cs_config;
+  config.ota.feature_subset = {0, 99};
+  ClassifierSystem classifier{world().trace, world().oracle, config};
+
+  ClassifierSnapshot snapshot;
+  snapshot.model_blob = "otac-dtree 1 1 0 0 2\n-1 0 -1 -1 0.9 0\n0 0 \n";
+  ASSERT_TRUE(classifier.restore(snapshot));
+  ASSERT_TRUE(classifier.has_model());
+
+  const Request& request = world().trace.requests.front();
+  EXPECT_TRUE(classifier.admit(0, request,
+                               world().trace.catalog.photo(request.photo)));
+  EXPECT_EQ(classifier.degradation().predict_failures, 1u);
+}
+
+TEST_F(CrashRecoveryTest, SnapshotRestoreRoundTripPreservesServingState) {
+  // restore(snapshot()) must reproduce byte-identical serving decisions.
+  ClassifierSystem restored{world().trace, world().oracle, world().cs_config};
+  ASSERT_TRUE(restored.restore(world().trained));
+  EXPECT_EQ(restored.model()->serialize(), world().trained.model_blob);
+  EXPECT_EQ(restored.trainings(), world().trained.trainings);
+  EXPECT_EQ(restored.history().rectified_count(),
+            world().trained.history_rectified);
+  const ClassifierSnapshot again = restored.snapshot();
+  EXPECT_EQ(again.model_blob, world().trained.model_blob);
+  EXPECT_EQ(again.samples.size(), world().trained.samples.size());
+  EXPECT_EQ(again.history.size(), world().trained.history.size());
+}
+
+}  // namespace
+}  // namespace otac

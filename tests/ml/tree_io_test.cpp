@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "ml/decision_tree.h"
 #include "tests/ml/test_data.h"
 
@@ -57,6 +62,94 @@ TEST(TreeSerialize, RejectsCorruptChildIndices) {
       "otac-dtree 1 1 1 1 2\n0 0.5 7 8 0.5 0\n0 0\n";
   EXPECT_THROW((void)DecisionTree::deserialize(bad), std::invalid_argument);
   (void)blob;
+}
+
+TEST(TreeSerialize, MalformedBlobMatrix) {
+  // Each entry is a structurally hostile blob exercising one validation
+  // rule in deserialize(). All must throw std::invalid_argument — never
+  // crash, hang (child-index cycle), or return a half-loaded tree.
+  const struct {
+    const char* why;
+    const char* blob;
+  } cases[] = {
+      {"zero node count", "otac-dtree 1 0 0 0 1\n\n"},
+      {"node count far beyond blob size", "otac-dtree 1 400 0 0 1\n0 0\n"},
+      {"feature count far beyond blob size", "otac-dtree 1 1 0 0 400\n"},
+      {"splits >= node count", "otac-dtree 1 1 1 0 1\n-1 0 -1 -1 0.5 0\n0 \n"},
+      {"height >= node count", "otac-dtree 1 1 0 1 1\n-1 0 -1 -1 0.5 0\n0 \n"},
+      {"NaN probability", "otac-dtree 1 1 0 0 1\n-1 0 -1 -1 nan 0\n0 \n"},
+      {"probability above one", "otac-dtree 1 1 0 0 1\n-1 0 -1 -1 1.5 0\n0 \n"},
+      {"negative probability", "otac-dtree 1 1 0 0 1\n-1 0 -1 -1 -0.5 0\n0 \n"},
+      {"leaf with a child",
+       "otac-dtree 1 3 1 1 1\n-1 0 1 2 0.5 0\n-1 0 -1 -1 1 1\n"
+       "-1 0 -1 -1 0 1\n0 \n"},
+      {"feature id out of range",
+       "otac-dtree 1 3 1 1 1\n5 0.5 1 2 0.5 0\n-1 0 -1 -1 1 1\n"
+       "-1 0 -1 -1 0 1\n0 \n"},
+      {"infinite threshold",
+       "otac-dtree 1 3 1 1 1\n0 inf 1 2 0.5 0\n-1 0 -1 -1 1 1\n"
+       "-1 0 -1 -1 0 1\n0 \n"},
+      {"self-referential child (cycle)",
+       "otac-dtree 1 3 1 1 1\n0 0.5 0 2 0.5 0\n-1 0 -1 -1 1 1\n"
+       "-1 0 -1 -1 0 1\n0 \n"},
+      {"backward child index",
+       "otac-dtree 1 3 2 2 1\n0 0.5 1 2 0.5 0\n0 0.5 0 2 0.5 1\n"
+       "-1 0 -1 -1 0 1\n0 \n"},
+      {"child beyond node count",
+       "otac-dtree 1 3 1 1 1\n0 0.5 1 9 0.5 0\n-1 0 -1 -1 1 1\n"
+       "-1 0 -1 -1 0 1\n0 \n"},
+      {"NaN importance",
+       "otac-dtree 1 1 0 0 1\n-1 0 -1 -1 0.5 0\nnan \n"},
+      {"negative importance",
+       "otac-dtree 1 1 0 0 1\n-1 0 -1 -1 0.5 0\n-2 \n"},
+      {"truncated node block", "otac-dtree 1 2 1 1 1\n0 0.5 1\n"},
+      {"truncated importance block",
+       "otac-dtree 1 1 0 0 3\n-1 0 -1 -1 0.5 0\n0 \n"},
+      {"excessive depth",
+       "otac-dtree 1 1 0 0 1\n-1 0 -1 -1 0.5 40\n0 \n"},
+  };
+  for (const auto& test_case : cases) {
+    EXPECT_THROW((void)DecisionTree::deserialize(test_case.blob),
+                 std::invalid_argument)
+        << test_case.why;
+  }
+}
+
+TEST(TreeSerialize, TokenMutationNeverCrashes) {
+  // Replace every whitespace-separated token of a real blob with hostile
+  // values. Deserialization must throw invalid_argument or produce a tree
+  // whose predict() terminates with a probability in [0, 1] — never UB.
+  const Dataset data = testing::gaussian_blobs(600, 3, 0.8, 9);
+  DecisionTree tree;
+  tree.fit(data);
+  const std::string blob = tree.serialize();
+
+  std::vector<std::pair<std::size_t, std::size_t>> tokens;  // [begin, end)
+  std::size_t begin = std::string::npos;
+  for (std::size_t i = 0; i <= blob.size(); ++i) {
+    const bool sep = i == blob.size() || std::isspace(blob[i]) != 0;
+    if (!sep && begin == std::string::npos) begin = i;
+    if (sep && begin != std::string::npos) {
+      tokens.emplace_back(begin, i);
+      begin = std::string::npos;
+    }
+  }
+  const char* hostile[] = {"nan", "-1", "999999999", "inf", "x", "1e308"};
+  const std::vector<float> probe(3, 0.0F);
+  for (const auto& [token_begin, token_end] : tokens) {
+    for (const char* replacement : hostile) {
+      std::string mutated = blob;
+      mutated.replace(token_begin, token_end - token_begin, replacement);
+      try {
+        const DecisionTree loaded = DecisionTree::deserialize(mutated);
+        const double proba = loaded.predict_proba(probe);
+        ASSERT_GE(proba, 0.0);
+        ASSERT_LE(proba, 1.0);
+      } catch (const std::invalid_argument&) {
+        // Clean rejection.
+      }
+    }
+  }
 }
 
 TEST(TreeSerialize, LeafOnlyTree) {

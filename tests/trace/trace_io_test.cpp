@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <limits>
 #include <sstream>
 
 #include "trace/trace_generator.h"
@@ -69,6 +72,128 @@ TEST(TraceIo, RejectsTruncation) {
 
 TEST(TraceIo, RejectsMissingFile) {
   EXPECT_THROW(load_trace(std::string{"/nonexistent/otac.bin"}),
+               std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncationAtEveryBoundary) {
+  // Every prefix of a valid file must produce a clean runtime_error — the
+  // stride walks across the header, each vector length, and payload bytes.
+  const Trace original = generated();
+  std::stringstream buffer;
+  save_trace(original, buffer);
+  const std::string full = buffer.str();
+  const std::size_t stride = std::max<std::size_t>(1, full.size() / 256);
+  for (std::size_t cut = 0; cut < full.size(); cut += stride) {
+    std::stringstream truncated{full.substr(0, cut)};
+    EXPECT_THROW((void)load_trace(truncated), std::runtime_error)
+        << "prefix length " << cut;
+  }
+}
+
+TEST(TraceIo, BitFlipsNeverCrashOnlyRejectOrLoad) {
+  // A flipped bit anywhere must either be rejected with runtime_error or
+  // yield a structurally valid trace (flips inside float payload bytes can
+  // produce a different-but-legal value) — never UB or another exception.
+  const Trace original = generated();
+  std::stringstream buffer;
+  save_trace(original, buffer);
+  const std::string full = buffer.str();
+  const std::size_t stride = std::max<std::size_t>(1, full.size() / 512);
+  for (std::size_t pos = 0; pos < full.size(); pos += stride) {
+    std::string corrupt = full;
+    corrupt[pos] ^= 0x20;
+    std::stringstream in{corrupt};
+    try {
+      const Trace loaded = load_trace(in);
+      // Loaded anyway: the validator's invariants must still hold.
+      for (const Request& request : loaded.requests) {
+        ASSERT_LT(request.photo, loaded.catalog.photo_count());
+      }
+      for (PhotoId id = 0; id < loaded.catalog.photo_count(); ++id) {
+        ASSERT_LT(loaded.catalog.photo(id).owner,
+                  loaded.catalog.owner_count());
+      }
+    } catch (const std::runtime_error&) {
+      // Clean rejection — the expected outcome for most positions.
+    }
+  }
+}
+
+TEST(TraceIo, HugeDeclaredCountRejectedWithoutAllocation) {
+  // Header (magic u32 | version u32 | horizon i64) then the photo vector's
+  // u64 count: declare 2^61 photos backed by 8 bytes of payload. The count
+  // bound must reject this before any resize happens.
+  std::string bytes;
+  const auto append = [&bytes](const void* data, std::size_t size) {
+    bytes.append(static_cast<const char*>(data), size);
+  };
+  append(&kTraceMagic, sizeof(kTraceMagic));
+  append(&kTraceVersion, sizeof(kTraceVersion));
+  const std::int64_t horizon = 1000;
+  append(&horizon, sizeof(horizon));
+  const std::uint64_t huge = 1ULL << 61;
+  append(&huge, sizeof(huge));
+  const std::uint64_t filler = 0;
+  append(&filler, sizeof(filler));
+  std::stringstream in{bytes};
+  EXPECT_THROW((void)load_trace(in), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsNonFiniteOwnerAttributes) {
+  Trace trace;
+  std::vector<PhotoMeta> photos(1);
+  std::vector<OwnerMeta> owners(1);
+  owners[0].activity = std::numeric_limits<float>::quiet_NaN();
+  trace.catalog = PhotoCatalog{std::move(photos), std::move(owners)};
+  trace.horizon = SimTime{10};
+  std::stringstream buffer;
+  save_trace(trace, buffer);
+  EXPECT_THROW((void)load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsNonFiniteLatentScore) {
+  Trace trace;
+  std::vector<PhotoMeta> photos(2);
+  std::vector<OwnerMeta> owners(1);
+  trace.catalog = PhotoCatalog{std::move(photos), std::move(owners)};
+  trace.horizon = SimTime{10};
+  trace.latent_score = {1.0F, std::numeric_limits<float>::infinity()};
+  std::stringstream buffer;
+  save_trace(trace, buffer);
+  EXPECT_THROW((void)load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsDanglingPhotoOwner) {
+  Trace trace;
+  std::vector<PhotoMeta> photos(1);
+  photos[0].owner = 5;  // only one owner exists
+  std::vector<OwnerMeta> owners(1);
+  trace.catalog = PhotoCatalog{std::move(photos), std::move(owners)};
+  trace.horizon = SimTime{10};
+  std::stringstream buffer;
+  save_trace(trace, buffer);
+  EXPECT_THROW((void)load_trace(buffer), std::runtime_error);
+}
+
+TEST(CsvImportRobustness, RejectsHostileNumericFields) {
+  const auto importing = [](const std::string& row) {
+    std::stringstream in;
+    in << "time_s,photo,owner,type,size_bytes,terminal\n" << row << "\n";
+    return import_requests_csv(in);
+  };
+  // Negative time, negative size, float/nan/hex smuggling, and overflow
+  // beyond uint32 must all reject with row context — not wrap or truncate.
+  EXPECT_THROW((void)importing("-5,p1,u1,l5,100,pc"),
+               std::runtime_error);
+  EXPECT_THROW((void)importing("10,p1,u1,l5,-100,pc"),
+               std::runtime_error);
+  EXPECT_THROW((void)importing("10,p1,u1,l5,1e9,pc"),
+               std::runtime_error);
+  EXPECT_THROW((void)importing("10,p1,u1,l5,nan,pc"),
+               std::runtime_error);
+  EXPECT_THROW((void)importing("10,p1,u1,l5,5000000000,pc"),
+               std::runtime_error);
+  EXPECT_THROW((void)importing("99999999999999999999,p1,u1,l5,1,pc"),
                std::runtime_error);
 }
 

@@ -1,0 +1,116 @@
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace otac::fail {
+namespace {
+
+/// Every test arms failpoints on the process-wide registry; disarm on both
+/// sides so tests cannot leak enabled failpoints into each other.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::instance().disable_all(); }
+  void TearDown() override { Registry::instance().disable_all(); }
+};
+
+TEST_F(FailpointTest, DisabledByDefault) {
+  EXPECT_FALSE(Registry::instance().should_fire("test.never_enabled"));
+  EXPECT_EQ(Registry::instance().hits("test.never_enabled"), 1u);
+  EXPECT_EQ(Registry::instance().fires("test.never_enabled"), 0u);
+}
+
+TEST_F(FailpointTest, AlwaysFiresUntilDisabled) {
+  auto& registry = Registry::instance();
+  registry.enable("test.always");
+  EXPECT_TRUE(registry.should_fire("test.always"));
+  EXPECT_TRUE(registry.should_fire("test.always"));
+  registry.disable("test.always");
+  EXPECT_FALSE(registry.should_fire("test.always"));
+  EXPECT_EQ(registry.fires("test.always"), 2u);
+}
+
+TEST_F(FailpointTest, OnceDisarmsAfterFirstFiring) {
+  auto& registry = Registry::instance();
+  registry.enable_once("test.once");
+  EXPECT_TRUE(registry.should_fire("test.once"));
+  EXPECT_FALSE(registry.should_fire("test.once"));
+  EXPECT_FALSE(registry.should_fire("test.once"));
+  EXPECT_EQ(registry.fires("test.once"), 1u);
+  EXPECT_EQ(registry.hits("test.once"), 3u);
+}
+
+TEST_F(FailpointTest, EveryNthFiresPeriodically) {
+  auto& registry = Registry::instance();
+  registry.enable_every_nth("test.nth", 3);
+  int fired = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (registry.should_fire("test.nth")) ++fired;
+  }
+  EXPECT_EQ(fired, 3);  // evaluations 3, 6, 9
+}
+
+TEST_F(FailpointTest, ProbabilityIsSeededAndDeterministic) {
+  auto& registry = Registry::instance();
+  const auto run = [&registry] {
+    registry.enable_probability("test.prob", 0.5, 1234);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(registry.should_fire("test.prob"));
+    }
+    return outcomes;
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first, second);  // same seed -> same firing sequence
+  const auto fired =
+      static_cast<int>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fired, 16);  // p=0.5 over 64 draws: far from degenerate
+  EXPECT_LT(fired, 48);
+}
+
+TEST_F(FailpointTest, ProbabilityZeroNeverFires) {
+  auto& registry = Registry::instance();
+  registry.enable_probability("test.p0", 0.0, 7);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(registry.should_fire("test.p0"));
+  }
+}
+
+TEST_F(FailpointTest, ReenableResetsCounters) {
+  auto& registry = Registry::instance();
+  registry.enable("test.reset");
+  (void)registry.should_fire("test.reset");
+  registry.enable_once("test.reset");
+  EXPECT_EQ(registry.hits("test.reset"), 0u);
+  EXPECT_EQ(registry.fires("test.reset"), 0u);
+}
+
+TEST_F(FailpointTest, ThrowMacroCarriesName) {
+#if defined(OTAC_FAILPOINTS_ENABLED) && OTAC_FAILPOINTS_ENABLED
+  Registry::instance().enable_once("test.throw");
+  try {
+    OTAC_FAILPOINT_THROW("test.throw");
+    FAIL() << "failpoint did not fire";
+  } catch (const FailpointTriggered& error) {
+    EXPECT_EQ(error.failpoint(), "test.throw");
+  }
+  // Disarmed: the same site passes through.
+  OTAC_FAILPOINT_THROW("test.throw");
+#else
+  GTEST_SKIP() << "built with OTAC_FAILPOINTS=OFF";
+#endif
+}
+
+TEST_F(FailpointTest, EvaluatedNamesListsHitFailpoints) {
+  auto& registry = Registry::instance();
+  (void)registry.should_fire("test.listed");
+  const auto names = registry.evaluated_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test.listed"),
+            names.end());
+}
+
+}  // namespace
+}  // namespace otac::fail
