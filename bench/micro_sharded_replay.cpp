@@ -1,0 +1,93 @@
+// Throughput of the sharded serving layer (core/sharded_cache.h): replay a
+// multi-million-request trace through 8 shards at 1 worker thread vs 8 and
+// report the scaling, for both the Original (admit-all) and Proposal
+// (ML admission) modes.
+//
+// Writes BENCH_sharded_replay.json (override with argv[1]); argv[2] scales
+// the trace (default 4.0 ≈ 6M requests — the reference workload produces
+// ~1.6M requests per unit scale). Each cell records hardware_concurrency:
+// the speedup_vs_1thread column is only meaningful when the machine
+// actually has idle cores to hand to the extra workers (on a 1-CPU box the
+// 8-thread cell measures scheduling overhead, not scaling).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "core/sharded_cache.h"
+#include "experiments/workloads.h"
+
+namespace {
+
+using namespace otac;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string{"BENCH_sharded_replay.json"};
+  const double scale = argc > 2 ? std::atof(argv[2]) : 4.0;
+  constexpr std::uint64_t kSeed = 42;
+  constexpr int kReps = 2;
+  constexpr std::size_t kShards = 8;
+
+  const Trace trace = load_bench_trace(scale, kSeed);
+  const IntelligentCache system{trace};
+  const ShardedCache sharded{system};
+  const auto capacity =
+      static_cast<std::uint64_t>(system.total_object_bytes() * 0.02);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::printf("trace: %zu requests, hardware_concurrency=%u\n",
+              trace.requests.size(), hardware);
+
+  // Warm the memoized LRU hit-rate estimate so proposal cells time the
+  // replay, not the shared h-estimation run.
+  const double hit_rate_estimate = system.estimate_hit_rate(capacity);
+
+  bench::Report report;
+  report.bench = "sharded_replay";
+  report.reps = kReps;
+
+  for (const AdmissionMode mode :
+       {AdmissionMode::original, AdmissionMode::proposal}) {
+    double ops_at_1thread = 0.0;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      RunConfig config;
+      config.policy = PolicyKind::lru;
+      config.capacity_bytes = capacity;
+      config.mode = mode;
+      config.hit_rate_estimate = hit_rate_estimate;
+      config.shards = kShards;
+      config.threads = threads;
+
+      RunResult result;
+      const double seconds =
+          bench::best_of(kReps, [&] { result = sharded.run(config); });
+      const double ops_per_sec =
+          static_cast<double>(trace.requests.size()) / seconds;
+      if (threads == 1) ops_at_1thread = ops_per_sec;
+      const double speedup = ops_per_sec / ops_at_1thread;
+
+      char buffer[512];
+      std::snprintf(
+          buffer, sizeof(buffer),
+          "{\"mode\": \"%s\", \"shards\": %zu, \"threads\": %zu, "
+          "\"requests\": %zu, \"seconds\": %.3f, \"ops_per_sec\": %.0f, "
+          "\"speedup_vs_1thread\": %.2f, \"hardware_concurrency\": %u, "
+          "\"file_hit_rate\": %.4f, \"trainings\": %d}",
+          admission_mode_name(mode).c_str(), kShards, threads,
+          trace.requests.size(), seconds, ops_per_sec, speedup, hardware,
+          result.stats.file_hit_rate(), result.trainings);
+      report.cells.push_back(buffer);
+      std::printf("%-8s threads=%zu %8.2f Mreq/s  speedup=%.2fx  hit=%.3f\n",
+                  admission_mode_name(mode).c_str(), threads,
+                  ops_per_sec / 1e6, speedup,
+                  result.stats.file_hit_rate());
+    }
+  }
+
+  report.write(out_path);
+  return 0;
+}

@@ -35,6 +35,7 @@ otac_add_bench(ablate_feature_sets)
 # pool and emit BENCH_<name>.json reports (see bench/bench_json.h).
 otac_add_bench(micro_classifier)
 otac_add_bench(micro_cache_ops)
+otac_add_bench(micro_sharded_replay)
 
 # google-benchmark micro-benchmarks.
 function(otac_add_micro name)

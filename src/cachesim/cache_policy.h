@@ -12,6 +12,8 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "trace/types.h"
 
@@ -74,6 +76,13 @@ class CachePolicy {
 enum class PolicyKind { lru, fifo, s3lru, arc, lirs, lfu, belady };
 
 [[nodiscard]] std::string policy_name(PolicyKind kind);
+
+/// Inverse of policy_name, case-insensitive ("lru", "LRU", "Belady", ...).
+/// Throws std::invalid_argument on an unknown name.
+[[nodiscard]] PolicyKind policy_kind_from_name(std::string_view name);
+
+/// Every PolicyKind, in declaration order (factory/CLI enumeration).
+[[nodiscard]] const std::vector<PolicyKind>& all_policy_kinds();
 
 /// Factory used by experiment sweeps. LIRS takes its LIR fraction from
 /// `lirs_lir_fraction` (see DESIGN.md deviation note).

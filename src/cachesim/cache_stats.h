@@ -4,6 +4,8 @@
 
 #include <cstdint>
 
+#include "util/fnv.h"
+
 namespace otac {
 
 struct CacheStats {
@@ -22,6 +24,22 @@ struct CacheStats {
   // Misses the admission policy chose not to cache.
   std::uint64_t rejected = 0;
   double rejected_bytes = 0.0;
+
+  // FNV-1a hash over the (key, size) eviction sequence — a replay
+  // fingerprint: two runs with identical eviction behavior (and only those)
+  // produce the same hash. Sharded runs fold per-shard hashes in shard
+  // order via merge().
+  std::uint64_t eviction_hash = kFnvOffset;
+
+  friend bool operator==(const CacheStats&, const CacheStats&) = default;
+
+  /// Fold one eviction into the sequence fingerprint.
+  void note_eviction(std::uint64_t key, std::uint32_t size_bytes) noexcept {
+    evictions += 1;
+    evicted_bytes += size_bytes;
+    fnv64(eviction_hash, key);
+    fnv64(eviction_hash, size_bytes);
+  }
 
   [[nodiscard]] std::uint64_t misses() const noexcept {
     return requests - hits;
@@ -56,6 +74,7 @@ struct CacheStats {
     evicted_bytes += other.evicted_bytes;
     rejected += other.rejected;
     rejected_bytes += other.rejected_bytes;
+    fnv64(eviction_hash, other.eviction_hash);
   }
 };
 

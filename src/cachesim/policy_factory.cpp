@@ -1,3 +1,4 @@
+#include <cctype>
 #include <stdexcept>
 
 #include "cachesim/arc.h"
@@ -29,6 +30,28 @@ std::string policy_name(PolicyKind kind) {
       return "Belady";
   }
   throw std::invalid_argument("policy_name: unknown kind");
+}
+
+const std::vector<PolicyKind>& all_policy_kinds() {
+  static const std::vector<PolicyKind> kinds = {
+      PolicyKind::lru,  PolicyKind::fifo, PolicyKind::s3lru, PolicyKind::arc,
+      PolicyKind::lirs, PolicyKind::lfu,  PolicyKind::belady};
+  return kinds;
+}
+
+PolicyKind policy_kind_from_name(std::string_view name) {
+  const auto lower = [](std::string_view s) {
+    std::string out{s};
+    for (char& c : out) c = static_cast<char>(std::tolower(c));
+    return out;
+  };
+  const std::string wanted = lower(name);
+  for (const PolicyKind kind : all_policy_kinds()) {
+    if (wanted == lower(policy_name(kind))) return kind;
+  }
+  throw std::invalid_argument("policy_kind_from_name: unknown policy '" +
+                              std::string{name} +
+                              "' (lru|fifo|s3lru|arc|lirs|lfu|belady)");
 }
 
 std::unique_ptr<CachePolicy> make_policy(PolicyKind kind,

@@ -16,11 +16,10 @@ CacheStats Simulator::run(CachePolicy& policy,
                           AdmissionPolicy& admission) const {
   CacheStats stats;
   bool measuring = warmup_fraction_ == 0.0;
-  policy.set_eviction_callback([&stats, &measuring](PhotoId,
+  policy.set_eviction_callback([&stats, &measuring](PhotoId key,
                                                     std::uint32_t size) {
     if (!measuring) return;
-    stats.evictions += 1;
-    stats.evicted_bytes += size;
+    stats.note_eviction(key, size);
   });
   const Trace& trace = *trace_;
   const auto warmup_end = static_cast<std::uint64_t>(

@@ -1,104 +1,42 @@
 #include "core/classifier_system.h"
 
-#include <cmath>
 #include <stdexcept>
 
 namespace otac {
+
+namespace {
+
+ServingConfig serving_config_of(const ClassifierSystemConfig& config) {
+  ServingConfig serving;
+  serving.feature_subset = config.ota.feature_subset;
+  serving.m = config.m;
+  serving.collect_daily_metrics = config.collect_daily_metrics;
+  serving.admit_before_first_model = config.ota.admit_before_first_model;
+  return serving;
+}
+
+}  // namespace
 
 ClassifierSystem::ClassifierSystem(const Trace& trace,
                                    const NextAccessInfo& oracle,
                                    const ClassifierSystemConfig& config)
     : config_(config),
-      oracle_(&oracle),
-      trace_size_(trace.requests.size()),
-      extractor_(trace.catalog),
-      trainer_(oracle, config.ota, config.m, config.cost_v),
-      history_(history_table_capacity(config.m, config.h, config.p,
-                                      config.ota.history_table_factor)) {}
+      core_(trace.catalog, oracle, serving_config_of(config),
+            history_table_capacity(config.m, config.h, config.p,
+                                   config.ota.history_table_factor)),
+      trainer_(oracle, config.ota, config.m, config.cost_v) {}
 
 bool ClassifierSystem::admit(std::uint64_t index, const Request& request,
                              const PhotoMeta& photo) {
-  if (!model_) return config_.ota.admit_before_first_model;
-
-  extractor_.extract(request, photo, scratch_);
-  bool predicted_one_time;
-  const std::vector<std::size_t>& subset = config_.ota.feature_subset;
-  // Graceful degradation: a request whose features come out non-finite
-  // (corrupt catalog entry, clock skew) or whose prediction throws must
-  // fall back to plain admission — never crash the serving path, never
-  // feed garbage through the tree.
-  const auto finite = [](std::span<const float> values) {
-    for (const float v : values) {
-      if (!std::isfinite(v)) return false;
-    }
-    return true;
-  };
-  try {
-    if (subset.empty()) {
-      if (!finite(scratch_)) {
-        ++degradation_.nonfinite_feature_requests;
-        return true;
-      }
-      predicted_one_time = model_->predict(scratch_) == 1;
-    } else {
-      projected_.resize(subset.size());
-      for (std::size_t k = 0; k < subset.size(); ++k) {
-        // .at(): a misconfigured subset index degrades via the catch below
-        // instead of reading out of bounds.
-        projected_[k] = scratch_.at(subset[k]);
-      }
-      if (!finite(projected_)) {
-        ++degradation_.nonfinite_feature_requests;
-        return true;
-      }
-      predicted_one_time = model_->predict(projected_) == 1;
-    }
-  } catch (const std::exception&) {
-    ++degradation_.predict_failures;
-    return true;
-  }
-
-  bool final_one_time = predicted_one_time;
-  if (predicted_one_time) {
-    // A recently rejected photo returning within M was misclassified.
-    if (history_.rectify(request.photo, index, config_.m)) {
-      final_one_time = false;
-    } else {
-      history_.record(request.photo, index);
-    }
-  }
-
-  if (config_.collect_daily_metrics) {
-    // Ground truth from the full oracle (evaluation only, never fed back
-    // into the model): one-time iff no reaccess within M.
-    const std::uint64_t next = oracle_->next[index];
-    const int actual = (next != kNoNextAccess &&
-                        static_cast<double>(next - index) <= config_.m)
-                           ? 0
-                           : 1;
-    record_metric(day_index(request.time), actual, predicted_one_time ? 1 : 0,
-                  final_one_time ? 1 : 0);
-  }
-  return !final_one_time;
-}
-
-void ClassifierSystem::record_metric(std::int64_t day, int actual,
-                                     int raw_prediction,
-                                     int corrected_prediction) {
-  if (daily_.empty() || daily_.back().day != day) {
-    daily_.push_back(DayClassifierMetrics{day, {}, {}});
-  }
-  daily_.back().raw.add(actual, raw_prediction);
-  daily_.back().corrected.add(actual, corrected_prediction);
+  return core_.admit(model_ ? &*model_ : nullptr, index, request, photo);
 }
 
 void ClassifierSystem::observe(std::uint64_t index, const Request& request,
                                const PhotoMeta& photo, bool /*hit*/) {
   // Sample for training *before* mutating state: features must describe
   // the stream as the classifier saw it at admit() time.
-  extractor_.extract(request, photo, scratch_);
-  trainer_.offer(index, request, scratch_);
-  extractor_.observe(request, photo);
+  trainer_.offer(index, request, core_.extract(request, photo));
+  core_.observe(request, photo);
 
   // Retraining (§4.4.3): daily at the trough hour, or — in the
   // "incremental" alternative — every retrain_interval_hours.
@@ -119,32 +57,17 @@ void ClassifierSystem::observe(std::uint64_t index, const Request& request,
     // keep the last-good tree (or the admit-all fallback when none).
     try {
       if (auto tree = trainer_.train(index, request.time)) {
-        if (validate_model(*tree)) {
+        if (validate_serving_model(*tree, deployed_arity())) {
           model_ = std::move(tree);
           ++trainings_;
         } else {
-          ++degradation_.rejected_models;
+          ++core_.degradation.rejected_models;
         }
       }
     } catch (const std::exception&) {
-      ++degradation_.retrain_failures;
+      ++core_.degradation.retrain_failures;
     }
     last_trained_time_ = request.time.seconds;
-  }
-}
-
-bool ClassifierSystem::validate_model(const ml::DecisionTree& tree) const {
-  const std::vector<std::size_t>& subset = config_.ota.feature_subset;
-  const std::size_t arity =
-      subset.empty() ? FeatureExtractor::kFeatureCount : subset.size();
-  if (tree.node_count() == 0) return false;
-  if (tree.feature_importance().size() != arity) return false;
-  try {
-    const std::vector<float> probe(arity, 0.0F);
-    const double proba = tree.predict_proba(probe);
-    return std::isfinite(proba) && proba >= 0.0 && proba <= 1.0;
-  } catch (const std::exception&) {
-    return false;
   }
 }
 
@@ -155,8 +78,8 @@ ClassifierSnapshot ClassifierSystem::snapshot() const {
   snap.p = config_.p;
   snap.cost_v = config_.cost_v;
   if (model_) snap.model_blob = model_->serialize();
-  snap.history = history_.entries();
-  snap.history_rectified = history_.rectified_count();
+  snap.history = core_.history.entries();
+  snap.history_rectified = core_.history.rectified_count();
   snap.samples.assign(trainer_.samples().begin(), trainer_.samples().end());
   snap.trainer_minute = trainer_.current_minute();
   snap.trainer_minute_count = trainer_.minute_count();
@@ -167,7 +90,7 @@ ClassifierSnapshot ClassifierSystem::snapshot() const {
 }
 
 bool ClassifierSystem::restore(const ClassifierSnapshot& snapshot) {
-  history_.restore(snapshot.history, snapshot.history_rectified);
+  core_.history.restore(snapshot.history, snapshot.history_rectified);
   trainer_.restore({snapshot.samples.begin(), snapshot.samples.end()},
                    snapshot.trainer_minute, snapshot.trainer_minute_count);
   last_trained_day_ = snapshot.last_trained_day;
@@ -178,13 +101,13 @@ bool ClassifierSystem::restore(const ClassifierSnapshot& snapshot) {
   if (snapshot.model_blob.empty()) return true;
   try {
     ml::DecisionTree tree = ml::DecisionTree::deserialize(snapshot.model_blob);
-    if (!validate_model(tree)) {
+    if (!validate_serving_model(tree, deployed_arity())) {
       throw std::invalid_argument("model failed validation");
     }
     model_ = std::move(tree);
     return true;
   } catch (const std::exception&) {
-    ++degradation_.rejected_models;
+    ++core_.degradation.rejected_models;
     return false;
   }
 }

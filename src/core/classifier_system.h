@@ -11,6 +11,10 @@
 //      in the table and bypass the cache.
 //
 // The model retrains daily at the configured trough hour (§4.4.3).
+//
+// The per-request serving body lives in core/serving_core.h (shared with
+// the sharded layer); this class adds model ownership, the retrain
+// schedule, and crash-safe snapshot/restore.
 #pragma once
 
 #include <optional>
@@ -21,6 +25,7 @@
 #include "core/config.h"
 #include "core/features.h"
 #include "core/history_table.h"
+#include "core/serving_core.h"
 #include "core/trainer.h"
 #include "ml/decision_tree.h"
 #include "ml/metrics.h"
@@ -36,32 +41,6 @@ struct ClassifierSystemConfig {
   /// Track per-day confusion of raw/corrected decisions against the true
   /// labels (full oracle) — powers Fig. 5. Small overhead.
   bool collect_daily_metrics = true;
-};
-
-struct DayClassifierMetrics {
-  std::int64_t day = 0;
-  ml::ConfusionMatrix raw;        // tree verdicts
-  ml::ConfusionMatrix corrected;  // after history-table rectification
-};
-
-/// Every time the serving path degrades instead of failing it increments a
-/// counter here (Flashield's rule: an ML cache component must fail toward
-/// conservative admission, i.e. the paper's Original admit-all behavior).
-struct DegradationCounters {
-  /// Retrain threw — last-good tree kept serving.
-  std::uint64_t retrain_failures = 0;
-  /// A trained or checkpointed model failed validation — rejected; the
-  /// previous tree (or admit-all when none) keeps serving.
-  std::uint64_t rejected_models = 0;
-  /// Requests whose features came out non-finite — admitted via fallback.
-  std::uint64_t nonfinite_feature_requests = 0;
-  /// predict() threw (arity mismatch etc.) — admitted via fallback.
-  std::uint64_t predict_failures = 0;
-
-  [[nodiscard]] std::uint64_t total() const noexcept {
-    return retrain_failures + rejected_models + nonfinite_feature_requests +
-           predict_failures;
-  }
 };
 
 class ClassifierSystem final : public AdmissionPolicy {
@@ -80,21 +59,21 @@ class ClassifierSystem final : public AdmissionPolicy {
     return model_ ? &*model_ : nullptr;
   }
   [[nodiscard]] const HistoryTable& history() const noexcept {
-    return history_;
+    return core_.history;
   }
   [[nodiscard]] const std::vector<DayClassifierMetrics>& daily_metrics()
       const noexcept {
-    return daily_;
+    return core_.daily;
   }
   [[nodiscard]] int trainings() const noexcept { return trainings_; }
   [[nodiscard]] const FeatureExtractor& extractor() const noexcept {
-    return extractor_;
+    return core_.extractor;
   }
   [[nodiscard]] const ClassifierSystemConfig& config() const noexcept {
     return config_;
   }
   [[nodiscard]] const DegradationCounters& degradation() const noexcept {
-    return degradation_;
+    return core_.degradation;
   }
 
   /// Capture the full serving state for crash-safe persistence.
@@ -106,29 +85,20 @@ class ClassifierSystem final : public AdmissionPolicy {
   bool restore(const ClassifierSnapshot& snapshot);
 
  private:
-  void record_metric(std::int64_t day, int actual, int raw_prediction,
-                     int corrected_prediction);
-
-  /// A model is servable iff it is fitted, matches the deployed feature
-  /// arity, and yields a finite probability on a probe row.
-  [[nodiscard]] bool validate_model(const ml::DecisionTree& tree) const;
+  [[nodiscard]] std::size_t deployed_arity() const noexcept {
+    return config_.ota.feature_subset.empty()
+               ? FeatureExtractor::kFeatureCount
+               : config_.ota.feature_subset.size();
+  }
 
   ClassifierSystemConfig config_;
-  const NextAccessInfo* oracle_;
-  std::uint64_t trace_size_;
-
-  FeatureExtractor extractor_;
+  ServingCore core_;
   DailyTrainer trainer_;
-  HistoryTable history_;
   std::optional<ml::DecisionTree> model_;
 
   std::int64_t last_trained_day_ = std::numeric_limits<std::int64_t>::min();
   std::int64_t last_trained_time_ = std::numeric_limits<std::int64_t>::min();
   int trainings_ = 0;
-  DegradationCounters degradation_;
-  std::vector<DayClassifierMetrics> daily_;
-  std::array<float, FeatureExtractor::kFeatureCount> scratch_{};
-  std::vector<float> projected_;  // scratch for the deployed feature subset
 };
 
 }  // namespace otac

@@ -39,6 +39,14 @@ struct RunConfig {
   /// Hit-rate estimate for the M criteria; when absent a plain LRU run at
   /// this capacity supplies it (that run is cached per capacity).
   std::optional<double> hit_rate_estimate;
+
+  // --- Sharded serving layer (core/sharded_cache.h) ------------------------
+  /// Number of independent keyspace shards. IntelligentCache::run ignores
+  /// these (it is the shards=1 reference path); ShardedCache::run
+  /// partitions photos across `shards` and replays them on `threads`
+  /// workers (0 = one thread per shard, capped by the hardware).
+  std::size_t shards = 1;
+  std::size_t threads = 0;
 };
 
 struct RunResult {
@@ -52,6 +60,10 @@ struct RunResult {
   /// models, fallback admits. Zero on a healthy run.
   DegradationCounters degradation;
   double mean_latency_us = 0.0;  // Eq. 3 with this run's hit rate
+
+  /// Field-for-field equality — the determinism and shards=1 equivalence
+  /// tests pin merged results bit-identical, not merely approximately.
+  friend bool operator==(const RunResult&, const RunResult&) = default;
 };
 
 class IntelligentCache {
@@ -70,6 +82,7 @@ class IntelligentCache {
   [[nodiscard]] const NextAccessInfo& oracle() const noexcept {
     return oracle_;
   }
+  [[nodiscard]] const Trace& trace() const noexcept { return *trace_; }
   /// Byte footprint of all distinct objects (capacity scaling anchor).
   [[nodiscard]] double total_object_bytes() const noexcept {
     return total_object_bytes_;

@@ -1,0 +1,43 @@
+// The shared model slot of the sharded serving layer: worker threads load
+// a snapshot, the trainer swaps in a new tree at retrain barriers.
+//
+// Why not std::atomic<std::shared_ptr<...>>? libstdc++ (12) implements it
+// with an internal spinlock that load() releases with memory_order_relaxed,
+// so the reader's plain read of the pointer field has no release/acquire
+// chain to the next writer's plain write — a data race by the letter of the
+// memory model, and ThreadSanitizer reports it as such. The slot below has
+// the identical read-mostly semantics (wait-free in practice: the critical
+// section is two pointer copies, and the sharded replay takes it once per
+// shard per epoch, not per request) and is provably clean under TSan, which
+// scripts/check_concurrency.sh makes a build gate.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "ml/decision_tree.h"
+
+namespace otac {
+
+class ModelSlot {
+ public:
+  /// Snapshot the current model (nullptr until the first publish). The
+  /// returned shared_ptr keeps the tree alive even if a store() replaces
+  /// it mid-use.
+  [[nodiscard]] std::shared_ptr<const ml::DecisionTree> load() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return model_;
+  }
+
+  /// Publish a new model; readers holding the old snapshot are unaffected.
+  void store(std::shared_ptr<const ml::DecisionTree> next) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    model_ = std::move(next);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ml::DecisionTree> model_;
+};
+
+}  // namespace otac

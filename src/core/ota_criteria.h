@@ -21,6 +21,9 @@ struct CriteriaResult {
   double h = 0.0;          // hit-rate estimate used
   double p = 0.0;          // converged one-time fraction
   double mean_size = 0.0;  // S-bar (bytes)
+
+  friend bool operator==(const CriteriaResult&,
+                         const CriteriaResult&) = default;
 };
 
 /// Fraction of accesses whose reaccess distance exceeds `m`.

@@ -1,0 +1,115 @@
+#include "core/serving_core.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace otac {
+
+bool validate_serving_model(const ml::DecisionTree& tree,
+                            std::size_t expected_arity) {
+  if (tree.node_count() == 0) return false;
+  if (tree.feature_importance().size() != expected_arity) return false;
+  try {
+    const std::vector<float> probe(expected_arity, 0.0F);
+    const double proba = tree.predict_proba(probe);
+    return std::isfinite(proba) && proba >= 0.0 && proba <= 1.0;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+ServingCore::ServingCore(const PhotoCatalog& catalog,
+                         const NextAccessInfo& oracle, ServingConfig config,
+                         std::size_t history_capacity)
+    : extractor(catalog),
+      history(history_capacity),
+      config_(std::move(config)),
+      oracle_(&oracle) {}
+
+bool ServingCore::admit(const ml::DecisionTree* model, std::uint64_t index,
+                        const Request& request, const PhotoMeta& photo) {
+  if (model == nullptr) return config_.admit_before_first_model;
+
+  extractor.extract(request, photo, scratch_);
+  bool predicted_one_time;
+  const std::vector<std::size_t>& subset = config_.feature_subset;
+  // Graceful degradation: a request whose features come out non-finite
+  // (corrupt catalog entry, clock skew) or whose prediction throws must
+  // fall back to plain admission — never crash the serving path, never
+  // feed garbage through the tree.
+  const auto finite = [](std::span<const float> values) {
+    for (const float v : values) {
+      if (!std::isfinite(v)) return false;
+    }
+    return true;
+  };
+  try {
+    if (subset.empty()) {
+      if (!finite(scratch_)) {
+        ++degradation.nonfinite_feature_requests;
+        return true;
+      }
+      predicted_one_time = model->predict(scratch_) == 1;
+    } else {
+      projected_.resize(subset.size());
+      for (std::size_t k = 0; k < subset.size(); ++k) {
+        // .at(): a misconfigured subset index degrades via the catch below
+        // instead of reading out of bounds.
+        projected_[k] = scratch_.at(subset[k]);
+      }
+      if (!finite(projected_)) {
+        ++degradation.nonfinite_feature_requests;
+        return true;
+      }
+      predicted_one_time = model->predict(projected_) == 1;
+    }
+  } catch (const std::exception&) {
+    ++degradation.predict_failures;
+    return true;
+  }
+
+  bool final_one_time = predicted_one_time;
+  if (predicted_one_time) {
+    // A recently rejected photo returning within M was misclassified.
+    if (history.rectify(request.photo, index, config_.m)) {
+      final_one_time = false;
+    } else {
+      history.record(request.photo, index);
+    }
+  }
+
+  if (config_.collect_daily_metrics) {
+    // Ground truth from the full oracle (evaluation only, never fed back
+    // into the model): one-time iff no reaccess within M.
+    const std::uint64_t next = oracle_->next[index];
+    const int actual = (next != kNoNextAccess &&
+                        static_cast<double>(next - index) <= config_.m)
+                           ? 0
+                           : 1;
+    record_metric(day_index(request.time), actual, predicted_one_time ? 1 : 0,
+                  final_one_time ? 1 : 0);
+  }
+  return !final_one_time;
+}
+
+void ServingCore::record_metric(std::int64_t day, int actual,
+                                int raw_prediction,
+                                int corrected_prediction) {
+  if (daily.empty() || daily.back().day != day) {
+    daily.push_back(DayClassifierMetrics{day, {}, {}});
+  }
+  daily.back().raw.add(actual, raw_prediction);
+  daily.back().corrected.add(actual, corrected_prediction);
+}
+
+std::span<const float> ServingCore::extract(const Request& request,
+                                            const PhotoMeta& photo) {
+  extractor.extract(request, photo, scratch_);
+  return scratch_;
+}
+
+void ServingCore::observe(const Request& request, const PhotoMeta& photo) {
+  extractor.observe(request, photo);
+}
+
+}  // namespace otac

@@ -1,0 +1,126 @@
+// Per-stream serving half of the classification system (Fig. 4), split out
+// of ClassifierSystem so it can be instantiated once per shard by the
+// sharded serving layer (core/sharded_cache.h) while the unsharded
+// ClassifierSystem keeps wrapping exactly the same code — that shared body
+// is what makes the shards=1 path bit-identical to the single-threaded
+// system by construction.
+//
+// A ServingCore owns everything that is private to one request stream:
+// online feature extractor, history table, per-day confusion metrics, and
+// the serving-path degradation counters. It does NOT own the model — the
+// caller passes the tree per admit() call, which is how the sharded layer
+// shares one read-mostly CART across shards (model-slot swap on retrain)
+// without the core knowing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.h"
+#include "core/features.h"
+#include "core/history_table.h"
+#include "ml/decision_tree.h"
+#include "ml/metrics.h"
+#include "trace/next_access.h"
+
+namespace otac {
+
+struct DayClassifierMetrics {
+  std::int64_t day = 0;
+  ml::ConfusionMatrix raw;        // tree verdicts
+  ml::ConfusionMatrix corrected;  // after history-table rectification
+
+  friend bool operator==(const DayClassifierMetrics&,
+                         const DayClassifierMetrics&) = default;
+};
+
+/// Every time the serving path degrades instead of failing it increments a
+/// counter here (Flashield's rule: an ML cache component must fail toward
+/// conservative admission, i.e. the paper's Original admit-all behavior).
+struct DegradationCounters {
+  /// Retrain threw — last-good tree kept serving.
+  std::uint64_t retrain_failures = 0;
+  /// A trained or checkpointed model failed validation — rejected; the
+  /// previous tree (or admit-all when none) keeps serving.
+  std::uint64_t rejected_models = 0;
+  /// Requests whose features came out non-finite — admitted via fallback.
+  std::uint64_t nonfinite_feature_requests = 0;
+  /// predict() threw (arity mismatch etc.) — admitted via fallback.
+  std::uint64_t predict_failures = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return retrain_failures + rejected_models + nonfinite_feature_requests +
+           predict_failures;
+  }
+
+  void merge(const DegradationCounters& other) noexcept {
+    retrain_failures += other.retrain_failures;
+    rejected_models += other.rejected_models;
+    nonfinite_feature_requests += other.nonfinite_feature_requests;
+    predict_failures += other.predict_failures;
+  }
+
+  friend bool operator==(const DegradationCounters&,
+                         const DegradationCounters&) = default;
+};
+
+/// A model is servable iff it is fitted, matches the deployed feature
+/// arity, and yields a finite probability on a probe row. Shared by
+/// ClassifierSystem (daily retrain / checkpoint restore) and the sharded
+/// trainer (before an atomic model swap).
+[[nodiscard]] bool validate_serving_model(const ml::DecisionTree& tree,
+                                          std::size_t expected_arity);
+
+/// Parameters the serving path needs from the full system configuration.
+struct ServingConfig {
+  std::vector<std::size_t> feature_subset;  // empty = all nine features
+  double m = 0.0;                           // criteria threshold (§4.3)
+  bool collect_daily_metrics = true;
+  bool admit_before_first_model = true;
+};
+
+class ServingCore {
+ public:
+  ServingCore(const PhotoCatalog& catalog, const NextAccessInfo& oracle,
+              ServingConfig config, std::size_t history_capacity);
+
+  /// Steps 4-7 of §4.2 against the given model (nullptr = no model yet):
+  /// extract features, predict one-time vs not, rectify via the history
+  /// table, record daily metrics. Degrades to plain admission on
+  /// non-finite features or a throwing predict.
+  bool admit(const ml::DecisionTree* model, std::uint64_t index,
+             const Request& request, const PhotoMeta& photo);
+
+  /// Features of this request given the state *before* it (the training
+  /// sample the caller may buffer). Valid until the next extract()/admit().
+  [[nodiscard]] std::span<const float> extract(const Request& request,
+                                               const PhotoMeta& photo);
+
+  /// Advance the online feature state by one (time-ordered) request.
+  void observe(const Request& request, const PhotoMeta& photo);
+
+  [[nodiscard]] const ServingConfig& config() const noexcept {
+    return config_;
+  }
+
+  // Components, exposed for snapshotting (ClassifierSystem) and merging
+  // (ShardedCache): each instance is single-stream, so outside access is
+  // only valid when no admit/extract/observe is in flight.
+  FeatureExtractor extractor;
+  HistoryTable history;
+  std::vector<DayClassifierMetrics> daily;
+  DegradationCounters degradation;
+
+ private:
+  void record_metric(std::int64_t day, int actual, int raw_prediction,
+                     int corrected_prediction);
+
+  ServingConfig config_;
+  const NextAccessInfo* oracle_;
+  std::array<float, FeatureExtractor::kFeatureCount> scratch_{};
+  std::vector<float> projected_;  // scratch for the deployed feature subset
+};
+
+}  // namespace otac

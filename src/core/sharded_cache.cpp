@@ -1,0 +1,321 @@
+#include "core/sharded_cache.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "core/history_table.h"
+#include "core/model_slot.h"
+#include "core/serving_core.h"
+#include "core/trainer.h"
+#include "storage/latency_model.h"
+#include "util/sim_time.h"
+#include "util/thread_pool.h"
+
+namespace otac {
+
+std::size_t shard_of_photo(PhotoId photo, std::size_t shards) noexcept {
+  // SplitMix64 finalizer: photo ids are often sequential, so a plain
+  // `photo % shards` would stripe hot neighborhoods; the mixer spreads them.
+  std::uint64_t x = static_cast<std::uint64_t>(photo) + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x % shards);
+}
+
+std::vector<std::uint64_t> retrain_trigger_indices(const Trace& trace,
+                                                   const OtaConfig& ota) {
+  // Mirror of the schedule in ClassifierSystem::observe — including the
+  // subtlety that last_trained_time advances on every *due* event, whether
+  // or not that train produced a model. The schedule reads only request
+  // times, which is what lets the sharded replay precompute its barriers.
+  std::vector<std::uint64_t> triggers;
+  constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::min();
+  std::int64_t last_trained_day = kNever;
+  std::int64_t last_trained_time = kNever;
+  const bool interval_mode = ota.retrain_interval_hours > 0.0;
+  const auto interval =
+      static_cast<std::int64_t>(ota.retrain_interval_hours * kSecondsPerHour);
+  for (std::uint64_t i = 0; i < trace.requests.size(); ++i) {
+    const SimTime time = trace.requests[i].time;
+    bool due = false;
+    if (interval_mode) {
+      due = last_trained_time == kNever ||
+            time.seconds - last_trained_time >= interval;
+    } else {
+      const std::int64_t day = day_index(time);
+      due = hour_of_day(time) >= ota.retrain_hour && day > last_trained_day;
+      if (due) last_trained_day = day;
+    }
+    if (due) {
+      triggers.push_back(i);
+      last_trained_time = time.seconds;
+    }
+  }
+  return triggers;
+}
+
+namespace {
+
+// Everything one shard touches on the request path. Shards interact only
+// through the shared model slot, so workers never contend on this state.
+struct ShardState {
+  std::unique_ptr<CachePolicy> policy;
+  std::unique_ptr<ServingCore> core;      // proposal only
+  std::unique_ptr<DailyTrainer> sampler;  // proposal only: budget + buffer
+  CacheStats stats;
+  std::size_t pos = 0;  // cursor into this shard's request-index list
+};
+
+}  // namespace
+
+ShardedCache::ShardedCache(const IntelligentCache& system)
+    : system_(&system), trace_(&system.trace()) {}
+
+RunResult ShardedCache::run(const RunConfig& config) const {
+  if (config.capacity_bytes == 0) {
+    throw std::invalid_argument("ShardedCache: zero capacity");
+  }
+  const std::size_t shards = config.shards;
+  if (shards == 0) {
+    throw std::invalid_argument("ShardedCache: zero shards");
+  }
+  const std::uint64_t shard_capacity = config.capacity_bytes / shards;
+  if (shard_capacity == 0) {
+    throw std::invalid_argument(
+        "ShardedCache: capacity splits to zero bytes per shard");
+  }
+
+  RunResult result;
+  const Trace& trace = *trace_;
+  const NextAccessInfo& oracle = system_->oracle();
+  const bool is_proposal = config.mode == AdmissionMode::proposal;
+
+  // Criteria / cost are global properties of the trace and total capacity —
+  // shards share one M and one cost matrix, exactly as the unsharded system.
+  const bool needs_criteria =
+      is_proposal || config.mode == AdmissionMode::ideal;
+  if (needs_criteria) {
+    const double h = config.hit_rate_estimate
+                         ? *config.hit_rate_estimate
+                         : system_->estimate_hit_rate(config.capacity_bytes);
+    result.criteria = compute_criteria(trace, oracle, config.capacity_bytes, h,
+                                       config.ota.criteria_iterations);
+    if (config.policy == PolicyKind::lirs) {
+      result.criteria.m =
+          lirs_criteria(result.criteria.m, config.lirs_lir_fraction);
+    }
+    result.cost_v = system_->cost_v_for(config.capacity_bytes, config.ota);
+  }
+
+  // Keyspace partition, materialized as per-shard index lists so each
+  // worker walks a dense array instead of filtering the whole trace.
+  std::vector<std::vector<std::uint64_t>> shard_requests(shards);
+  for (std::uint64_t i = 0; i < trace.requests.size(); ++i) {
+    shard_requests[shard_of_photo(trace.requests[i].photo, shards)]
+        .push_back(i);
+  }
+
+  ServingConfig serving;
+  std::size_t history_slice = 0;
+  OtaConfig sampler_ota = config.ota;
+  std::size_t model_arity = 0;
+  if (is_proposal) {
+    serving.feature_subset = config.ota.feature_subset;
+    serving.m = result.criteria.m;
+    serving.admit_before_first_model = config.ota.admit_before_first_model;
+    const std::size_t history_total = history_table_capacity(
+        result.criteria.m, result.criteria.h, result.criteria.p,
+        config.ota.history_table_factor);
+    history_slice = history_total / shards;
+    if (history_slice == 0 && history_total > 0) history_slice = 1;
+    // Each shard applies its 1/N slice of the per-minute sampling budget,
+    // so the aggregate sampling rate matches the paper's §3.1.1 knob (and
+    // shards=1 keeps the exact unsharded budget).
+    const int rate = config.ota.sample_records_per_minute;
+    sampler_ota.sample_records_per_minute =
+        rate == 0 ? 0 : std::max(1, rate / static_cast<int>(shards));
+    model_arity = config.ota.feature_subset.empty()
+                      ? FeatureExtractor::kFeatureCount
+                      : config.ota.feature_subset.size();
+  }
+
+  std::vector<ShardState> states(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    ShardState& state = states[s];
+    state.policy = make_policy(config.policy, shard_capacity,
+                               config.lirs_lir_fraction);
+    if (is_proposal) {
+      state.core = std::make_unique<ServingCore>(trace.catalog, oracle,
+                                                 serving, history_slice);
+      state.sampler = std::make_unique<DailyTrainer>(
+          oracle, sampler_ota, result.criteria.m, result.cost_v);
+    }
+  }
+  for (std::size_t s = 0; s < shards; ++s) {
+    CacheStats* stats = &states[s].stats;  // states never reallocates now
+    states[s].policy->set_eviction_callback(
+        [stats](PhotoId key, std::uint32_t size) {
+          stats->note_eviction(key, size);
+        });
+  }
+
+  // The one shared mutable object: workers load it once per epoch, the
+  // trainer swaps it at barriers. DegradationCounters for the trainer side
+  // live outside the shards (merged into the result at the end).
+  ModelSlot model;
+  DailyTrainer trainer{oracle, config.ota, result.criteria.m, result.cost_v};
+  DegradationCounters trainer_degradation;
+  std::vector<std::uint64_t> triggers;
+  if (is_proposal) triggers = retrain_trigger_indices(trace, config.ota);
+
+  const std::size_t hardware = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  const std::size_t threads =
+      std::min(shards, config.threads != 0 ? config.threads : hardware);
+  ThreadPool pool{threads};
+
+  const std::uint64_t total_requests = trace.requests.size();
+  const double criteria_m = result.criteria.m;
+  std::uint64_t epoch_begin = 0;
+  std::size_t next_trigger = 0;
+  while (epoch_begin < total_requests) {
+    const bool has_trigger = is_proposal && next_trigger < triggers.size();
+    const std::uint64_t epoch_end =
+        has_trigger ? triggers[next_trigger] + 1 : total_requests;
+
+    pool.parallel_for(shards, [&](std::size_t s) {
+      ShardState& state = states[s];
+      // One slot load per epoch: the model is constant between retrain
+      // barriers, which matches the unsharded visibility rule (a retrain
+      // inside observe(i) serves requests from i+1 on).
+      const std::shared_ptr<const ml::DecisionTree> tree = model.load();
+      const std::vector<std::uint64_t>& mine = shard_requests[s];
+      for (; state.pos < mine.size() && mine[state.pos] < epoch_end;
+           ++state.pos) {
+        const std::uint64_t i = mine[state.pos];
+        const Request& request = trace.requests[i];
+        const PhotoMeta& photo = trace.catalog.photo(request.photo);
+        state.policy->set_next_access_hint(oracle.next[i]);
+        const bool hit = state.policy->access(request.photo, photo.size_bytes);
+        state.stats.requests += 1;
+        state.stats.request_bytes += photo.size_bytes;
+        if (hit) {
+          state.stats.hits += 1;
+          state.stats.hit_bytes += photo.size_bytes;
+        } else {
+          bool admitted = false;
+          switch (config.mode) {
+            case AdmissionMode::original:
+              admitted = true;
+              break;
+            case AdmissionMode::bypass:
+              admitted = false;
+              break;
+            case AdmissionMode::ideal: {
+              const std::uint64_t distance = oracle.reaccess_distance(i);
+              admitted = distance != kNoNextAccess &&
+                         static_cast<double>(distance) <= criteria_m;
+              break;
+            }
+            case AdmissionMode::proposal:
+              admitted = state.core->admit(tree.get(), i, request, photo);
+              break;
+          }
+          if (admitted) {
+            if (state.policy->insert(request.photo, photo.size_bytes)) {
+              state.stats.insertions += 1;
+              state.stats.inserted_bytes += photo.size_bytes;
+            }
+          } else {
+            state.stats.rejected += 1;
+            state.stats.rejected_bytes += photo.size_bytes;
+          }
+        }
+        if (is_proposal) {
+          // Sample before observe: features must describe the stream as the
+          // classifier saw it at admit() time (same rule as the unsharded
+          // ClassifierSystem::observe).
+          state.sampler->offer(i, request,
+                               state.core->extract(request, photo));
+          state.core->observe(request, photo);
+        }
+      }
+    });
+
+    if (has_trigger) {
+      const std::uint64_t trigger = triggers[next_trigger];
+      ++next_trigger;
+      // Drain the shard buffers into the global trainer, merged in trace
+      // order so the training set (and its window pruning) is independent
+      // of both shard count and scheduling.
+      std::vector<TrainingSample> drained;
+      for (ShardState& state : states) {
+        const std::deque<TrainingSample>& buffer = state.sampler->samples();
+        drained.insert(drained.end(), buffer.begin(), buffer.end());
+        state.sampler->restore({}, state.sampler->current_minute(),
+                               state.sampler->minute_count());
+      }
+      std::sort(drained.begin(), drained.end(),
+                [](const TrainingSample& a, const TrainingSample& b) {
+                  return a.index < b.index;
+                });
+      trainer.ingest(drained);
+      try {
+        if (auto tree = trainer.train(trigger, trace.requests[trigger].time)) {
+          if (validate_serving_model(*tree, model_arity)) {
+            model.store(
+                std::make_shared<const ml::DecisionTree>(std::move(*tree)));
+            ++result.trainings;
+          } else {
+            ++trainer_degradation.rejected_models;
+          }
+        }
+      } catch (const std::exception&) {
+        ++trainer_degradation.retrain_failures;
+      }
+    }
+    epoch_begin = epoch_end;
+  }
+
+  // Merge in shard order — deterministic, and for shards=1 the copy of
+  // shard 0 keeps the eviction hash equal to the raw sequence hash.
+  result.stats = states[0].stats;
+  for (std::size_t s = 1; s < shards; ++s) {
+    result.stats.merge(states[s].stats);
+  }
+  if (is_proposal) {
+    result.degradation = trainer_degradation;
+    std::map<std::int64_t, DayClassifierMetrics> daily;
+    for (const ShardState& state : states) {
+      result.history_capacity += state.core->history.capacity();
+      result.degradation.merge(state.core->degradation);
+      for (const DayClassifierMetrics& metrics : state.core->daily) {
+        auto [it, inserted] = daily.try_emplace(metrics.day, metrics);
+        if (!inserted) {
+          it->second.raw.merge(metrics.raw);
+          it->second.corrected.merge(metrics.corrected);
+        }
+      }
+    }
+    result.daily.reserve(daily.size());
+    for (const auto& [day, metrics] : daily) {
+      result.daily.push_back(metrics);
+    }
+  }
+
+  const LatencyModel latency{config.latency};
+  const double hit_rate = result.stats.file_hit_rate();
+  result.mean_latency_us =
+      config.mode == AdmissionMode::original ||
+              config.mode == AdmissionMode::bypass
+          ? latency.mean_access_time_original_us(hit_rate)
+          : latency.mean_access_time_proposed_us(hit_rate);
+  return result;
+}
+
+}  // namespace otac

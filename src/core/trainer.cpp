@@ -28,6 +28,10 @@ void DailyTrainer::offer(std::uint64_t index, const Request& request,
   samples_.push_back(sample);
 }
 
+void DailyTrainer::ingest(std::span<const TrainingSample> samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+}
+
 int DailyTrainer::label_of(const NextAccessInfo& oracle, std::uint64_t index,
                            double m, std::uint64_t known_until) {
   const std::uint64_t next = oracle.next[index];

@@ -37,6 +37,12 @@ class DailyTrainer {
   void offer(std::uint64_t index, const Request& request,
              std::span<const float> features);
 
+  /// Append already-budgeted samples (time/index-ascending) directly to the
+  /// reservoir. Used by the sharded serving layer, whose per-shard samplers
+  /// apply their slice of the per-minute budget before the trainer drains
+  /// the shard buffers at a retrain barrier.
+  void ingest(std::span<const TrainingSample> samples);
+
   /// One-time-access label for a sample at `index` given knowledge up to
   /// `known_until` (exclusive): 1 = one-time.
   [[nodiscard]] static int label_of(const NextAccessInfo& oracle,

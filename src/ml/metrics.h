@@ -23,6 +23,17 @@ struct ConfusionMatrix {
     }
   }
 
+  /// Cell-wise sum (aggregating per-shard or per-day matrices).
+  void merge(const ConfusionMatrix& other) noexcept {
+    tp += other.tp;
+    fp += other.fp;
+    tn += other.tn;
+    fn += other.fn;
+  }
+
+  friend bool operator==(const ConfusionMatrix&,
+                         const ConfusionMatrix&) = default;
+
   [[nodiscard]] std::uint64_t total() const noexcept {
     return tp + fp + tn + fn;
   }

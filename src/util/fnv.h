@@ -1,0 +1,30 @@
+// FNV-1a folding over 64-bit words: the behavior-identity hash used by the
+// golden-equivalence tests (eviction sequences) and by CacheStats to pin
+// replay determinism. A sequence hash trips on any reordering, insertion,
+// or value change — exactly what "bit-identical run" proofs need.
+#pragma once
+
+#include <cstdint>
+
+namespace otac {
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Fold one 64-bit value into `hash`, byte by byte (little-endian order).
+constexpr void fnv64(std::uint64_t& hash, std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xFF;
+    hash *= kFnvPrime;
+  }
+}
+
+/// Hash of a whole sequence already reduced to per-element hashes; used to
+/// combine per-shard eviction hashes in a fixed shard order.
+[[nodiscard]] constexpr std::uint64_t fnv64_combine(
+    std::uint64_t seed, std::uint64_t value) noexcept {
+  fnv64(seed, value);
+  return seed;
+}
+
+}  // namespace otac

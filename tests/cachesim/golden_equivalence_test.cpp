@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cachesim/cache_policy.h"
+#include "util/fnv.h"
 #include "util/rng.h"
 #include "util/zipf.h"
 
@@ -34,16 +35,6 @@ std::vector<Op> make_trace(std::size_t n, std::uint64_t seed,
     op.size = static_cast<std::uint32_t>(rng.uniform_int(4'000, 200'000));
   }
   return ops;
-}
-
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-void fnv(std::uint64_t& hash, std::uint64_t value) {
-  for (int i = 0; i < 8; ++i) {
-    hash ^= (value >> (8 * i)) & 0xFF;
-    hash *= kFnvPrime;
-  }
 }
 
 struct Golden {
@@ -82,8 +73,8 @@ TEST_P(GoldenEquivalence, MatchesSeedImplementationByteForByte) {
   std::uint64_t evict_hash = kFnvOffset;
   std::uint64_t evictions = 0;
   policy->set_eviction_callback([&](PhotoId key, std::uint32_t size) {
-    fnv(evict_hash, key);
-    fnv(evict_hash, size);
+    fnv64(evict_hash, key);
+    fnv64(evict_hash, size);
     ++evictions;
   });
 

@@ -1,0 +1,57 @@
+// Round-trip and rejection coverage for the PolicyKind <-> name mapping
+// that the CLI (otac_sim --policy/--shards) and sweep configs rely on.
+#include "cachesim/cache_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+
+namespace otac {
+namespace {
+
+TEST(PolicyFactory, EveryKindRoundTripsThroughItsName) {
+  for (const PolicyKind kind : all_policy_kinds()) {
+    const std::string name = policy_name(kind);
+    EXPECT_EQ(policy_kind_from_name(name), kind) << name;
+
+    // The factory builds a working policy whose self-reported name agrees.
+    const auto policy = make_policy(kind, 1 << 20);
+    EXPECT_EQ(policy->name(), name);
+    EXPECT_EQ(policy->capacity_bytes(), 1u << 20);
+  }
+}
+
+TEST(PolicyFactory, LookupIsCaseInsensitive) {
+  for (const PolicyKind kind : all_policy_kinds()) {
+    std::string lower = policy_name(kind);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    std::string upper = lower;
+    std::transform(upper.begin(), upper.end(), upper.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    EXPECT_EQ(policy_kind_from_name(lower), kind);
+    EXPECT_EQ(policy_kind_from_name(upper), kind);
+  }
+}
+
+TEST(PolicyFactory, AllKindsAreEnumeratedExactlyOnce) {
+  const std::vector<PolicyKind>& kinds = all_policy_kinds();
+  EXPECT_EQ(kinds.size(), 7u);
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    for (std::size_t j = i + 1; j < kinds.size(); ++j) {
+      EXPECT_NE(kinds[i], kinds[j]);
+    }
+  }
+}
+
+TEST(PolicyFactory, RejectsUnknownNames) {
+  for (const char* bad : {"", "lru2", "least-recently-used", "LR U", "clock",
+                          "belady2", "random"}) {
+    EXPECT_THROW((void)policy_kind_from_name(bad), std::invalid_argument)
+        << "name: '" << bad << "'";
+  }
+}
+
+}  // namespace
+}  // namespace otac
