@@ -4,14 +4,28 @@
 // CI and the perf notes in DESIGN.md can diff runs without scraping stdout.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "util/env_config.h"
+
 namespace otac::bench {
+
+/// Default op/row count scaled by OTAC_SCALE (util/env_config.h): the CI
+/// bench-smoke job sets OTAC_SCALE=0.02 so every micro-bench finishes in
+/// seconds while still exercising the full report path; the floor keeps
+/// cells non-degenerate at any scale.
+inline std::size_t scaled(std::size_t n) {
+  const double s = global_scale();
+  const double scaled_n = static_cast<double>(n) * (s > 0.0 ? s : 1.0);
+  return std::max<std::size_t>(1, static_cast<std::size_t>(scaled_n));
+}
 
 /// Seconds taken by one invocation of `body`.
 inline double time_once(const std::function<void()>& body) {

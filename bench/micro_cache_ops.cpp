@@ -109,17 +109,20 @@ int main(int argc, char** argv) {
 
   std::vector<Workload> workloads;
   // Steady-state churn: ~650 resident objects, every miss evicts.
-  workloads.push_back(
-      {"mixed", make_ops(1'000'000, 100'000, 0.9, 42), 512ULL << 20});
+  workloads.push_back({"mixed", make_ops(bench::scaled(1'000'000), 100'000,
+                                         0.9, 42),
+                       512ULL << 20});
   // Hot working set: 20k keys all fit, so after warmup this is the pure
   // hit path (hash probe + splice to front).
-  workloads.push_back(
-      {"hit_heavy", make_ops(1'000'000, 20'000, 0.9, 43), 1ULL << 50});
+  workloads.push_back({"hit_heavy", make_ops(bench::scaled(1'000'000),
+                                             20'000, 0.9, 43),
+                       1ULL << 50});
   // Production-scale resident set: a warmup pass makes ~470k objects
   // resident, then the timed passes measure the pure access path against
   // state far larger than L2 — where node layout dominates.
   workloads.push_back({"large_universe",
-                       make_ops(2'000'000, 1'000'000, 0.9, 44), 1ULL << 50,
+                       make_ops(bench::scaled(2'000'000), 1'000'000, 0.9, 44),
+                       1ULL << 50,
                        /*warm=*/true});
 
   const std::vector<PolicyKind> policies = {

@@ -93,10 +93,10 @@ CellResult run_tree_fit(std::size_t rows, int reps) {
 
 /// Predict cell: t_classify core — one tree traversal per row.
 CellResult run_tree_predict(int reps) {
-  const ml::Dataset data = make_dataset(140'000, 8, 7);
+  const ml::Dataset data = make_dataset(bench::scaled(140'000), 8, 7);
   ml::DecisionTree tree{tree_config()};
   tree.fit(data);
-  constexpr std::size_t kOps = 1'000'000;
+  const std::size_t kOps = bench::scaled(1'000'000);
   double sink = 0.0;
   const double seconds = bench::best_of(reps, [&] {
     for (std::size_t i = 0; i < kOps; ++i) {
@@ -110,7 +110,7 @@ CellResult run_tree_predict(int reps) {
 
 /// History-table cell: the rectify-or-record step of every classification.
 CellResult run_history_table(int reps) {
-  constexpr std::size_t kOps = 1'000'000;
+  const std::size_t kOps = bench::scaled(1'000'000);
   std::size_t rectified = 0;
   const double seconds = bench::best_of(reps, [&] {
     HistoryTable table{4096};
@@ -137,8 +137,8 @@ int main(int argc, char** argv) {
   constexpr int kReps = 3;
 
   const std::vector<std::function<CellResult()>> cells = {
-      [] { return run_tree_fit(35'000, kReps); },
-      [] { return run_tree_fit(140'000, kReps); },
+      [] { return run_tree_fit(bench::scaled(35'000), kReps); },
+      [] { return run_tree_fit(bench::scaled(140'000), kReps); },
       [] { return run_tree_predict(kReps); },
       [] { return run_history_table(kReps); },
   };

@@ -36,6 +36,7 @@ otac_add_bench(ablate_feature_sets)
 otac_add_bench(micro_classifier)
 otac_add_bench(micro_cache_ops)
 otac_add_bench(micro_sharded_replay)
+otac_add_bench(micro_obs_overhead)
 
 # google-benchmark micro-benchmarks.
 function(otac_add_micro name)

@@ -8,12 +8,17 @@
 // (corrupt generations fall back previous -> cold start), and the final
 // classifier state is persisted crash-safely on exit — rerun the binary to
 // see day 0 start warm with the previous run's tree.
+#include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "cachesim/simulator.h"
 #include "core/checkpoint.h"
 #include "core/classifier_system.h"
 #include "core/ota_criteria.h"
+#include "core/run_metrics.h"
+#include "obs/report.h"
+#include "storage/latency_model.h"
 #include "trace/trace_generator.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -24,6 +29,12 @@ int main(int argc, char** argv) {
   const FlagParser flags{argc, argv};
   const std::string checkpoint_dir =
       flags.get("checkpoint-dir", std::string{});
+  const std::string metrics_out = flags.get("metrics-out", std::string{});
+
+  // One registry observes the whole walkthrough: serving counters, fit
+  // timings, checkpoint durability telemetry, and the simulated latency
+  // distribution all land here and are exported at the end.
+  obs::MetricsRegistry registry;
 
   WorkloadConfig workload;
   workload.seed = 11;
@@ -58,12 +69,18 @@ int main(int argc, char** argv) {
   cs_config.h = criteria.h;
   cs_config.p = criteria.p;
   ClassifierSystem classifier{trace, oracle, cs_config};
+  classifier.bind_metrics(registry);
   std::cout << "history table capacity: " << classifier.history().capacity()
             << " entries (M(1-h)p x 0.05)\n\n";
 
+  std::optional<CheckpointManager> manager;
   if (!checkpoint_dir.empty()) {
-    const CheckpointManager manager{checkpoint_dir};
-    const CheckpointLoad loaded = manager.load();
+    manager.emplace(checkpoint_dir);
+    manager->bind_metrics(registry);
+  }
+
+  if (manager) {
+    const CheckpointLoad loaded = manager->load();
     std::cout << "checkpoint load from " << checkpoint_dir << ": "
               << checkpoint_origin_name(loaded.origin);
     if (loaded.rejected_files > 0) {
@@ -94,6 +111,13 @@ int main(int argc, char** argv) {
   sim.set_day_callback([](std::int64_t day, std::uint64_t index) {
     std::cout << "--- day " << day << " begins at request " << index << "\n";
   });
+  const LatencyModel latency{LatencyConfig{}};
+  obs::LatencyRecorder recorder{
+      registry.histogram(kLatencyHistogramName,
+                         LatencyModel::histogram_bounds_us()),
+      latency.request_latency_us(true, /*proposed=*/true),
+      latency.request_latency_us(false, /*proposed=*/true)};
+  sim.set_latency_recorder(&recorder);
   const CacheStats stats = sim.run(*policy, classifier);
 
   std::cout << "\nper-day classifier quality (raw tree vs after history "
@@ -132,17 +156,50 @@ int main(int argc, char** argv) {
               << degraded.predict_failures << " predict fallbacks\n";
   }
 
-  if (!checkpoint_dir.empty()) {
-    CheckpointManager manager{checkpoint_dir};
+  if (manager) {
     try {
-      manager.save(classifier.snapshot());
-      std::cout << "checkpoint saved to " << manager.current_path() << "\n";
+      manager->save(classifier.snapshot());
+      std::cout << "checkpoint saved to " << manager->current_path() << "\n";
     } catch (const std::exception& error) {
       // A failed save must not fail the run — the previous generation is
       // still intact on disk by construction.
       std::cout << "checkpoint save FAILED (" << error.what()
                 << "); previous generation retained\n";
     }
+  }
+
+  if (!metrics_out.empty()) {
+    populate_cache_metrics(registry, stats);
+    populate_history_metrics(registry, classifier.history());
+    populate_degradation_metrics(registry, classifier.degradation());
+    registry.set("trainer.trainings",
+                 static_cast<std::uint64_t>(classifier.trainings()));
+
+    obs::RunReport report;
+    report.source = "daily_operations";
+    report.mode = "Proposal";
+    report.policy = policy_name(PolicyKind::lru);
+    report.shards = 1;
+    report.threads = 1;
+    report.merged = registry.snapshot();
+    report.per_shard.push_back(report.merged);
+    if (!trace.requests.empty()) {
+      report.timeline.push_back(
+          obs::BarrierSample{trace.requests.size() - 1,
+                             trace.requests.back().time.seconds,
+                             report.merged});
+    }
+    const double hit_rate = stats.file_hit_rate();
+    report.derived = derived_run_metrics(
+        stats, latency.mean_access_time_proposed_us(hit_rate));
+
+    const std::string failed = obs::write_report_files(report, metrics_out);
+    if (!failed.empty()) {
+      std::cerr << "cannot open " << failed << "\n";
+      return 1;
+    }
+    std::cout << "metrics: " << metrics_out << " + "
+              << obs::prometheus_path_of(metrics_out) << "\n";
   }
   return 0;
 }

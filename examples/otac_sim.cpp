@@ -33,6 +33,18 @@ AdmissionMode parse_mode(const std::string& name) {
       "unknown --mode '" + name + "' (original|proposal|ideal|bypass)");
 }
 
+int write_metrics_files(const obs::RunReport& report,
+                        const std::string& json_path) {
+  const std::string failed = obs::write_report_files(report, json_path);
+  if (!failed.empty()) {
+    std::cerr << "cannot open " << failed << "\n";
+    return 1;
+  }
+  std::cout << "metrics: " << json_path << " + "
+            << obs::prometheus_path_of(json_path) << "\n";
+  return 0;
+}
+
 int run(const FlagParser& flags) {
   if (flags.has("help")) {
     std::cout
@@ -51,7 +63,13 @@ int run(const FlagParser& flags) {
            "  --threads T          worker threads for the sharded replay\n"
            "                       (default: one per shard, capped by cores)\n"
            "  --export FILE        write the trace as CSV and exit\n"
-           "  --stats              print trace characterization first\n";
+           "  --stats              print trace characterization first\n"
+           "  --metrics-out FILE   write the run report as pretty JSON to\n"
+           "                       FILE and Prometheus text exposition to\n"
+           "                       the matching .prom path; routes through\n"
+           "                       the sharded layer (even --shards 1) so\n"
+           "                       the report carries the per-barrier\n"
+           "                       time-series\n";
     return 0;
   }
 
@@ -124,10 +142,20 @@ int run(const FlagParser& flags) {
 
   // shards=1 routes through the sharded layer too (it is bit-identical to
   // IntelligentCache::run by construction and by test), but keeping the
-  // unsharded call here preserves the reference path end to end.
-  const RunResult result = config.shards > 1
+  // unsharded call here preserves the reference path end to end — unless a
+  // metrics report was requested, where the sharded layer's per-barrier
+  // time-series is the point.
+  const bool want_metrics = flags.has("metrics-out");
+  const RunResult result = config.shards > 1 || want_metrics
                                ? ShardedCache{system}.run(config)
                                : system.run(config);
+  if (want_metrics) {
+    obs::RunReport report = result.obs;
+    report.source = "otac_sim";
+    const int status =
+        write_metrics_files(report, flags.get("metrics-out", std::string{}));
+    if (status != 0) return status;
+  }
   TablePrinter table{{"metric", "value"}};
   table.add_row({"file hit rate",
                  TablePrinter::fmt(result.stats.file_hit_rate(), 4)});

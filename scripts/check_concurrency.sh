@@ -4,14 +4,10 @@
 # "shards share nothing mutable except the atomic model slot" — TSan is the
 # instrument that checks the argument, not the code comments.
 #
+# Thin wrapper: the commands live in scripts/ci.sh (the `concurrency` job),
+# shared byte for byte with .github/workflows/ci.yml.
+#
 # Usage: scripts/check_concurrency.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-tsan}"
-
-cmake -B "$BUILD_DIR" -S . -DOTAC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target test_concurrency -j"$(nproc)"
-ctest --test-dir "$BUILD_DIR" -L concurrency --output-on-failure -j"$(nproc)"
-
-echo "concurrency suite clean under TSan"
+exec "$(dirname "$0")/ci.sh" concurrency "${1:-}"

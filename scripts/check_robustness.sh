@@ -2,16 +2,12 @@
 # Run the robustness suite (failpoint registry, crash-safe checkpointing,
 # crash-recovery harness) under AddressSanitizer + UndefinedBehaviorSanitizer.
 # "Never UB" claims in tests/integration/crash_recovery_test.cpp are only as
-# good as the instrumentation they run under — this script is the gate.
+# good as the instrumentation they run under — this gate checks them.
+#
+# Thin wrapper: the commands live in scripts/ci.sh (the `robustness` job),
+# shared byte for byte with .github/workflows/ci.yml.
 #
 # Usage: scripts/check_robustness.sh [build-dir]   (default: build-asan)
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-asan}"
-
-cmake -B "$BUILD_DIR" -S . -DOTAC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target test_robustness -j"$(nproc)"
-ctest --test-dir "$BUILD_DIR" -L robustness --output-on-failure -j"$(nproc)"
-
-echo "robustness suite clean under ASan+UBSan"
+exec "$(dirname "$0")/ci.sh" robustness "${1:-}"

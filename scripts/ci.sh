@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Single entry point for every CI job. GitHub Actions
+# (.github/workflows/ci.yml) and local runs execute the same commands, so
+# "works in CI" and "works on my machine" cannot drift apart.
+#
+# Usage: scripts/ci.sh <job> [build-dir]
+#
+# Jobs:
+#   build        configure + build everything + full ctest (the tier-1 gate)
+#   robustness   ASan+UBSan over the `robustness` ctest label
+#                (failpoints, crash-safe checkpointing, crash recovery)
+#   concurrency  TSan over the `concurrency` ctest label
+#                (sharded stress + determinism)
+#   bench-smoke  reduced-iteration micro-bench pass (OTAC_SCALE, default
+#                0.02) that emits and validates the BENCH_*.json reports
+#   format       clang-format drift check over the tracked C++ sources
+#
+# Compiler/launcher selection flows through the standard environment
+# variables (CC, CXX, CMAKE_{C,CXX}_COMPILER_LAUNCHER), which is how the
+# workflow wires up gcc/clang and ccache without this script knowing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOB="${1:-}"
+BUILD_DIR="${2:-}"
+
+case "$JOB" in
+  build)
+    BUILD_DIR="${BUILD_DIR:-build}"
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$BUILD_DIR" -j"$(nproc)"
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+    ;;
+
+  robustness)
+    BUILD_DIR="${BUILD_DIR:-build-asan}"
+    cmake -B "$BUILD_DIR" -S . -DOTAC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$BUILD_DIR" --target test_robustness -j"$(nproc)"
+    ctest --test-dir "$BUILD_DIR" -L robustness --output-on-failure -j"$(nproc)"
+    echo "robustness suite clean under ASan+UBSan"
+    ;;
+
+  concurrency)
+    BUILD_DIR="${BUILD_DIR:-build-tsan}"
+    cmake -B "$BUILD_DIR" -S . -DOTAC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$BUILD_DIR" --target test_concurrency -j"$(nproc)"
+    ctest --test-dir "$BUILD_DIR" -L concurrency --output-on-failure -j"$(nproc)"
+    echo "concurrency suite clean under TSan"
+    ;;
+
+  bench-smoke)
+    BUILD_DIR="${BUILD_DIR:-build}"
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$BUILD_DIR" -j"$(nproc)" \
+      --target micro_cache_ops micro_classifier micro_obs_overhead
+    mkdir -p "$BUILD_DIR/bench-smoke"
+    (
+      cd "$BUILD_DIR/bench-smoke"
+      export OTAC_SCALE="${OTAC_SCALE:-0.02}"
+      ../bench/micro_cache_ops BENCH_cache_ops.json
+      ../bench/micro_classifier BENCH_classifier.json
+      ../bench/micro_obs_overhead BENCH_obs_overhead.json
+      # Malformed report JSON fails the job — the reports are the artifact.
+      for report in BENCH_*.json; do
+        python3 -m json.tool "$report" > /dev/null
+        echo "valid JSON: $report"
+      done
+    )
+    echo "bench smoke passed (OTAC_SCALE=${OTAC_SCALE:-0.02}); reports in $BUILD_DIR/bench-smoke"
+    ;;
+
+  format)
+    clang-format --version
+    git ls-files '*.h' '*.cpp' | xargs clang-format --dry-run --Werror
+    echo "formatting clean"
+    ;;
+
+  *)
+    echo "usage: scripts/ci.sh {build|robustness|concurrency|bench-smoke|format} [build-dir]" >&2
+    exit 2
+    ;;
+esac

@@ -52,6 +52,9 @@ CacheStats Simulator::run(CachePolicy& policy,
     if (measuring) {
       stats.requests += 1;
       stats.request_bytes += photo.size_bytes;
+      if constexpr (obs::kEnabled) {
+        if (latency_ != nullptr) latency_->record(hit);
+      }
     }
     if (hit) {
       if (measuring) {

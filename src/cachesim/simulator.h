@@ -7,6 +7,7 @@
 #include "cachesim/admission.h"
 #include "cachesim/cache_policy.h"
 #include "cachesim/cache_stats.h"
+#include "obs/metrics.h"
 #include "trace/next_access.h"
 #include "trace/trace.h"
 
@@ -27,6 +28,13 @@ class Simulator {
     on_new_day_ = std::move(callback);
   }
 
+  /// Feed each measured request's hit/miss outcome to a pre-resolved
+  /// latency recorder (obs layer). Null (default) records nothing; the
+  /// recorder must outlive run().
+  void set_latency_recorder(obs::LatencyRecorder* recorder) {
+    latency_ = recorder;
+  }
+
   /// Exclude the first `fraction` of requests from the returned statistics
   /// (cache state still evolves through them). Standard warm-cache
   /// measurement practice; 0 (default) measures the cold start like the
@@ -42,6 +50,7 @@ class Simulator {
   const Trace* trace_;
   const NextAccessInfo* oracle_ = nullptr;
   DayCallback on_new_day_;
+  obs::LatencyRecorder* latency_ = nullptr;
   double warmup_fraction_ = 0.0;
 };
 

@@ -1,11 +1,13 @@
 #include "core/checkpoint.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
+#include "core/run_metrics.h"
 #include "util/crc32.h"
 #include "util/failpoint.h"
 
@@ -271,6 +273,24 @@ ClassifierSnapshot CheckpointManager::decode(const std::string& bytes) {
 }
 
 void CheckpointManager::save(const ClassifierSnapshot& snapshot) {
+  const bool timed = save_seconds_ != nullptr;
+  const auto started = timed ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
+  try {
+    save_impl(snapshot);
+  } catch (...) {
+    if (save_failures_ != nullptr) ++*save_failures_;
+    throw;
+  }
+  if (saves_ != nullptr) ++*saves_;
+  if (timed) {
+    save_seconds_->add(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - started)
+                           .count());
+  }
+}
+
+void CheckpointManager::save_impl(const ClassifierSnapshot& snapshot) {
   std::filesystem::create_directories(dir_);
   std::string payload = encode(snapshot);
   if (OTAC_FAILPOINT_ACTIVE("checkpoint.write.bitflip")) {
@@ -321,6 +341,46 @@ void CheckpointManager::save(const ClassifierSnapshot& snapshot) {
 }
 
 CheckpointLoad CheckpointManager::load() const {
+  const bool timed = load_seconds_ != nullptr;
+  const auto started = timed ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
+  const CheckpointLoad result = load_impl();
+  switch (result.origin) {
+    case CheckpointOrigin::current:
+      if (loads_current_ != nullptr) ++*loads_current_;
+      break;
+    case CheckpointOrigin::previous:
+      if (loads_previous_ != nullptr) ++*loads_previous_;
+      break;
+    case CheckpointOrigin::none:
+      if (loads_cold_ != nullptr) ++*loads_cold_;
+      break;
+  }
+  if (rejected_files_ != nullptr) {
+    *rejected_files_ += static_cast<std::uint64_t>(result.rejected_files);
+  }
+  if (timed) {
+    load_seconds_->add(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - started)
+                           .count());
+  }
+  return result;
+}
+
+void CheckpointManager::bind_metrics(obs::MetricsRegistry& registry) {
+  saves_ = registry.counter("checkpoint.saves");
+  save_failures_ = registry.counter("checkpoint.save_failures");
+  loads_current_ = registry.counter("checkpoint.loads_current");
+  loads_previous_ = registry.counter("checkpoint.loads_previous");
+  loads_cold_ = registry.counter("checkpoint.loads_cold");
+  rejected_files_ = registry.counter("checkpoint.rejected_files");
+  save_seconds_ = registry.histogram("checkpoint.save_seconds",
+                                     duration_histogram_bounds_s());
+  load_seconds_ = registry.histogram("checkpoint.load_seconds",
+                                     duration_histogram_bounds_s());
+}
+
+CheckpointLoad CheckpointManager::load_impl() const {
   CheckpointLoad result;
   const std::pair<std::string, CheckpointOrigin> generations[] = {
       {current_path(), CheckpointOrigin::current},

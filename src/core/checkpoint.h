@@ -22,6 +22,7 @@
 
 #include "core/history_table.h"
 #include "core/trainer.h"
+#include "obs/metrics.h"
 
 namespace otac {
 
@@ -95,8 +96,28 @@ class CheckpointManager {
   /// harness iterates this list so new crash points cannot dodge coverage.
   [[nodiscard]] static const std::vector<std::string>& failpoint_names();
 
+  /// Bind durability telemetry: checkpoint.saves / save_failures,
+  /// load-outcome counters (current / previous-fallback / cold,
+  /// rejected_files), and wall-clock save/load duration histograms.
+  /// The registry must outlive this manager; unbound managers pay no
+  /// clock reads.
+  void bind_metrics(obs::MetricsRegistry& registry);
+
  private:
+  void save_impl(const ClassifierSnapshot& snapshot);
+  [[nodiscard]] CheckpointLoad load_impl() const;
+
   std::string dir_;
+
+  // Telemetry handles (null until bind_metrics).
+  obs::MetricsRegistry::Counter saves_ = nullptr;
+  obs::MetricsRegistry::Counter save_failures_ = nullptr;
+  obs::MetricsRegistry::Counter loads_current_ = nullptr;
+  obs::MetricsRegistry::Counter loads_previous_ = nullptr;
+  obs::MetricsRegistry::Counter loads_cold_ = nullptr;
+  obs::MetricsRegistry::Counter rejected_files_ = nullptr;
+  obs::FixedHistogram* save_seconds_ = nullptr;
+  obs::FixedHistogram* load_seconds_ = nullptr;
 };
 
 }  // namespace otac

@@ -1,6 +1,9 @@
 #include "core/classifier_system.h"
 
+#include <chrono>
 #include <stdexcept>
+
+#include "core/run_metrics.h"
 
 namespace otac {
 
@@ -55,20 +58,45 @@ void ClassifierSystem::observe(std::uint64_t index, const Request& request,
   if (due) {
     // Retrain failures and rejected models must not take down serving:
     // keep the last-good tree (or the admit-all fallback when none).
+    // Fit timing is observed only when metrics are bound (no clock reads
+    // otherwise) — wall-clock durations are the one non-deterministic
+    // metric family and are excluded from determinism pins.
+    const bool timed = fit_seconds_ != nullptr;
+    const auto started =
+        timed ? std::chrono::steady_clock::now()
+              : std::chrono::steady_clock::time_point{};
     try {
       if (auto tree = trainer_.train(index, request.time)) {
+        if (fits_ != nullptr) ++*fits_;
         if (validate_serving_model(*tree, deployed_arity())) {
           model_ = std::move(tree);
           ++trainings_;
+          if (models_published_ != nullptr) ++*models_published_;
         } else {
           ++core_.degradation.rejected_models;
         }
+      } else if (fit_skipped_ != nullptr) {
+        ++*fit_skipped_;
       }
     } catch (const std::exception&) {
       ++core_.degradation.retrain_failures;
     }
+    if (timed) {
+      fit_seconds_->add(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - started)
+                            .count());
+    }
     last_trained_time_ = request.time.seconds;
   }
+}
+
+void ClassifierSystem::bind_metrics(obs::MetricsRegistry& registry) {
+  core_.bind_metrics(registry);
+  fit_seconds_ =
+      registry.histogram(kFitHistogramName, duration_histogram_bounds_s());
+  fits_ = registry.counter("trainer.fits");
+  fit_skipped_ = registry.counter("trainer.fit_skipped");
+  models_published_ = registry.counter("trainer.models_published");
 }
 
 ClassifierSnapshot ClassifierSystem::snapshot() const {

@@ -29,6 +29,7 @@
 #include "core/trainer.h"
 #include "ml/decision_tree.h"
 #include "ml/metrics.h"
+#include "obs/metrics.h"
 
 namespace otac {
 
@@ -76,6 +77,11 @@ class ClassifierSystem final : public AdmissionPolicy {
     return core_.degradation;
   }
 
+  /// Bind serving-path counters (via ServingCore) plus retrain telemetry:
+  /// trainer.* fit outcome counters and the wall-clock fit-duration
+  /// histogram. The registry must outlive this system.
+  void bind_metrics(obs::MetricsRegistry& registry);
+
   /// Capture the full serving state for crash-safe persistence.
   [[nodiscard]] ClassifierSnapshot snapshot() const;
 
@@ -95,6 +101,12 @@ class ClassifierSystem final : public AdmissionPolicy {
   ServingCore core_;
   DailyTrainer trainer_;
   std::optional<ml::DecisionTree> model_;
+
+  // Retrain telemetry handles (null until bind_metrics).
+  obs::FixedHistogram* fit_seconds_ = nullptr;
+  obs::MetricsRegistry::Counter fits_ = nullptr;
+  obs::MetricsRegistry::Counter fit_skipped_ = nullptr;
+  obs::MetricsRegistry::Counter models_published_ = nullptr;
 
   std::int64_t last_trained_day_ = std::numeric_limits<std::int64_t>::min();
   std::int64_t last_trained_time_ = std::numeric_limits<std::int64_t>::min();

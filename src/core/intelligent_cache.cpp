@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "cachesim/simulator.h"
+#include "core/run_metrics.h"
 #include "trace/trace_stats.h"
 
 namespace otac {
@@ -62,6 +63,20 @@ RunResult IntelligentCache::run(const RunConfig& config) const {
   Simulator sim{*trace_};
   sim.set_oracle(oracle_);
 
+  // Observability: one registry for the whole (single-stream) run. The
+  // latency recorder resolves its two bucket indices up front, so the
+  // per-request cost in the simulator loop is a single bucket increment.
+  const LatencyModel latency{config.latency};
+  const bool classified_path = config.mode == AdmissionMode::proposal ||
+                               config.mode == AdmissionMode::ideal;
+  obs::MetricsRegistry registry;
+  obs::LatencyRecorder recorder{
+      registry.histogram(kLatencyHistogramName,
+                         LatencyModel::histogram_bounds_us()),
+      latency.request_latency_us(true, classified_path),
+      latency.request_latency_us(false, classified_path)};
+  sim.set_latency_recorder(&recorder);
+
   const bool needs_criteria = config.mode == AdmissionMode::proposal ||
                               config.mode == AdmissionMode::ideal;
   if (needs_criteria) {
@@ -104,22 +119,45 @@ RunResult IntelligentCache::run(const RunConfig& config) const {
       cs.p = result.criteria.p;
       cs.cost_v = result.cost_v;
       ClassifierSystem admission{*trace_, oracle_, cs};
+      admission.bind_metrics(registry);
       result.history_capacity = admission.history().capacity();
       result.stats = sim.run(*policy, admission);
       result.daily = admission.daily_metrics();
       result.trainings = admission.trainings();
       result.degradation = admission.degradation();
+      registry.set("trainer.trainings",
+                   static_cast<std::uint64_t>(result.trainings));
+      populate_history_metrics(registry, admission.history());
+      populate_degradation_metrics(registry, result.degradation);
       break;
     }
   }
 
-  const LatencyModel latency{config.latency};
   const double hit_rate = result.stats.file_hit_rate();
   result.mean_latency_us =
       config.mode == AdmissionMode::original ||
               config.mode == AdmissionMode::bypass
           ? latency.mean_access_time_original_us(hit_rate)
           : latency.mean_access_time_proposed_us(hit_rate);
+
+  // Final (end-of-run) snapshot: the unsharded path is one shard by
+  // definition, so per_shard mirrors merged and the timeline has a single
+  // end-of-trace sample (ShardedCache adds one per retrain barrier).
+  populate_cache_metrics(registry, result.stats);
+  result.obs.mode = admission_mode_name(config.mode);
+  result.obs.policy = policy_name(config.policy);
+  result.obs.shards = 1;
+  result.obs.threads = 1;
+  result.obs.merged = registry.snapshot();
+  result.obs.per_shard.push_back(result.obs.merged);
+  if (!trace_->requests.empty()) {
+    result.obs.timeline.push_back(
+        obs::BarrierSample{trace_->requests.size() - 1,
+                           trace_->requests.back().time.seconds,
+                           result.obs.merged});
+  }
+  result.obs.derived =
+      derived_run_metrics(result.stats, result.mean_latency_us);
   return result;
 }
 

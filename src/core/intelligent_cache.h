@@ -19,6 +19,7 @@
 #include "core/classifier_system.h"
 #include "core/config.h"
 #include "core/ota_criteria.h"
+#include "obs/report.h"
 #include "storage/latency_model.h"
 #include "trace/next_access.h"
 #include "trace/trace.h"
@@ -61,9 +62,24 @@ struct RunResult {
   DegradationCounters degradation;
   double mean_latency_us = 0.0;  // Eq. 3 with this run's hit rate
 
-  /// Field-for-field equality — the determinism and shards=1 equivalence
-  /// tests pin merged results bit-identical, not merely approximately.
-  friend bool operator==(const RunResult&, const RunResult&) = default;
+  /// Observability export: per-shard + merged metric snapshots, the
+  /// barrier-snapshot time-series, and derived figures (src/obs/report.h).
+  /// Deliberately EXCLUDED from operator== — it contains wall-clock fit
+  /// timings, so result identity stays a statement about simulation
+  /// behavior; the deterministic parts of the report are pinned by their
+  /// own golden test (tests/obs/report_golden_test.cpp).
+  obs::RunReport obs;
+
+  /// Field-for-field equality over every simulation output (everything but
+  /// `obs`) — the determinism and shards=1 equivalence tests pin merged
+  /// results bit-identical, not merely approximately.
+  friend bool operator==(const RunResult& a, const RunResult& b) {
+    return a.stats == b.stats && a.criteria == b.criteria &&
+           a.cost_v == b.cost_v && a.history_capacity == b.history_capacity &&
+           a.daily == b.daily && a.trainings == b.trainings &&
+           a.degradation == b.degradation &&
+           a.mean_latency_us == b.mean_latency_us;
+  }
 };
 
 class IntelligentCache {

@@ -26,9 +26,23 @@ ServingCore::ServingCore(const PhotoCatalog& catalog,
       config_(std::move(config)),
       oracle_(&oracle) {}
 
+void ServingCore::bind_metrics(obs::MetricsRegistry& registry) {
+  metrics_.no_model_admits = registry.counter("serving.no_model_admits");
+  metrics_.predict_one_time = registry.counter("serving.predict_one_time");
+  metrics_.predict_reuse = registry.counter("serving.predict_reuse");
+  metrics_.rectified = registry.counter("serving.rectified");
+  metrics_.history_recorded = registry.counter("serving.history_recorded");
+  metrics_bound_ = true;
+}
+
 bool ServingCore::admit(const ml::DecisionTree* model, std::uint64_t index,
                         const Request& request, const PhotoMeta& photo) {
-  if (model == nullptr) return config_.admit_before_first_model;
+  if (model == nullptr) {
+    if constexpr (obs::kEnabled) {
+      if (metrics_bound_) ++*metrics_.no_model_admits;
+    }
+    return config_.admit_before_first_model;
+  }
 
   extractor.extract(request, photo, scratch_);
   bool predicted_one_time;
@@ -68,13 +82,26 @@ bool ServingCore::admit(const ml::DecisionTree* model, std::uint64_t index,
     return true;
   }
 
+  if constexpr (obs::kEnabled) {
+    if (metrics_bound_) {
+      ++*(predicted_one_time ? metrics_.predict_one_time
+                             : metrics_.predict_reuse);
+    }
+  }
+
   bool final_one_time = predicted_one_time;
   if (predicted_one_time) {
     // A recently rejected photo returning within M was misclassified.
     if (history.rectify(request.photo, index, config_.m)) {
       final_one_time = false;
+      if constexpr (obs::kEnabled) {
+        if (metrics_bound_) ++*metrics_.rectified;
+      }
     } else {
       history.record(request.photo, index);
+      if constexpr (obs::kEnabled) {
+        if (metrics_bound_) ++*metrics_.history_recorded;
+      }
     }
   }
 

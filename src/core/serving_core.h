@@ -23,6 +23,7 @@
 #include "core/history_table.h"
 #include "ml/decision_tree.h"
 #include "ml/metrics.h"
+#include "obs/metrics.h"
 #include "trace/next_access.h"
 
 namespace otac {
@@ -101,6 +102,12 @@ class ServingCore {
   /// Advance the online feature state by one (time-ordered) request.
   void observe(const Request& request, const PhotoMeta& photo);
 
+  /// Resolve admission-decision counters against `registry` (serving.*
+  /// namespace). Handles are resolved once here; per-request cost is a
+  /// plain increment, compiled out entirely under OTAC_OBS_OFF. The
+  /// registry must outlive this core; rebinding replaces the handles.
+  void bind_metrics(obs::MetricsRegistry& registry);
+
   [[nodiscard]] const ServingConfig& config() const noexcept {
     return config_;
   }
@@ -116,6 +123,18 @@ class ServingCore {
  private:
   void record_metric(std::int64_t day, int actual, int raw_prediction,
                      int corrected_prediction);
+
+  // Pre-resolved obs handles; all null until bind_metrics(). One struct so
+  // the hot path tests a single pointer.
+  struct AdmitMetrics {
+    obs::MetricsRegistry::Counter no_model_admits = nullptr;
+    obs::MetricsRegistry::Counter predict_one_time = nullptr;
+    obs::MetricsRegistry::Counter predict_reuse = nullptr;
+    obs::MetricsRegistry::Counter rectified = nullptr;
+    obs::MetricsRegistry::Counter history_recorded = nullptr;
+  };
+  AdmitMetrics metrics_;
+  bool metrics_bound_ = false;
 
   ServingConfig config_;
   const NextAccessInfo* oracle_;

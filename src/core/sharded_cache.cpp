@@ -1,6 +1,7 @@
 #include "core/sharded_cache.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <map>
 #include <memory>
@@ -9,6 +10,7 @@
 
 #include "core/history_table.h"
 #include "core/model_slot.h"
+#include "core/run_metrics.h"
 #include "core/serving_core.h"
 #include "core/trainer.h"
 #include "storage/latency_model.h"
@@ -62,14 +64,42 @@ std::vector<std::uint64_t> retrain_trigger_indices(const Trace& trace,
 namespace {
 
 // Everything one shard touches on the request path. Shards interact only
-// through the shared model slot, so workers never contend on this state.
+// through the shared model slot, so workers never contend on this state —
+// including the metrics registry: each shard accumulates into its own and
+// the registries meet only at barriers (merged in shard order).
 struct ShardState {
   std::unique_ptr<CachePolicy> policy;
   std::unique_ptr<ServingCore> core;      // proposal only
   std::unique_ptr<DailyTrainer> sampler;  // proposal only: budget + buffer
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  obs::LatencyRecorder recorder;
   CacheStats stats;
   std::size_t pos = 0;  // cursor into this shard's request-index list
 };
+
+// Copy each shard's cumulative totals into its registry (idempotent
+// assignment) — called at every barrier and once at the end of the run.
+void populate_shard_registries(std::vector<ShardState>& states,
+                               bool is_proposal) {
+  for (ShardState& state : states) {
+    populate_cache_metrics(*state.registry, state.stats);
+    if (is_proposal) {
+      populate_history_metrics(*state.registry, state.core->history);
+      populate_degradation_metrics(*state.registry, state.core->degradation);
+    }
+  }
+}
+
+// Merged view at a deterministic point: trainer-side registry first, then
+// shard registries folded in shard order.
+obs::MetricsSnapshot merged_snapshot(const obs::MetricsRegistry& global,
+                                     const std::vector<ShardState>& states) {
+  obs::MetricsSnapshot merged = global.snapshot();
+  for (const ShardState& state : states) {
+    merged.merge(state.registry->snapshot());
+  }
+  return merged;
+}
 
 }  // namespace
 
@@ -144,14 +174,24 @@ RunResult ShardedCache::run(const RunConfig& config) const {
                       : config.ota.feature_subset.size();
   }
 
+  const LatencyModel latency{config.latency};
+  const bool classified_path =
+      is_proposal || config.mode == AdmissionMode::ideal;
   std::vector<ShardState> states(shards);
   for (std::size_t s = 0; s < shards; ++s) {
     ShardState& state = states[s];
     state.policy = make_policy(config.policy, shard_capacity,
                                config.lirs_lir_fraction);
+    state.registry = std::make_unique<obs::MetricsRegistry>();
+    state.recorder = obs::LatencyRecorder{
+        state.registry->histogram(kLatencyHistogramName,
+                                  LatencyModel::histogram_bounds_us()),
+        latency.request_latency_us(true, classified_path),
+        latency.request_latency_us(false, classified_path)};
     if (is_proposal) {
       state.core = std::make_unique<ServingCore>(trace.catalog, oracle,
                                                  serving, history_slice);
+      state.core->bind_metrics(*state.registry);
       state.sampler = std::make_unique<DailyTrainer>(
           oracle, sampler_ota, result.criteria.m, result.cost_v);
     }
@@ -166,10 +206,22 @@ RunResult ShardedCache::run(const RunConfig& config) const {
 
   // The one shared mutable object: workers load it once per epoch, the
   // trainer swaps it at barriers. DegradationCounters for the trainer side
-  // live outside the shards (merged into the result at the end).
+  // live outside the shards (merged into the result at the end), and so
+  // does the trainer's registry — barriers are the only writers, so it
+  // needs no synchronization either.
   ModelSlot model;
   DailyTrainer trainer{oracle, config.ota, result.criteria.m, result.cost_v};
   DegradationCounters trainer_degradation;
+  obs::MetricsRegistry global_registry;
+  obs::FixedHistogram* fit_seconds = global_registry.histogram(
+      kFitHistogramName, duration_histogram_bounds_s());
+  obs::MetricsRegistry::Counter fits = global_registry.counter("trainer.fits");
+  obs::MetricsRegistry::Counter fit_skipped =
+      global_registry.counter("trainer.fit_skipped");
+  obs::MetricsRegistry::Counter models_published =
+      global_registry.counter("trainer.models_published");
+  obs::MetricsRegistry::Counter samples_drained =
+      global_registry.counter("trainer.samples_drained");
   std::vector<std::uint64_t> triggers;
   if (is_proposal) triggers = retrain_trigger_indices(trace, config.ota);
 
@@ -204,6 +256,7 @@ RunResult ShardedCache::run(const RunConfig& config) const {
         const bool hit = state.policy->access(request.photo, photo.size_bytes);
         state.stats.requests += 1;
         state.stats.request_bytes += photo.size_bytes;
+        state.recorder.record(hit);
         if (hit) {
           state.stats.hits += 1;
           state.stats.hit_bytes += photo.size_bytes;
@@ -265,19 +318,39 @@ RunResult ShardedCache::run(const RunConfig& config) const {
                   return a.index < b.index;
                 });
       trainer.ingest(drained);
+      *samples_drained += drained.size();
+      const auto fit_started = std::chrono::steady_clock::now();
       try {
         if (auto tree = trainer.train(trigger, trace.requests[trigger].time)) {
+          ++*fits;
           if (validate_serving_model(*tree, model_arity)) {
             model.store(
                 std::make_shared<const ml::DecisionTree>(std::move(*tree)));
             ++result.trainings;
+            ++*models_published;
           } else {
             ++trainer_degradation.rejected_models;
           }
+        } else {
+          ++*fit_skipped;
         }
       } catch (const std::exception&) {
         ++trainer_degradation.retrain_failures;
       }
+      fit_seconds->add(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - fit_started)
+                           .count());
+
+      // Barrier snapshot: all shards are quiescent here (the parallel_for
+      // above is a full join), so this merged view is a pure function of
+      // trace position — the time-series the run report exports.
+      populate_shard_registries(states, is_proposal);
+      populate_degradation_metrics(global_registry, trainer_degradation);
+      global_registry.set("trainer.trainings",
+                          static_cast<std::uint64_t>(result.trainings));
+      result.obs.timeline.push_back(
+          obs::BarrierSample{trigger, trace.requests[trigger].time.seconds,
+                             merged_snapshot(global_registry, states)});
     }
     epoch_begin = epoch_end;
   }
@@ -308,13 +381,41 @@ RunResult ShardedCache::run(const RunConfig& config) const {
     }
   }
 
-  const LatencyModel latency{config.latency};
   const double hit_rate = result.stats.file_hit_rate();
   result.mean_latency_us =
       config.mode == AdmissionMode::original ||
               config.mode == AdmissionMode::bypass
           ? latency.mean_access_time_original_us(hit_rate)
           : latency.mean_access_time_proposed_us(hit_rate);
+
+  // Final report: end-of-run per-shard snapshots, the merged view, and an
+  // end-of-trace timeline sample when the last barrier wasn't already the
+  // final request (non-proposal modes have no barriers at all).
+  populate_shard_registries(states, is_proposal);
+  if (is_proposal) {
+    populate_degradation_metrics(global_registry, trainer_degradation);
+    global_registry.set("trainer.trainings",
+                        static_cast<std::uint64_t>(result.trainings));
+  }
+  result.obs.mode = admission_mode_name(config.mode);
+  result.obs.policy = policy_name(config.policy);
+  result.obs.shards = shards;
+  result.obs.threads = threads;
+  result.obs.per_shard.reserve(shards);
+  for (const ShardState& state : states) {
+    result.obs.per_shard.push_back(state.registry->snapshot());
+  }
+  result.obs.merged = merged_snapshot(global_registry, states);
+  if (!trace.requests.empty()) {
+    const std::uint64_t last = trace.requests.size() - 1;
+    if (result.obs.timeline.empty() ||
+        result.obs.timeline.back().request_index != last) {
+      result.obs.timeline.push_back(obs::BarrierSample{
+          last, trace.requests.back().time.seconds, result.obs.merged});
+    }
+  }
+  result.obs.derived =
+      derived_run_metrics(result.stats, result.mean_latency_us);
   return result;
 }
 

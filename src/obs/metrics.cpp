@@ -1,0 +1,154 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace otac::obs {
+
+std::uint64_t HistogramSnapshot::count() const noexcept {
+  return std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+}
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, nearest-rank then interpolate
+  // within the bucket the rank lands in).
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double next = cumulative + static_cast<double>(counts[b]);
+    if (next >= rank && counts[b] > 0) {
+      if (b >= upper_bounds.size()) {
+        // Overflow bucket: unbounded above; the last finite bound is the
+        // most honest answer the grid can give.
+        return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+      }
+      const double lo = b == 0 ? 0.0 : upper_bounds[b - 1];
+      const double hi = upper_bounds[b];
+      const double within =
+          (rank - cumulative) / static_cast<double>(counts[b]);
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (counts.empty() || count() == 0) {
+    // Merging into a default-constructed / empty slot adopts the grid.
+    if (upper_bounds.empty()) {
+      *this = other;
+      return;
+    }
+  }
+  if (upper_bounds != other.upper_bounds) {
+    throw std::invalid_argument(
+        "HistogramSnapshot::merge: mismatched bucket bounds");
+  }
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    counts[b] += other.counts[b];
+  }
+  sum += other.sum;
+}
+
+FixedHistogram::FixedHistogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1, 0) {
+  for (std::size_t b = 0; b < upper_bounds_.size(); ++b) {
+    if (!std::isfinite(upper_bounds_[b]) ||
+        (b > 0 && upper_bounds_[b] <= upper_bounds_[b - 1])) {
+      throw std::invalid_argument(
+          "FixedHistogram: bounds must be finite and strictly ascending");
+    }
+  }
+}
+
+std::size_t FixedHistogram::bucket_of(double value) const noexcept {
+  // First bucket whose upper bound contains `value` (bounds are inclusive
+  // upper edges, Prometheus `le` semantics); past the end = overflow.
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  return static_cast<std::size_t>(it - upper_bounds_.begin());
+}
+
+void FixedHistogram::merge(const HistogramSnapshot& other) {
+  if (upper_bounds_.empty() && count() == 0) {
+    upper_bounds_ = other.upper_bounds;
+    counts_ = other.counts;
+    sum_ += other.sum;
+    return;
+  }
+  if (upper_bounds_ != other.upper_bounds) {
+    throw std::invalid_argument(
+        "FixedHistogram::merge: mismatched bucket bounds");
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts[b];
+  }
+  sum_ += other.sum;
+}
+
+std::uint64_t FixedHistogram::count() const noexcept {
+  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    counters[name] += value;
+  }
+  for (const auto& [name, value] : other.gauges) {
+    gauges[name] += value;
+  }
+  for (const auto& [name, histogram] : other.histograms) {
+    histograms[name].merge(histogram);  // default slot adopts the grid
+  }
+}
+
+MetricsRegistry::Counter MetricsRegistry::counter(std::string_view name) {
+  // std::map nodes are stable under insertion, so the mapped value's
+  // address is a valid handle for the registry's lifetime.
+  return &counters_.try_emplace(std::string{name}, 0).first->second;
+}
+
+MetricsRegistry::Gauge MetricsRegistry::gauge(std::string_view name) {
+  return &gauges_.try_emplace(std::string{name}, 0.0).first->second;
+}
+
+FixedHistogram* MetricsRegistry::histogram(std::string_view name,
+                                           std::vector<double> upper_bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return &it->second;
+  return &histograms_
+              .emplace(std::string{name},
+                       FixedHistogram{std::move(upper_bounds)})
+              .first->second;
+}
+
+void MetricsRegistry::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    *counter(name) += value;
+  }
+  for (const auto& [name, value] : other.gauges) {
+    *gauge(name) += value;
+  }
+  for (const auto& [name, snap] : other.histograms) {
+    histogram(name, snap.upper_bounds)->merge(snap);
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.insert(counters_.begin(), counters_.end());
+  snap.gauges.insert(gauges_.begin(), gauges_.end());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace(name, histogram.snapshot());
+  }
+  return snap;
+}
+
+}  // namespace otac::obs

@@ -1,0 +1,278 @@
+#include "obs/report.h"
+
+#include <charconv>
+#include <cinttypes>
+#include <fstream>
+#include <sstream>
+
+namespace otac::obs {
+
+namespace {
+
+/// Shortest round-trip decimal form (std::to_chars): deterministic,
+/// locale-independent, and stable for golden tests.
+std::string format_double(double value) {
+  char buffer[64];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return ec == std::errc{} ? std::string(buffer, ptr) : std::string{"0"};
+}
+
+constexpr std::string_view kQuantileSuffixes[] = {"p50", "p90", "p99",
+                                                  "p999"};
+
+void append_histogram_json(std::ostringstream& out,
+                           const HistogramSnapshot& histogram,
+                           const std::string& indent) {
+  out << "{\n" << indent << "  \"upper_bounds\": [";
+  for (std::size_t b = 0; b < histogram.upper_bounds.size(); ++b) {
+    out << (b == 0 ? "" : ", ") << format_double(histogram.upper_bounds[b]);
+  }
+  out << "],\n" << indent << "  \"counts\": [";
+  for (std::size_t b = 0; b < histogram.counts.size(); ++b) {
+    out << (b == 0 ? "" : ", ") << histogram.counts[b];
+  }
+  out << "],\n"
+      << indent << "  \"count\": " << histogram.count() << ",\n"
+      << indent << "  \"sum\": " << format_double(histogram.sum);
+  const auto& qs = RunReport::quantiles();
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    out << ",\n"
+        << indent << "  \"" << kQuantileSuffixes[i]
+        << "\": " << format_double(histogram.quantile(qs[i]));
+  }
+  out << "\n" << indent << "}";
+}
+
+void append_snapshot_json(std::ostringstream& out,
+                          const MetricsSnapshot& snapshot,
+                          const std::string& indent) {
+  out << "{\n" << indent << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out << (first ? "\n" : ",\n")
+        << indent << "    \"" << json_escape(name) << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n" + indent + "  ") << "},\n"
+      << indent << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << (first ? "\n" : ",\n")
+        << indent << "    \"" << json_escape(name)
+        << "\": " << format_double(value);
+    first = false;
+  }
+  out << (first ? "" : "\n" + indent + "  ") << "},\n"
+      << indent << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    out << (first ? "\n" : ",\n")
+        << indent << "    \"" << json_escape(name) << "\": ";
+    append_histogram_json(out, histogram, indent + "    ");
+    first = false;
+  }
+  out << (first ? "" : "\n" + indent + "  ") << "}\n" << indent << "}";
+}
+
+/// Emit one Prometheus series line: name{shard="...",extra} value.
+void prom_line(std::ostringstream& out, const std::string& name,
+               const std::string& shard, const std::string& extra_labels,
+               const std::string& value) {
+  out << name << "{shard=\"" << shard << "\"" << extra_labels << "} " << value
+      << "\n";
+}
+
+void append_prometheus_family(
+    std::ostringstream& out, const std::string& base_name,
+    const std::string& type,
+    const std::vector<std::pair<std::string, const MetricsSnapshot*>>& views,
+    const std::string& metric) {
+  out << "# TYPE " << base_name << " " << type << "\n";
+  for (const auto& [shard, snapshot] : views) {
+    if (type == "counter") {
+      const auto it = snapshot->counters.find(metric);
+      if (it != snapshot->counters.end()) {
+        prom_line(out, base_name, shard, "", std::to_string(it->second));
+      }
+    } else if (type == "gauge") {
+      const auto it = snapshot->gauges.find(metric);
+      if (it != snapshot->gauges.end()) {
+        prom_line(out, base_name, shard, "", format_double(it->second));
+      }
+    } else {  // histogram: cumulative le buckets + _sum + _count
+      const auto it = snapshot->histograms.find(metric);
+      if (it == snapshot->histograms.end()) continue;
+      const HistogramSnapshot& histogram = it->second;
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < histogram.counts.size(); ++b) {
+        cumulative += histogram.counts[b];
+        const std::string le = b < histogram.upper_bounds.size()
+                                   ? format_double(histogram.upper_bounds[b])
+                                   : std::string{"+Inf"};
+        prom_line(out, base_name + "_bucket", shard, ",le=\"" + le + "\"",
+                  std::to_string(cumulative));
+      }
+      prom_line(out, base_name + "_sum", shard, "",
+                format_double(histogram.sum));
+      prom_line(out, base_name + "_count", shard, "",
+                std::to_string(histogram.count()));
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<double>& RunReport::quantiles() {
+  static const std::vector<double> kQuantiles{0.50, 0.90, 0.99, 0.999};
+  return kQuantiles;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "otac_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string RunReport::to_json() const {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"source\": \"" << json_escape(source) << "\",\n"
+      << "  \"mode\": \"" << json_escape(mode) << "\",\n"
+      << "  \"policy\": \"" << json_escape(policy) << "\",\n"
+      << "  \"shards\": " << shards << ",\n"
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"derived\": {";
+  bool first = true;
+  for (const auto& [name, value] : derived) {
+    out << (first ? "\n" : ",\n")
+        << "    \"" << json_escape(name) << "\": " << format_double(value);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"merged\": ";
+  append_snapshot_json(out, merged, "  ");
+  out << ",\n  \"per_shard\": [";
+  for (std::size_t s = 0; s < per_shard.size(); ++s) {
+    out << (s == 0 ? "\n    " : ",\n    ");
+    append_snapshot_json(out, per_shard[s], "    ");
+  }
+  out << (per_shard.empty() ? "" : "\n  ") << "],\n  \"timeline\": [";
+  for (std::size_t t = 0; t < timeline.size(); ++t) {
+    const BarrierSample& sample = timeline[t];
+    out << (t == 0 ? "\n" : ",\n")
+        << "    {\n      \"request_index\": " << sample.request_index
+        << ",\n      \"sim_seconds\": " << sample.sim_seconds
+        << ",\n      \"metrics\": ";
+    append_snapshot_json(out, sample.merged, "      ");
+    out << "\n    }";
+  }
+  out << (timeline.empty() ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+std::string RunReport::to_prometheus() const {
+  std::ostringstream out;
+  out << "# otacache run report: source=" << source << " mode=" << mode
+      << " policy=" << policy << " shards=" << shards
+      << " threads=" << threads << "\n";
+
+  std::vector<std::pair<std::string, const MetricsSnapshot*>> views;
+  views.emplace_back("all", &merged);
+  for (std::size_t s = 0; s < per_shard.size(); ++s) {
+    views.emplace_back(std::to_string(s), &per_shard[s]);
+  }
+
+  // The merged snapshot names every metric any shard has (merge adopts
+  // missing names), so iterating it covers the whole keyspace.
+  for (const auto& [name, value] : merged.counters) {
+    append_prometheus_family(out, prometheus_name(name), "counter", views,
+                             name);
+  }
+  for (const auto& [name, value] : merged.gauges) {
+    append_prometheus_family(out, prometheus_name(name), "gauge", views,
+                             name);
+  }
+  for (const auto& [name, histogram] : merged.histograms) {
+    const std::string base = prometheus_name(name);
+    append_prometheus_family(out, base, "histogram", views, name);
+    const auto& qs = quantiles();
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      const std::string gauge_name =
+          base + "_" + std::string{kQuantileSuffixes[i]};
+      out << "# TYPE " << gauge_name << " gauge\n";
+      for (const auto& [shard, snapshot] : views) {
+        const auto it = snapshot->histograms.find(name);
+        if (it == snapshot->histograms.end()) continue;
+        prom_line(out, gauge_name, shard, "",
+                  format_double(it->second.quantile(qs[i])));
+      }
+    }
+  }
+  for (const auto& [name, value] : derived) {
+    const std::string base = prometheus_name("derived." + name);
+    out << "# TYPE " << base << " gauge\n";
+    prom_line(out, base, "all", "", format_double(value));
+  }
+  return out.str();
+}
+
+std::string prometheus_path_of(const std::string& json_path) {
+  const std::size_t dot = json_path.find_last_of('.');
+  const std::size_t slash = json_path.find_last_of('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return json_path + ".prom";
+  }
+  return json_path.substr(0, dot) + ".prom";
+}
+
+std::string write_report_files(const RunReport& report,
+                               const std::string& json_path) {
+  std::ofstream json_out(json_path);
+  if (!json_out) return json_path;
+  json_out << report.to_json();
+  const std::string prom_path = prometheus_path_of(json_path);
+  std::ofstream prom_out(prom_path);
+  if (!prom_out) return prom_path;
+  prom_out << report.to_prometheus();
+  return {};
+}
+
+}  // namespace otac::obs

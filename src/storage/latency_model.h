@@ -12,6 +12,8 @@
 // paper (performed in the background).
 #pragma once
 
+#include <vector>
+
 namespace otac {
 
 struct LatencyConfig {
@@ -48,6 +50,25 @@ class LatencyModel {
       double hit_rate) const noexcept {
     return hit_rate * hit_cost_us() +
            (1.0 - hit_rate) * miss_penalty_proposed_us();
+  }
+
+  /// Latency of one simulated request — the two-point distribution behind
+  /// Eq. 3, resolved per request so the observability layer can feed real
+  /// percentiles (p50/p90/p99/p999) instead of only the blended mean.
+  [[nodiscard]] constexpr double request_latency_us(
+      bool hit, bool proposed) const noexcept {
+    if (hit) return hit_cost_us();
+    return proposed ? miss_penalty_proposed_us()
+                    : miss_penalty_original_us();
+  }
+
+  /// Bucket grid (microseconds) for per-request latency histograms: a
+  /// 1-2-5 decade ladder spanning sub-query costs to several HDD seeks, so
+  /// the default constants (101 us hit, ~3 ms miss) land mid-grid for any
+  /// plausible knob setting.
+  [[nodiscard]] static std::vector<double> histogram_bounds_us() {
+    return {1,    2,    5,    10,    20,    50,    100,   200,
+            500,  1000, 2000, 5000,  10000, 20000, 50000, 100000};
   }
 
   [[nodiscard]] const LatencyConfig& config() const noexcept { return config_; }
