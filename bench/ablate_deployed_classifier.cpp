@@ -75,7 +75,9 @@ class PluggableAdmission final : public AdmissionPolicy {
 
   [[nodiscard]] std::string name() const override { return "pluggable"; }
   [[nodiscard]] double mean_classify_ns() const {
-    return classifications_ ? classify_ns_ / classifications_ : 0.0;
+    return classifications_
+               ? classify_ns_ / static_cast<double>(classifications_)
+               : 0.0;
   }
   [[nodiscard]] double total_fit_seconds() const { return fit_seconds_; }
 

@@ -4,6 +4,7 @@
 
 function(otac_add_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_compile_options(${name} PRIVATE ${OTAC_HARDENED_WARNINGS})
   target_link_libraries(${name} PRIVATE otac_experiments)
   target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR})
   set_target_properties(${name} PROPERTIES

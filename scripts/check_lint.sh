@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Run the three-layer static-analysis gate: otac-lint project invariants
+# (tools/otac_lint), the hardened-warning build (OTAC_WERROR=ON over
+# -Wshadow -Wconversion -Wdouble-promotion -Wnon-virtual-dtor
+# -Wimplicit-fallthrough), and curated clang-tidy (.clang-tidy) on the
+# compile database.
+#
+# Thin wrapper: the commands live in scripts/ci.sh (the `lint` job),
+# shared byte for byte with .github/workflows/ci.yml.
+#
+# Usage: scripts/check_lint.sh [build-dir]   (default: build-lint)
+set -euo pipefail
+
+exec "$(dirname "$0")/ci.sh" lint "${1:-}"

@@ -13,6 +13,9 @@
 #                (sharded stress + determinism)
 #   bench-smoke  reduced-iteration micro-bench pass (OTAC_SCALE, default
 #                0.02) that emits and validates the BENCH_*.json reports
+#   lint         three-layer static-analysis gate: otac-lint invariants,
+#                hardened-warning build (OTAC_WERROR=ON), curated
+#                clang-tidy over the compile database
 #   format       clang-format drift check over the tracked C++ sources
 #
 # Compiler/launcher selection flows through the standard environment
@@ -70,6 +73,37 @@ case "$JOB" in
     echo "bench smoke passed (OTAC_SCALE=${OTAC_SCALE:-0.02}); reports in $BUILD_DIR/bench-smoke"
     ;;
 
+  lint)
+    BUILD_DIR="${BUILD_DIR:-build-lint}"
+    # Layer 1: otac-lint — project determinism/invariant rules
+    # (tools/otac_lint; rule table via --list-rules, docs in DESIGN.md §11).
+    python3 tools/otac_lint/otac_lint.py
+    echo "otac-lint clean"
+    # Layer 2: hardened-warning build — OTAC_WERROR=ON promotes the
+    # OTAC_HARDENED_WARNINGS set (-Wshadow -Wconversion -Wdouble-promotion
+    # -Wnon-virtual-dtor -Wimplicit-fallthrough) to errors across src/,
+    # bench/, and examples/. Also exports the compile database layer 3
+    # consumes.
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DOTAC_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+    cmake --build "$BUILD_DIR" -j"$(nproc)"
+    echo "hardened-warning build clean (-Werror)"
+    # Layer 3: curated clang-tidy (.clang-tidy) over the compile database,
+    # restricted to the product tree. Skipped with a notice when the tool
+    # is not installed (the CI lint job installs it; local boxes may be
+    # gcc-only).
+    if command -v clang-tidy >/dev/null 2>&1 && \
+       command -v run-clang-tidy >/dev/null 2>&1; then
+      clang-tidy --version
+      run-clang-tidy -p "$BUILD_DIR" -quiet "/(src|bench|examples)/"
+      echo "clang-tidy clean"
+    else
+      echo "clang-tidy/run-clang-tidy not found; skipping layer 3" \
+           "(installed in CI)"
+    fi
+    echo "lint gate passed"
+    ;;
+
   format)
     clang-format --version
     git ls-files '*.h' '*.cpp' | xargs clang-format --dry-run --Werror
@@ -77,7 +111,7 @@ case "$JOB" in
     ;;
 
   *)
-    echo "usage: scripts/ci.sh {build|robustness|concurrency|bench-smoke|format} [build-dir]" >&2
+    echo "usage: scripts/ci.sh {build|robustness|concurrency|bench-smoke|lint|format} [build-dir]" >&2
     exit 2
     ;;
 esac

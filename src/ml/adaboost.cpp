@@ -24,10 +24,12 @@ void AdaBoost::fit(const Dataset& data) {
   double total = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     weights[i] = data.weight(i);
-    total += weights[i];
+    total += static_cast<double>(weights[i]);
   }
   const double scale_to_n = static_cast<double>(n) / total;
-  for (auto& w : weights) w = static_cast<float>(w * scale_to_n);
+  for (auto& w : weights) {
+    w = static_cast<float>(static_cast<double>(w) * scale_to_n);
+  }
 
   Dataset working = data;  // weights mutate per round
 
@@ -43,8 +45,10 @@ void AdaBoost::fit(const Dataset& data) {
     std::vector<int> predictions(n);
     for (std::size_t i = 0; i < n; ++i) {
       predictions[i] = learner.predict(data.row(i));
-      weight_total += weights[i];
-      if (predictions[i] != data.label(i)) error += weights[i];
+      weight_total += static_cast<double>(weights[i]);
+      if (predictions[i] != data.label(i)) {
+        error += static_cast<double>(weights[i]);
+      }
     }
     error = std::clamp(error / weight_total, 1e-10, 1.0 - 1e-10);
     if (error >= 0.5) {
@@ -60,11 +64,14 @@ void AdaBoost::fit(const Dataset& data) {
     double new_total = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       const double sign = predictions[i] == data.label(i) ? -1.0 : 1.0;
-      weights[i] = static_cast<float>(weights[i] * std::exp(sign * alpha));
-      new_total += weights[i];
+      weights[i] = static_cast<float>(static_cast<double>(weights[i]) *
+                                      std::exp(sign * alpha));
+      new_total += static_cast<double>(weights[i]);
     }
     const double renorm = static_cast<double>(n) / new_total;
-    for (auto& w : weights) w = static_cast<float>(w * renorm);
+    for (auto& w : weights) {
+      w = static_cast<float>(static_cast<double>(w) * renorm);
+    }
   }
 }
 

@@ -32,7 +32,7 @@ void Dataset::add_row(std::span<const float> features, int label,
 double Dataset::positive_weight() const noexcept {
   double total = 0.0;
   for (std::size_t i = 0; i < labels_.size(); ++i) {
-    if (labels_[i] == 1) total += weights_[i];
+    if (labels_[i] == 1) total += static_cast<double>(weights_[i]);
   }
   return total;
 }
@@ -88,7 +88,9 @@ void Dataset::apply_cost_matrix(double false_positive_cost) {
   }
   for (std::size_t i = 0; i < num_rows(); ++i) {
     if (labels_[i] == 0) {
-      weights_[i] = static_cast<float>(weights_[i] * false_positive_cost);
+      weights_[i] =
+          static_cast<float>(static_cast<double>(weights_[i]) *
+                             false_positive_cost);
     }
   }
 }

@@ -149,8 +149,8 @@ DecisionTree::SplitChoice DecisionTree::find_best_split(
   {
     const PresortIndex::Entry* seg = index.segment(0, begin);
     for (std::size_t k = 0; k < count; ++k) {
-      node_total += seg[k].weight;
-      node_positive += seg[k].positive;
+      node_total += static_cast<double>(seg[k].weight);
+      node_positive += static_cast<double>(seg[k].positive);
     }
   }
   const double node_impurity = gini(node_positive, node_total);
@@ -162,8 +162,8 @@ DecisionTree::SplitChoice DecisionTree::find_best_split(
     double left_total = 0.0;
     double left_positive = 0.0;
     for (std::size_t k = 0; k + 1 < count; ++k) {
-      left_total += seg[k].weight;
-      left_positive += seg[k].positive;
+      left_total += static_cast<double>(seg[k].weight);
+      left_positive += static_cast<double>(seg[k].positive);
       const float value = seg[k].value;
       const float next_value = seg[k + 1].value;
       if (value == next_value) continue;  // no cut inside an equal-value run
@@ -227,14 +227,14 @@ void DecisionTree::fit(const Dataset& data) {
     if (d > 0) {
       const PresortIndex::Entry* seg = index.segment(0, begin);
       for (std::size_t k = 0; k < count; ++k) {
-        total += seg[k].weight;
-        positive += seg[k].positive;
+        total += static_cast<double>(seg[k].weight);
+        positive += static_cast<double>(seg[k].positive);
       }
     } else {
       for (std::size_t k = 0; k < count; ++k) {
         const std::size_t r = begin + k;
-        total += data.weight(r);
-        if (data.label(r) == 1) positive += data.weight(r);
+        total += static_cast<double>(data.weight(r));
+        if (data.label(r) == 1) positive += static_cast<double>(data.weight(r));
       }
     }
     return total > 0.0 ? static_cast<float>(positive / total) : 0.0F;

@@ -50,8 +50,10 @@ double information_gain(const Dataset& data, std::size_t feature,
             data.value(order[j], feature) ==
                 data.value(order[j - 1], feature))) {
       const std::size_t r = order[j];
-      bin_weight += data.weight(r);
-      if (data.label(r) == 1) bin_positive += data.weight(r);
+      bin_weight += static_cast<double>(data.weight(r));
+      if (data.label(r) == 1) {
+        bin_positive += static_cast<double>(data.weight(r));
+      }
       ++j;
     }
     children +=

@@ -33,10 +33,14 @@ void LogisticRegression::fit(const Dataset& data) {
     for (std::size_t i = 0; i < n; ++i) {
       const auto row = scaled.row(i);
       double margin = intercept_;
-      for (std::size_t f = 0; f < d; ++f) margin += coef_[f] * row[f];
-      const double error =
-          (stable_sigmoid(margin) - scaled.label(i)) * scaled.weight(i);
-      for (std::size_t f = 0; f < d; ++f) gradient[f] += error * row[f];
+      for (std::size_t f = 0; f < d; ++f) {
+        margin += coef_[f] * static_cast<double>(row[f]);
+      }
+      const double error = (stable_sigmoid(margin) - scaled.label(i)) *
+                           static_cast<double>(scaled.weight(i));
+      for (std::size_t f = 0; f < d; ++f) {
+        gradient[f] += error * static_cast<double>(row[f]);
+      }
       gradient_intercept += error;
     }
     const double step = config_.learning_rate;
@@ -55,7 +59,7 @@ double LogisticRegression::predict_proba(
   scaler_.transform(features, scaled);
   double margin = intercept_;
   for (std::size_t f = 0; f < scaled.size(); ++f) {
-    margin += coef_[f] * scaled[f];
+    margin += coef_[f] * static_cast<double>(scaled[f]);
   }
   return stable_sigmoid(margin);
 }

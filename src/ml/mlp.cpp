@@ -33,7 +33,9 @@ double MlpClassifier::forward(std::span<const float> scaled,
   for (std::size_t j = 0; j < h; ++j) {
     const double* row = w1_.data() + j * (dims_ + 1);
     double acc = row[dims_];  // bias
-    for (std::size_t f = 0; f < dims_; ++f) acc += row[f] * scaled[f];
+    for (std::size_t f = 0; f < dims_; ++f) {
+      acc += row[f] * static_cast<double>(scaled[f]);
+    }
     hidden[j] = stable_sigmoid(acc);
   }
   double out = w2_[h];  // bias
@@ -79,8 +81,9 @@ void MlpClassifier::fit(const Dataset& data) {
         const auto row = scaled.row(i);
         const double out = forward(row, hidden);
         // Cross-entropy gradient at the output with instance weight.
-        const double delta_out =
-            (out - scaled.label(i)) * scaled.weight(i) / mean_weight;
+        const double delta_out = (out - scaled.label(i)) *
+                                 static_cast<double>(scaled.weight(i)) /
+                                 mean_weight;
         for (std::size_t j = 0; j < h; ++j) g2[j] += delta_out * hidden[j];
         g2[h] += delta_out;
         for (std::size_t j = 0; j < h; ++j) {
@@ -88,7 +91,7 @@ void MlpClassifier::fit(const Dataset& data) {
               delta_out * w2_[j] * hidden[j] * (1.0 - hidden[j]);
           double* grad_row = g1.data() + j * (dims_ + 1);
           for (std::size_t f = 0; f < dims_; ++f) {
-            grad_row[f] += delta_hidden * row[f];
+            grad_row[f] += delta_hidden * static_cast<double>(row[f]);
           }
           grad_row[dims_] += delta_hidden;
         }

@@ -20,7 +20,9 @@ void GaussianNaiveBayes::fit(const Dataset& data) {
     const double w = data.weight(i);
     class_weight[c] += w;
     const auto row = data.row(i);
-    for (std::size_t f = 0; f < d; ++f) mean_[c][f] += w * row[f];
+    for (std::size_t f = 0; f < d; ++f) {
+      mean_[c][f] += w * static_cast<double>(row[f]);
+    }
   }
   for (int c = 0; c < 2; ++c) {
     if (class_weight[c] <= 0.0) {
@@ -35,7 +37,7 @@ void GaussianNaiveBayes::fit(const Dataset& data) {
     const double w = data.weight(i);
     const auto row = data.row(i);
     for (std::size_t f = 0; f < d; ++f) {
-      const double delta = row[f] - mean_[c][f];
+      const double delta = static_cast<double>(row[f]) - mean_[c][f];
       variance_[c][f] += w * delta * delta;
     }
   }
@@ -67,7 +69,7 @@ double GaussianNaiveBayes::predict_proba(
   double log_likelihood[2] = {log_prior_[0], log_prior_[1]};
   for (int c = 0; c < 2; ++c) {
     for (std::size_t f = 0; f < features.size(); ++f) {
-      const double delta = features[f] - mean_[c][f];
+      const double delta = static_cast<double>(features[f]) - mean_[c][f];
       log_likelihood[c] -=
           0.5 * (std::log(2.0 * std::numbers::pi * variance_[c][f]) +
                  delta * delta / variance_[c][f]);

@@ -15,14 +15,16 @@ void StandardScaler::fit(const Dataset& data) {
     const double w = data.weight(i);
     total_weight += w;
     const auto row = data.row(i);
-    for (std::size_t f = 0; f < d; ++f) mean_[f] += w * row[f];
+    for (std::size_t f = 0; f < d; ++f) {
+      mean_[f] += w * static_cast<double>(row[f]);
+    }
   }
   for (std::size_t f = 0; f < d; ++f) mean_[f] /= total_weight;
   for (std::size_t i = 0; i < data.num_rows(); ++i) {
     const double w = data.weight(i);
     const auto row = data.row(i);
     for (std::size_t f = 0; f < d; ++f) {
-      const double delta = row[f] - mean_[f];
+      const double delta = static_cast<double>(row[f]) - mean_[f];
       stddev_[f] += w * delta * delta;
     }
   }
@@ -39,7 +41,8 @@ void StandardScaler::transform(std::span<const float> row,
   }
   out.resize(row.size());
   for (std::size_t f = 0; f < row.size(); ++f) {
-    out[f] = static_cast<float>((row[f] - mean_[f]) / stddev_[f]);
+    out[f] = static_cast<float>((static_cast<double>(row[f]) - mean_[f]) /
+                                stddev_[f]);
   }
 }
 

@@ -72,7 +72,8 @@ PopularityAssignment PopularityModel::assign(
         config.type_popularity[static_cast<std::size_t>(type_slot)];
     const double hour_term = upload_hour_boost(hour_of_day(photo.upload_time));
     const double mass = std::max(window_mass[i], 1e-9);
-    const double raw = config.weight_owner_quality * owner.quality +
+    const double raw = config.weight_owner_quality *
+                           static_cast<double>(owner.quality) +
                        config.weight_type * type_term +
                        config.weight_upload_hour * hour_term +
                        config.weight_noise * rng.normal() +
@@ -83,13 +84,13 @@ PopularityAssignment PopularityModel::assign(
   mean /= static_cast<double>(n);
   double variance = 0.0;
   for (const float s : result.score) {
-    const double d = s - mean;
+    const double d = static_cast<double>(s) - mean;
     variance += d * d;
   }
   const double stddev = std::sqrt(variance / static_cast<double>(n));
   const double inv_std = stddev > 0.0 ? 1.0 / stddev : 1.0;
   for (float& s : result.score) {
-    s = static_cast<float>((s - mean) * inv_std);
+    s = static_cast<float>((static_cast<double>(s) - mean) * inv_std);
   }
 
   // --- One-time threshold ----------------------------------------------------
@@ -99,7 +100,7 @@ PopularityAssignment PopularityModel::assign(
   const auto expected_one_time = [&](double theta) {
     double acc = 0.0;
     for (const float z : result.score) {
-      acc += 1.0 - sigmoid((z - theta) / tau);
+      acc += 1.0 - sigmoid((static_cast<double>(z) - theta) / tau);
     }
     return acc / static_cast<double>(n);
   };
@@ -113,7 +114,8 @@ PopularityAssignment PopularityModel::assign(
   multi.reserve(n / 2);
   for (std::size_t i = 0; i < n; ++i) {
     const double p_one =
-        1.0 - sigmoid((result.score[i] - result.theta) / tau);
+        1.0 -
+        sigmoid((static_cast<double>(result.score[i]) - result.theta) / tau);
     if (!rng.bernoulli(p_one)) multi.push_back(i);
   }
 

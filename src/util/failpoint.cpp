@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/failpoint_names.h"
 #include "util/rng.h"
 
 namespace otac::fail {
@@ -12,6 +13,12 @@ Registry& Registry::instance() {
 }
 
 void Registry::enable(const std::string& name, Spec spec) {
+  // A typo'd name would otherwise register fine and simply never fire —
+  // the scripted fault silently tests nothing. Unknown names fail loudly.
+  if (!is_known_failpoint(name)) {
+    throw std::invalid_argument("failpoint not in util/failpoint_names.h: " +
+                                name);
+  }
   const std::lock_guard lock(mutex_);
   State& state = states_[name];
   state.spec = spec;

@@ -1,0 +1,44 @@
+// Central registry of every production failpoint name. A failpoint site
+// (OTAC_FAILPOINT_ACTIVE / OTAC_FAILPOINT_THROW) may only use a name
+// listed here: `tools/otac_lint` (rule `failpoint-registry`) checks every
+// string literal at a site against this table, and Registry::enable
+// rejects unknown names at runtime so a typo in a test script fails loudly
+// instead of silently never firing.
+//
+// Names under the reserved "test." prefix are exempt — unit tests of the
+// registry itself exercise trigger mechanics with synthetic names.
+//
+// To add a failpoint: add the name here (keep the list sorted), then use
+// it at the site. Nothing else to update — the linter and the runtime
+// check both read this table.
+#pragma once
+
+#include <string_view>
+
+namespace otac::fail {
+
+inline constexpr std::string_view kKnownFailpoints[] = {
+    "checkpoint.load.io",
+    "checkpoint.rename.fail",
+    "checkpoint.rotate.fail",
+    "checkpoint.write.bitflip",
+    "checkpoint.write.crash",
+    "checkpoint.write.open_fail",
+    "checkpoint.write.torn",
+    "trainer.train.fail",
+};
+
+/// Reserved prefix for synthetic names used by registry unit tests.
+inline constexpr std::string_view kTestFailpointPrefix = "test.";
+
+[[nodiscard]] constexpr bool is_known_failpoint(std::string_view name) {
+  if (name.substr(0, kTestFailpointPrefix.size()) == kTestFailpointPrefix) {
+    return true;
+  }
+  for (const std::string_view known : kKnownFailpoints) {
+    if (name == known) return true;
+  }
+  return false;
+}
+
+}  // namespace otac::fail

@@ -205,7 +205,9 @@ TEST(Lirs, InvariantsUnderRandomChurn) {
   for (int i = 0; i < 30000; ++i) {
     const auto id = static_cast<PhotoId>(zipf.sample(rng));
     touch(cache, id, static_cast<std::uint32_t>(rng.uniform_int(5, 300)));
-    if (i % 1000 == 0) ASSERT_TRUE(cache.check_invariants()) << "step " << i;
+    if (i % 1000 == 0) {
+      ASSERT_TRUE(cache.check_invariants()) << "step " << i;
+    }
   }
   EXPECT_TRUE(cache.check_invariants());
 }

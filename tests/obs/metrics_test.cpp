@@ -144,7 +144,6 @@ TEST(MetricsSnapshot, MergeSumsAndAdoptsMissingNames) {
   *a.counter("shared") = 2;
   *b.counter("shared") = 3;
   *b.counter("only_b") = 7;
-  a.gauge("bytes");
   *a.gauge("bytes") = 10.0;
   *b.gauge("bytes") = 2.5;
   MetricsSnapshot merged = a.snapshot();

@@ -1,0 +1,112 @@
+// Regression pin for the serialization-order invariant the static-analysis
+// gate (DESIGN.md §11, otac-lint rule `unordered-serialization`) exists to
+// protect: every name-keyed section of a RunReport must serialize in
+// sorted key order, independent of the order metrics were registered.
+// Registration order is scheduling/insertion history — if it ever leaked
+// into the report bytes, report goldens and cross-shard diffs would churn.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace otac::obs {
+namespace {
+
+/// Object keys of one brace-delimited JSON section, in document order.
+std::vector<std::string> section_keys(const std::string& json,
+                                      const std::string& section) {
+  const std::size_t start = json.find("\"" + section + "\": {");
+  EXPECT_NE(start, std::string::npos) << "missing section " << section;
+  std::size_t depth = 0;
+  std::size_t i = json.find('{', start);
+  const std::size_t open = i;
+  for (; i < json.size(); ++i) {
+    if (json[i] == '{') ++depth;
+    if (json[i] == '}' && --depth == 0) break;
+  }
+  const std::string body = json.substr(open, i - open);
+  std::vector<std::string> keys;
+  // Keys sit one brace deep; nested histogram objects are skipped.
+  depth = 0;
+  const std::regex key_re(R"re("([^"]+)":)re");
+  std::size_t pos = 0;
+  for (std::size_t j = 0; j < body.size(); ++j) {
+    if (body[j] == '{') ++depth;
+    if (body[j] == '}') --depth;
+    if (depth == 1 && body[j] == '"') {
+      std::smatch m;
+      const std::string rest = body.substr(j);
+      if (std::regex_search(rest.begin(), rest.end(), m, key_re) &&
+          m.position(0) == 0) {
+        keys.push_back(m[1]);
+        j += static_cast<std::size_t>(m.length(0)) - 1;
+      }
+    }
+    (void)pos;
+  }
+  return keys;
+}
+
+TEST(ReportKeyOrder, AdversarialRegistrationOrderSerializesSorted) {
+  MetricsRegistry registry;
+  // Deliberately register in reverse-sorted and interleaved order.
+  *registry.counter("zeta.last") = 1;
+  *registry.counter("cache.hits") = 2;
+  *registry.counter("mid.way") = 3;
+  *registry.counter("alpha.first") = 4;
+  registry.set_gauge("z.gauge", 1.0);
+  registry.set_gauge("a.gauge", 2.0);
+  (void)registry.histogram("z.hist", {1.0, 2.0});
+  (void)registry.histogram("a.hist", {1.0, 2.0});
+
+  RunReport report;
+  report.source = "key_order_test";
+  report.merged = registry.snapshot();
+  report.derived = {{"z_rate", 0.5}, {"a_rate", 0.25}};
+  const std::string json = report.to_json();
+
+  for (const std::string section : {"counters", "gauges", "histograms",
+                                    "derived"}) {
+    const std::vector<std::string> keys = section_keys(json, section);
+    EXPECT_FALSE(keys.empty()) << section;
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()))
+        << "section '" << section << "' not in sorted key order in:\n"
+        << json;
+  }
+
+  // The exact counter order, pinned: registration order must not show.
+  EXPECT_EQ(section_keys(json, "counters"),
+            (std::vector<std::string>{"alpha.first", "cache.hits", "mid.way",
+                                      "zeta.last"}));
+}
+
+TEST(ReportKeyOrder, PrometheusFamiliesFollowSortedMergedKeys) {
+  MetricsRegistry registry;
+  *registry.counter("b.second") = 1;
+  *registry.counter("a.first") = 2;
+  registry.set_gauge("d.gauge", 1.0);
+  registry.set_gauge("c.gauge", 2.0);
+
+  RunReport report;
+  report.merged = registry.snapshot();
+  const std::string prom = report.to_prometheus();
+
+  const std::vector<std::string> expected_order{
+      "otac_a_first", "otac_b_second", "otac_c_gauge", "otac_d_gauge"};
+  std::size_t last = 0;
+  for (const std::string& name : expected_order) {
+    const std::size_t at = prom.find("# TYPE " + name + " ");
+    ASSERT_NE(at, std::string::npos) << name << " missing in:\n" << prom;
+    EXPECT_GE(at, last) << "family " << name << " out of order in:\n"
+                        << prom;
+    last = at;
+  }
+}
+
+}  // namespace
+}  // namespace otac::obs

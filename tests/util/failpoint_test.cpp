@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 #include <vector>
+
+#include "util/failpoint_names.h"
 
 namespace otac::fail {
 namespace {
@@ -102,6 +105,32 @@ TEST_F(FailpointTest, ThrowMacroCarriesName) {
 #else
   GTEST_SKIP() << "built with OTAC_FAILPOINTS=OFF";
 #endif
+}
+
+TEST_F(FailpointTest, EnableRejectsNamesMissingFromCentralRegistry) {
+  auto& registry = Registry::instance();
+  // A typo'd production name must fail loudly instead of arming a
+  // failpoint that no site ever evaluates.
+  EXPECT_THROW(registry.enable("checkpoint.write.crsh"),
+               std::invalid_argument);
+  EXPECT_THROW(registry.enable_once("definitely.not.registered"),
+               std::invalid_argument);
+  // Registered production names and the reserved test. prefix both arm.
+  EXPECT_NO_THROW(registry.enable_once("checkpoint.write.crash"));
+  EXPECT_NO_THROW(registry.enable_once("test.anything.goes"));
+  registry.disable_all();
+}
+
+TEST_F(FailpointTest, KnownFailpointTableIsSortedAndQueryable) {
+  // The central table is the linter's ground truth; keep it sorted so
+  // additions are reviewable diffs.
+  EXPECT_TRUE(std::is_sorted(std::begin(kKnownFailpoints),
+                             std::end(kKnownFailpoints)));
+  for (const auto name : kKnownFailpoints) {
+    EXPECT_TRUE(is_known_failpoint(name)) << name;
+  }
+  EXPECT_FALSE(is_known_failpoint("not.a.failpoint"));
+  EXPECT_TRUE(is_known_failpoint("test.synthetic"));
 }
 
 TEST_F(FailpointTest, EvaluatedNamesListsHitFailpoints) {

@@ -1,0 +1,21 @@
+// Fixture: every violation here carries an allow pragma — the linter must
+// report nothing. Expected hits: none.
+#include <chrono>
+#include <cstdlib>
+
+namespace otac_fixture {
+
+long suppressed_wall_clock() {
+  // Same-line suppression.
+  return std::chrono::system_clock::now()  // otac-lint: allow(wall-clock)
+      .time_since_epoch()
+      .count();
+}
+
+int suppressed_random() {
+  // Line-above suppression.
+  // otac-lint: allow(ambient-random)
+  return rand();
+}
+
+}  // namespace otac_fixture

@@ -1,0 +1,15 @@
+// Fixture: ambient randomness outside util/rng.*.
+// Expected hits: ambient-random x4.
+#include <cstdlib>
+#include <random>
+
+namespace otac_fixture {
+
+int ambient_draw() {
+  std::random_device device;                          // hit 1
+  std::mt19937_64 engine(device());                   // hit 2
+  std::uniform_int_distribution<int> dist(0, 9);      // hit 3
+  return dist(engine) + rand();                       // hit 4
+}
+
+}  // namespace otac_fixture

@@ -1,0 +1,14 @@
+// Fixture: failpoint site using a name missing from the central registry.
+// Expected hits: failpoint-registry x1.
+#include "util/failpoint.h"
+
+namespace otac_fixture {
+
+void risky_write() {
+  OTAC_FAILPOINT_THROW("fixture.not.in.registry");  // hit 1
+  // A registered name and the reserved test. prefix both pass.
+  OTAC_FAILPOINT_THROW("checkpoint.write.crash");
+  OTAC_FAILPOINT_THROW("test.synthetic");
+}
+
+}  // namespace otac_fixture

@@ -1,0 +1,17 @@
+// Fixture: non-FNV hashes where golden sequences are built.
+// Expected hits: golden-hash x3 (the crc32 include itself counts — the
+// dependency is the violation, not just the call).
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/crc32.h"  // hit 1
+
+namespace otac_fixture {
+
+std::uint64_t sequence_digest(const std::string& key) {
+  const std::size_t h = std::hash<std::string>{}(key);  // hit 2
+  return h ^ otac::crc32(key);                          // hit 3
+}
+
+}  // namespace otac_fixture

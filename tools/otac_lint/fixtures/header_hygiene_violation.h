@@ -1,0 +1,11 @@
+// Fixture: header with no #pragma once and a namespace injection.
+// Expected hits: header-hygiene x2 (missing pragma, using namespace).
+#include <string>
+
+using namespace std;  // hit
+
+namespace otac_fixture {
+
+inline string fixture_name() { return "header_hygiene"; }
+
+}  // namespace otac_fixture

@@ -1,0 +1,15 @@
+// Fixture: metric literal missing from the central registry.
+// Expected hits: metric-registry x2.
+#include "obs/metrics.h"
+
+namespace otac_fixture {
+
+void bind_metrics(otac::obs::MetricsRegistry& registry) {
+  auto* typo = registry.counter("cache.hit");            // hit 1 (not cache.hits)
+  registry.set_gauge("cache.unreviewed_bytes", 1.0);     // hit 2
+  auto* fine = registry.counter("cache.hits");           // registered
+  (void)typo;
+  (void)fine;
+}
+
+}  // namespace otac_fixture

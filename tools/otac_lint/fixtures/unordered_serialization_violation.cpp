@@ -1,0 +1,31 @@
+// Fixture: unordered-container iteration in a serialization boundary.
+// otac-lint: serialization-boundary
+// Expected hits: unordered-serialization x2.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace otac_fixture {
+
+struct Report {
+  std::unordered_map<std::string, std::uint64_t> counters_;
+  std::unordered_set<std::string> names_;
+
+  void serialize() const {
+    for (const auto& [name, value] : counters_) {  // hit 1
+      std::cout << name << value;
+    }
+    for (auto it = names_.begin(); it != names_.end(); ++it) {  // hit 2
+      std::cout << *it;
+    }
+  }
+
+  // Lookup (find/contains against end()) is fine — order never escapes.
+  bool has(const std::string& name) const {
+    return counters_.find(name) != counters_.end();
+  }
+};
+
+}  // namespace otac_fixture

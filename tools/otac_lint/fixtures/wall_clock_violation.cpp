@@ -1,0 +1,22 @@
+// Fixture: every banned ambient-time source the wall-clock rule knows.
+// Expected hits: wall-clock x3.
+#include <chrono>
+#include <ctime>
+
+namespace otac_fixture {
+
+long ambient_now() {
+  const auto tp = std::chrono::system_clock::now();  // hit 1
+  std::time_t stamp = time(nullptr);                 // hit 2
+  struct tm* parts = localtime(&stamp);              // hit 3
+  (void)tp;
+  (void)parts;
+  return stamp;
+}
+
+// Monotonic timing is allowed (feeds only *_seconds histograms).
+long monotonic_ok() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace otac_fixture

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Tests for otac-lint: each fixture must report exactly the expected rule
+hits, suppressions must silence, and the rule table must stay complete.
+
+Run directly (`python3 tools/otac_lint/otac_lint_test.py`) or via ctest
+(label `lint`).
+"""
+
+import subprocess
+import sys
+import unittest
+from collections import Counter
+from pathlib import Path
+
+TOOL_DIR = Path(__file__).resolve().parent
+REPO_ROOT = TOOL_DIR.parents[1]
+LINTER = TOOL_DIR / "otac_lint.py"
+FIXTURES = TOOL_DIR / "fixtures"
+
+# fixture file -> exact multiset of expected rule hits
+EXPECTED = {
+    "wall_clock_violation.cpp": {"wall-clock": 3},
+    "ambient_random_violation.cpp": {"ambient-random": 4},
+    "unordered_serialization_violation.cpp": {"unordered-serialization": 2},
+    "failpoint_registry_violation.cpp": {"failpoint-registry": 1},
+    "metric_registry_violation.cpp": {"metric-registry": 2},
+    "golden_hash_violation.cpp": {"golden-hash": 3},
+    "header_hygiene_violation.h": {"header-hygiene": 2},
+    "allow_pragma_clean.cpp": {},
+}
+
+ALL_RULES = {
+    "wall-clock",
+    "ambient-random",
+    "unordered-serialization",
+    "failpoint-registry",
+    "metric-registry",
+    "golden-hash",
+    "header-hygiene",
+}
+
+
+def run_linter(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(LINTER), "--root", str(REPO_ROOT), *args],
+        capture_output=True, text=True, check=False)
+
+
+def rule_hits(stdout: str) -> Counter:
+    """Parse `path:line: [rule] message` lines into a rule multiset."""
+    hits: Counter = Counter()
+    for line in stdout.splitlines():
+        if "] " in line and ": [" in line:
+            rule = line.split(": [", 1)[1].split("]", 1)[0]
+            hits[rule] += 1
+    return hits
+
+
+class FixtureTest(unittest.TestCase):
+    def test_every_rule_has_a_violation_fixture(self):
+        covered = set()
+        for expected in EXPECTED.values():
+            covered.update(expected)
+        self.assertEqual(covered, ALL_RULES,
+                         "each rule needs a fixture exercising it")
+
+    def test_fixtures_report_exactly_the_expected_hits(self):
+        for name, expected in EXPECTED.items():
+            with self.subTest(fixture=name):
+                result = run_linter(str(FIXTURES / name))
+                self.assertEqual(rule_hits(result.stdout), Counter(expected),
+                                 f"unexpected report for {name}:\n"
+                                 f"{result.stdout}")
+                self.assertEqual(result.returncode, 1 if expected else 0)
+
+    def test_no_stale_fixture_expectations(self):
+        on_disk = {p.name for p in FIXTURES.iterdir()
+                   if p.suffix in {".h", ".cpp"}}
+        self.assertEqual(on_disk, set(EXPECTED),
+                         "fixtures/ and EXPECTED out of sync")
+
+    def test_list_rules_names_every_rule(self):
+        result = run_linter("--list-rules")
+        self.assertEqual(result.returncode, 0)
+        listed = {line.split(":", 1)[0]
+                  for line in result.stdout.splitlines() if ":" in line}
+        self.assertEqual(listed, ALL_RULES)
+
+    def test_violation_lines_point_at_marked_hits(self):
+        # Fixture authors mark hits with `// hit` comments; the linter must
+        # agree on the line numbers (pragma scanning uses raw lines, so the
+        # marks themselves never suppress anything).
+        fixture = FIXTURES / "ambient_random_violation.cpp"
+        marked = {i for i, text in
+                  enumerate(fixture.read_text().splitlines(), start=1)
+                  if "// hit" in text}
+        result = run_linter(str(fixture))
+        reported = {int(line.split(":")[1])
+                    for line in result.stdout.splitlines()
+                    if line.startswith("tools/")}
+        self.assertEqual(reported, marked)
+
+    def test_clean_tree(self):
+        # The invariant the CI gate relies on: src/, bench/, examples/ are
+        # lint-clean at head.
+        result = run_linter()
+        self.assertEqual(result.returncode, 0,
+                         f"tree not lint-clean:\n{result.stdout}")
+
+
+if __name__ == "__main__":
+    unittest.main()
