@@ -14,6 +14,7 @@
 
 #include "bench/bench_json.h"
 #include "core/history_table.h"
+#include "ml/compiled_tree.h"
 #include "ml/dataset.h"
 #include "ml/decision_tree.h"
 #include "util/rng.h"
@@ -108,6 +109,55 @@ CellResult run_tree_predict(int reps) {
   return make_result("tree_predict", kOps, seconds, extra);
 }
 
+/// Compiled-tree scalar cell: the same traversal as tree_predict through
+/// the flattened SoA node array — isolates the layout win from batching.
+CellResult run_compiled_predict(int reps) {
+  const ml::Dataset data = make_dataset(bench::scaled(140'000), 8, 7);
+  ml::DecisionTree tree{tree_config()};
+  tree.fit(data);
+  const ml::CompiledTree compiled = ml::CompiledTree::compile(tree);
+  const std::size_t kOps = bench::scaled(1'000'000);
+  double sink = 0.0;
+  const double seconds = bench::best_of(reps, [&] {
+    for (std::size_t i = 0; i < kOps; ++i) {
+      sink += compiled.predict_proba(data.row(i % data.num_rows()));
+    }
+  });
+  char extra[64];
+  std::snprintf(extra, sizeof(extra), ", \"sink\": %.0f", sink);
+  return make_result("compiled_predict", kOps, seconds, extra);
+}
+
+/// Batched cell: level-synchronous branch-free walk over `batch` rows per
+/// predict_proba_batch call (the serving path's admission micro-batch).
+/// Dataset storage is row-major contiguous, so rows pass straight through
+/// with stride = num_features().
+CellResult run_compiled_batch(std::size_t batch, int reps) {
+  const ml::Dataset data = make_dataset(bench::scaled(140'000), 8, 7);
+  ml::DecisionTree tree{tree_config()};
+  tree.fit(data);
+  const ml::CompiledTree compiled = ml::CompiledTree::compile(tree);
+  const std::size_t kOps =
+      bench::scaled(1'000'000) / batch * batch;  // whole batches only
+  const float* rows = data.row(0).data();
+  const std::size_t stride = data.num_features();
+  const std::size_t usable = data.num_rows() / batch * batch;
+  std::vector<float> out(batch, 0.0F);
+  double sink = 0.0;
+  const double seconds = bench::best_of(reps, [&] {
+    for (std::size_t i = 0; i < kOps; i += batch) {
+      compiled.predict_proba_batch(rows + (i % usable) * stride, batch,
+                                   stride, out.data());
+      sink += static_cast<double>(out[0]);
+    }
+  });
+  char extra[64];
+  std::snprintf(extra, sizeof(extra), ", \"batch\": %zu, \"sink\": %.0f",
+                batch, sink);
+  return make_result("compiled_batch" + std::to_string(batch), kOps, seconds,
+                     extra);
+}
+
 /// History-table cell: the rectify-or-record step of every classification.
 CellResult run_history_table(int reps) {
   const std::size_t kOps = bench::scaled(1'000'000);
@@ -140,6 +190,9 @@ int main(int argc, char** argv) {
       [] { return run_tree_fit(bench::scaled(35'000), kReps); },
       [] { return run_tree_fit(bench::scaled(140'000), kReps); },
       [] { return run_tree_predict(kReps); },
+      [] { return run_compiled_predict(kReps); },
+      [] { return run_compiled_batch(8, kReps); },
+      [] { return run_compiled_batch(64, kReps); },
       [] { return run_history_table(kReps); },
   };
 

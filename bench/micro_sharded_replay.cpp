@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench/bench_json.h"
+#include "core/serving_core.h"
 #include "core/sharded_cache.h"
 #include "experiments/workloads.h"
 
@@ -70,21 +71,39 @@ int main(int argc, char** argv) {
       if (threads == 1) ops_at_1thread = ops_per_sec;
       const double speedup = ops_per_sec / ops_at_1thread;
 
-      char buffer[512];
+      // Optional fields: the proposal cells record the admission
+      // micro-batch capacity (the batched CompiledTree serving path), and
+      // oversubscribed cells carry an explicit warning so downstream
+      // tooling never mistakes scheduling overhead for scaling data.
+      char extra[160];
+      int off = 0;
+      extra[0] = '\0';
+      if (mode == AdmissionMode::proposal) {
+        off += std::snprintf(extra + off, sizeof(extra) - std::size_t(off),
+                             ", \"admission_batch_capacity\": %zu",
+                             ServingCore::kAdmissionBatchCapacity);
+      }
+      const bool oversubscribed = threads > hardware;
+      if (oversubscribed) {
+        off += std::snprintf(extra + off, sizeof(extra) - std::size_t(off),
+                             ", \"warning\": \"threads exceed "
+                             "hardware_concurrency\"");
+      }
+      char buffer[640];
       std::snprintf(
           buffer, sizeof(buffer),
           "{\"mode\": \"%s\", \"shards\": %zu, \"threads\": %zu, "
           "\"requests\": %zu, \"seconds\": %.3f, \"ops_per_sec\": %.0f, "
           "\"speedup_vs_1thread\": %.2f, \"hardware_concurrency\": %u, "
-          "\"file_hit_rate\": %.4f, \"trainings\": %d}",
+          "\"file_hit_rate\": %.4f, \"trainings\": %d%s}",
           admission_mode_name(mode).c_str(), kShards, threads,
           trace.requests.size(), seconds, ops_per_sec, speedup, hardware,
-          result.stats.file_hit_rate(), result.trainings);
+          result.stats.file_hit_rate(), result.trainings, extra);
       report.cells.push_back(buffer);
-      std::printf("%-8s threads=%zu %8.2f Mreq/s  speedup=%.2fx  hit=%.3f\n",
+      std::printf("%-8s threads=%zu %8.2f Mreq/s  speedup=%.2fx  hit=%.3f%s\n",
                   admission_mode_name(mode).c_str(), threads,
-                  ops_per_sec / 1e6, speedup,
-                  result.stats.file_hit_rate());
+                  ops_per_sec / 1e6, speedup, result.stats.file_hit_rate(),
+                  oversubscribed ? "  [oversubscribed]" : "");
     }
   }
 

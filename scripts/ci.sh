@@ -56,7 +56,8 @@ case "$JOB" in
     BUILD_DIR="${BUILD_DIR:-build}"
     cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
     cmake --build "$BUILD_DIR" -j"$(nproc)" \
-      --target micro_cache_ops micro_classifier micro_obs_overhead
+      --target micro_cache_ops micro_classifier micro_obs_overhead \
+               micro_sharded_replay
     mkdir -p "$BUILD_DIR/bench-smoke"
     (
       cd "$BUILD_DIR/bench-smoke"
@@ -64,11 +65,27 @@ case "$JOB" in
       ../bench/micro_cache_ops BENCH_cache_ops.json
       ../bench/micro_classifier BENCH_classifier.json
       ../bench/micro_obs_overhead BENCH_obs_overhead.json
+      # Sharded replay at a tiny trace scale (argv[2]); the smoke run's job
+      # is exercising the batched admission path end-to-end, not timing.
+      ../bench/micro_sharded_replay BENCH_sharded_replay.json 0.05
       # Malformed report JSON fails the job — the reports are the artifact.
       for report in BENCH_*.json; do
         python3 -m json.tool "$report" > /dev/null
         echo "valid JSON: $report"
       done
+      # The oversubscription warning must track hardware_concurrency: a
+      # cell carries "warning" iff threads > hardware_concurrency.
+      python3 - <<'EOF'
+import json
+with open("BENCH_sharded_replay.json") as f:
+    report = json.load(f)
+for cell in report["cells"]:
+    oversubscribed = cell["threads"] > cell["hardware_concurrency"]
+    if oversubscribed != ("warning" in cell):
+        raise SystemExit(
+            f"warning field inconsistent with oversubscription: {cell}")
+print("sharded-replay warning field consistent")
+EOF
     )
     echo "bench smoke passed (OTAC_SCALE=${OTAC_SCALE:-0.02}); reports in $BUILD_DIR/bench-smoke"
     ;;

@@ -31,7 +31,7 @@ ClassifierSystem::ClassifierSystem(const Trace& trace,
 
 bool ClassifierSystem::admit(std::uint64_t index, const Request& request,
                              const PhotoMeta& photo) {
-  return core_.admit(model_ ? &*model_ : nullptr, index, request, photo);
+  return core_.admit(model_ ? &compiled_ : nullptr, index, request, photo);
 }
 
 void ClassifierSystem::observe(std::uint64_t index, const Request& request,
@@ -70,6 +70,7 @@ void ClassifierSystem::observe(std::uint64_t index, const Request& request,
         if (fits_ != nullptr) ++*fits_;
         if (validate_serving_model(*tree, deployed_arity())) {
           model_ = std::move(tree);
+          compiled_ = ml::CompiledTree::compile(*model_);
           ++trainings_;
           if (models_published_ != nullptr) ++*models_published_;
         } else {
@@ -133,6 +134,7 @@ bool ClassifierSystem::restore(const ClassifierSnapshot& snapshot) {
       throw std::invalid_argument("model failed validation");
     }
     model_ = std::move(tree);
+    compiled_ = ml::CompiledTree::compile(*model_);
     return true;
   } catch (const std::exception&) {
     ++core_.degradation.rejected_models;

@@ -27,6 +27,7 @@
 #include "core/history_table.h"
 #include "core/serving_core.h"
 #include "core/trainer.h"
+#include "ml/compiled_tree.h"
 #include "ml/decision_tree.h"
 #include "ml/metrics.h"
 #include "obs/metrics.h"
@@ -101,6 +102,10 @@ class ClassifierSystem final : public AdmissionPolicy {
   ServingCore core_;
   DailyTrainer trainer_;
   std::optional<ml::DecisionTree> model_;
+  // Flattened serving image of model_ (ml/compiled_tree.h), rebuilt at
+  // every publish/restore; admit() serves from this, model_ stays the
+  // snapshot/serialization source of truth.
+  ml::CompiledTree compiled_;
 
   // Retrain telemetry handles (null until bind_metrics).
   obs::FixedHistogram* fit_seconds_ = nullptr;

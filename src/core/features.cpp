@@ -15,9 +15,19 @@ const std::vector<std::string>& FeatureExtractor::feature_names() {
 }
 
 FeatureExtractor::FeatureExtractor(const PhotoCatalog& catalog)
-    : catalog_(&catalog),
-      last_access_(catalog.photo_count(), kNever),
-      owner_views_(catalog.owner_count(), 0) {}
+    : last_access_(catalog.photo_count(), kNever),
+      owner_stats_(catalog.owner_count()) {
+  // avg_views starts at 0 / max(1, photos) == 0 for every owner; the
+  // divisor and active_friends are fixed catalog properties materialized
+  // once so the hot path never touches the catalog's owner table.
+  for (std::size_t owner = 0; owner < catalog.owner_count(); ++owner) {
+    const OwnerMeta& meta = catalog.owner(static_cast<UserId>(owner));
+    owner_stats_[owner].denom =
+        std::max<double>(1.0, static_cast<double>(meta.photo_count));
+    owner_stats_[owner].active_friends =
+        static_cast<float>(meta.active_friends);
+  }
+}
 
 void FeatureExtractor::advance_window_to(std::int64_t second) noexcept {
   if (window_now_ == kNever) {
@@ -42,14 +52,11 @@ void FeatureExtractor::advance_window_to(std::int64_t second) noexcept {
 
 void FeatureExtractor::extract(const Request& request, const PhotoMeta& photo,
                                std::span<float> out) const {
-  const OwnerMeta& owner = catalog_->owner(photo.owner);
+  const OwnerStats& owner = owner_stats_[photo.owner];
   const std::int64_t now = request.time.seconds;
 
-  out[kActiveFriends] = static_cast<float>(owner.active_friends);
-  const double photos =
-      std::max<double>(1.0, static_cast<double>(owner.photo_count));
-  out[kAvgOwnerViews] = static_cast<float>(
-      static_cast<double>(owner_views_[photo.owner]) / photos);
+  out[kActiveFriends] = owner.active_friends;
+  out[kAvgOwnerViews] = owner.avg_views;
   out[kPhotoType] = static_cast<float>(type_code(photo.type));
   out[kPhotoSize] = static_cast<float>(photo.size_bytes) / 1024.0F;
   out[kPhotoAge] = static_cast<float>(
@@ -68,10 +75,54 @@ void FeatureExtractor::extract(const Request& request, const PhotoMeta& photo,
 
 void FeatureExtractor::observe(const Request& request, const PhotoMeta& photo) {
   last_access_[request.photo] = request.time.seconds;
-  owner_views_[photo.owner] += 1;
+  // Maintain the avg-views feature incrementally: same double-precision
+  // quotient the old per-extract recompute produced, done once per observe
+  // instead of once per extract.
+  OwnerStats& owner = owner_stats_[photo.owner];
+  owner.views += 1;
+  owner.avg_views =
+      static_cast<float>(static_cast<double>(owner.views) / owner.denom);
   advance_window_to(request.time.seconds);
   auto& slot = window_counts_[static_cast<std::size_t>(
       request.time.seconds % static_cast<std::int64_t>(kWindowSeconds))];
+  slot += 1;
+  window_total_ += 1;
+}
+
+void FeatureExtractor::extract_and_observe(const Request& request,
+                                           const PhotoMeta& photo,
+                                           std::span<float> out) {
+  OwnerStats& owner = owner_stats_[photo.owner];
+  std::int64_t& last_slot = last_access_[request.photo];
+  const std::int64_t now = request.time.seconds;
+
+  // -- extract: identical expressions to extract(), reading the
+  //    pre-observe values of the state this function updates below.
+  out[kActiveFriends] = owner.active_friends;
+  out[kAvgOwnerViews] = owner.avg_views;
+  out[kPhotoType] = static_cast<float>(type_code(photo.type));
+  out[kPhotoSize] = static_cast<float>(photo.size_bytes) / 1024.0F;
+  out[kPhotoAge] = static_cast<float>(ten_minute_buckets(
+      std::max<std::int64_t>(0, now - photo.upload_time.seconds)));
+  const std::int64_t last = last_slot;
+  const std::int64_t reference =
+      last == kNever ? photo.upload_time.seconds : last;
+  out[kRecency] = static_cast<float>(
+      ten_minute_buckets(std::max<std::int64_t>(0, now - reference)));
+  out[kTerminal] = request.terminal == TerminalType::mobile ? 1.0F : 0.0F;
+  out[kRecentRequests] = static_cast<float>(window_total_);
+  out[kAccessHour] = static_cast<float>(hour_of_day(request.time));
+
+  // -- observe: identical updates to observe(), reusing the references
+  //    already in hand instead of re-resolving the random-access slots.
+  last_slot = now;
+  owner.views += 1;
+  owner.avg_views =
+      static_cast<float>(static_cast<double>(owner.views) / owner.denom);
+  advance_window_to(now);
+  auto& slot =
+      window_counts_[static_cast<std::size_t>(
+          now % static_cast<std::int64_t>(kWindowSeconds))];
   slot += 1;
   window_total_ += 1;
 }

@@ -56,6 +56,28 @@ class FeatureExtractor {
   /// Advance the online state by one (time-ordered) request.
   void observe(const Request& request, const PhotoMeta& photo);
 
+  /// Fused extract()+observe() for the batched admission path: one pass
+  /// over the per-photo/per-owner state (the random loads are shared
+  /// instead of issued twice), with the features computed strictly from
+  /// the pre-observe state — bit-identical to extract() then observe().
+  void extract_and_observe(const Request& request, const PhotoMeta& photo,
+                           std::span<float> out);
+
+  /// Hint the caches toward the per-photo/per-owner state extract() and
+  /// observe() will touch for this request. Pure optimization: the batched
+  /// admission path issues these for a whole micro-batch up front so the
+  /// dependent loads overlap instead of serializing (the extractor state
+  /// arrays are large and accessed in photo/owner order, i.e. randomly).
+  void prefetch(const Request& request, const PhotoMeta& photo) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&last_access_[request.photo]);
+    __builtin_prefetch(&owner_stats_[photo.owner]);
+#else
+    (void)request;
+    (void)photo;
+#endif
+  }
+
   /// Requests observed in the 60 s window ending at the last observe().
   [[nodiscard]] std::uint64_t recent_request_count() const noexcept {
     return window_total_;
@@ -64,15 +86,28 @@ class FeatureExtractor {
  private:
   void advance_window_to(std::int64_t second) noexcept;
 
-  const PhotoCatalog* catalog_;
-
   // Per-photo time of last access (seconds; kNever = not accessed yet).
   static constexpr std::int64_t kNever =
       std::numeric_limits<std::int64_t>::min();
   std::vector<std::int64_t> last_access_;
 
-  // Per-owner cumulative views of their photos.
-  std::vector<std::uint64_t> owner_views_;
+  // Per-owner state, folded into ONE struct so each request touches a
+  // single cache line per owner: the cumulative view count, the
+  // precomputed divisor max(1, photo_count) (saves the random catalog
+  // lookup observe() used to do), and the two derived feature values
+  // extract() reads. avg_views is the *incrementally maintained* quotient
+  // views / max(1, photo_count): observe() recomputes it once per request
+  // (O(1)), so extract() is a single cached load instead of a divide +
+  // catalog lookup per call. The cached float is the exact value the
+  // recompute-per-extract code produced (same double arithmetic, same
+  // rounding), which keeps every golden bit-identical.
+  struct OwnerStats {
+    std::uint64_t views = 0;
+    double denom = 1.0;  // max(1.0, double(photo_count)), fixed per owner
+    float active_friends = 0.0F;
+    float avg_views = 0.0F;
+  };
+  std::vector<OwnerStats> owner_stats_;
 
   // Sliding 60-second request-count window (per-second ring buffer).
   static constexpr std::size_t kWindowSeconds = 60;

@@ -1,6 +1,7 @@
 #include "core/history_table.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 namespace otac {
@@ -8,30 +9,147 @@ namespace otac {
 HistoryTable::HistoryTable(std::size_t capacity_entries)
     : capacity_(capacity_entries) {}
 
+std::uint32_t HistoryTable::find_slot(PhotoId photo,
+                                      std::size_t* bucket) const noexcept {
+  if (buckets_.empty()) return kNil;
+  std::size_t b = home_bucket(photo);
+  while (buckets_[b] != kNil) {
+    if (slots_[buckets_[b]].photo == photo) {
+      if (bucket != nullptr) *bucket = b;
+      return buckets_[b];
+    }
+    b = (b + 1) & bucket_mask_;
+  }
+  return kNil;
+}
+
+void HistoryTable::grow() {
+  // Doubling growth, capped at capacity (and the uint32 slot-index range):
+  // only the first pass through a filling table allocates, amortized O(1)
+  // per record; the steady state never does.
+  const std::size_t old_count = slots_.size();
+  const std::size_t cap = std::min<std::size_t>(capacity_, kNil - 1);
+  const std::size_t target =
+      std::min(cap, std::max<std::size_t>(8, old_count * 2));
+  // otac-lint: allow(hotpath-alloc) — amortized warm-up growth only
+  slots_.resize(target);
+  for (std::size_t i = target; i-- > old_count;) {
+    slots_[i].next = free_;
+    free_ = static_cast<std::uint32_t>(i);
+  }
+  const std::size_t want_buckets = std::bit_ceil(target * 2);
+  if (want_buckets > buckets_.size()) {
+    buckets_.assign(want_buckets, kNil);
+    bucket_mask_ = want_buckets - 1;
+    hash_shift_ = 32U - static_cast<unsigned>(std::countr_zero(want_buckets));
+    // Re-probe the live slots into the wider table. Insertion order does
+    // not affect lookup results in this scheme, so FIFO order is fine.
+    for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+      std::size_t b = home_bucket(slots_[s].photo);
+      while (buckets_[b] != kNil) b = (b + 1) & bucket_mask_;
+      buckets_[b] = s;
+    }
+  }
+}
+
+void HistoryTable::insert_new(PhotoId photo, std::uint64_t index) noexcept {
+  const std::uint32_t s = free_;
+  free_ = slots_[s].next;
+  Slot& slot = slots_[s];
+  slot.photo = photo;
+  slot.index = index;
+  slot.prev = tail_;
+  slot.next = kNil;
+  if (tail_ != kNil) {
+    slots_[tail_].next = s;
+  } else {
+    head_ = s;
+  }
+  tail_ = s;
+  // The key is known absent: probe from home to the first empty bucket.
+  // Load factor <= 0.5 guarantees one exists.
+  std::size_t b = home_bucket(photo);
+  while (buckets_[b] != kNil) b = (b + 1) & bucket_mask_;
+  buckets_[b] = s;
+  ++size_;
+}
+
+void HistoryTable::unlink_fifo(std::uint32_t s) noexcept {
+  const Slot& slot = slots_[s];
+  if (slot.prev != kNil) {
+    slots_[slot.prev].next = slot.next;
+  } else {
+    head_ = slot.next;
+  }
+  if (slot.next != kNil) {
+    slots_[slot.next].prev = slot.prev;
+  } else {
+    tail_ = slot.prev;
+  }
+}
+
+void HistoryTable::move_to_newest(std::uint32_t s) noexcept {
+  if (tail_ == s) return;
+  unlink_fifo(s);
+  slots_[s].prev = tail_;
+  slots_[s].next = kNil;
+  slots_[tail_].next = s;  // s was linked and is not tail_, so tail_ != kNil
+  tail_ = s;
+}
+
+void HistoryTable::erase_hole(std::size_t hole) noexcept {
+  // Backward-shift deletion: slide every displaced follower of the probe
+  // run into the hole so lookups never need tombstones.
+  std::size_t next = (hole + 1) & bucket_mask_;
+  while (buckets_[next] != kNil) {
+    const std::size_t home = home_bucket(slots_[buckets_[next]].photo);
+    if (((next - home) & bucket_mask_) >= ((next - hole) & bucket_mask_)) {
+      buckets_[hole] = buckets_[next];
+      hole = next;
+    }
+    next = (next + 1) & bucket_mask_;
+  }
+  buckets_[hole] = kNil;
+}
+
+void HistoryTable::release_slot(std::uint32_t s, std::size_t bucket) noexcept {
+  unlink_fifo(s);
+  erase_hole(bucket);
+  slots_[s].next = free_;
+  free_ = s;
+  --size_;
+}
+
+void HistoryTable::evict_oldest() noexcept {
+  const std::uint32_t s = head_;
+  std::size_t b = home_bucket(slots_[s].photo);
+  while (buckets_[b] != s) b = (b + 1) & bucket_mask_;
+  release_slot(s, b);
+}
+
 void HistoryTable::record(PhotoId photo, std::uint64_t index) {
   if (capacity_ == 0) return;
-  const auto it = map_.find(photo);
-  if (it != map_.end()) {
-    // Refresh: move to the back of the FIFO with the new position.
-    fifo_.erase(it->second);
-    map_.erase(it);
+  std::size_t bucket = 0;
+  const std::uint32_t existing = find_slot(photo, &bucket);
+  if (existing != kNil) {
+    // Refresh: new position, newest FIFO slot — no index churn needed.
+    slots_[existing].index = index;
+    move_to_newest(existing);
+    return;
   }
-  while (map_.size() >= capacity_) {
-    map_.erase(fifo_.front().photo);
-    fifo_.pop_front();
-  }
-  fifo_.push_back(Slot{photo, index});
-  map_.emplace(photo, std::prev(fifo_.end()));
+  if (size_ >= capacity_) evict_oldest();
+  if (free_ == kNil) grow();
+  if (free_ == kNil) evict_oldest();  // slot-index range exhausted (4B live)
+  insert_new(photo, index);
 }
 
 bool HistoryTable::rectify(PhotoId photo, std::uint64_t index, double m) {
-  const auto it = map_.find(photo);
-  if (it == map_.end()) return false;
-  const std::uint64_t recorded = it->second->index;
-  fifo_.erase(it->second);
-  map_.erase(it);
-  if (index >= recorded &&
-      static_cast<double>(index - recorded) < m) {
+  std::size_t bucket = 0;
+  const std::uint32_t s = find_slot(photo, &bucket);
+  if (s == kNil) return false;
+  const std::uint64_t recorded = slots_[s].index;
+  release_slot(s, bucket);
+  if (index >= recorded && static_cast<double>(index - recorded) < m) {
     ++rectified_;
     return true;
   }
@@ -40,15 +158,24 @@ bool HistoryTable::rectify(PhotoId photo, std::uint64_t index, double m) {
 
 std::vector<HistoryTable::Entry> HistoryTable::entries() const {
   std::vector<Entry> out;
-  out.reserve(fifo_.size());
-  for (const Slot& slot : fifo_) out.push_back(Entry{slot.photo, slot.index});
+  out.reserve(size_);
+  for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+    out.push_back(Entry{slots_[s].photo, slots_[s].index});
+  }
   return out;
 }
 
 void HistoryTable::restore(const std::vector<Entry>& oldest_first,
                            std::uint64_t rectified_count) {
-  fifo_.clear();
-  map_.clear();
+  std::fill(buckets_.begin(), buckets_.end(), kNil);
+  head_ = kNil;
+  tail_ = kNil;
+  size_ = 0;
+  free_ = kNil;
+  for (std::size_t i = slots_.size(); i-- > 0;) {
+    slots_[i].next = free_;
+    free_ = static_cast<std::uint32_t>(i);
+  }
   for (const Entry& entry : oldest_first) record(entry.photo, entry.index);
   rectified_ = rectified_count;
 }

@@ -3,11 +3,19 @@
 // the earlier verdict was wrong — the table "rectifies" it and the photo is
 // admitted. Capacity is M(1-h)p * 0.05 entries (~2-5% of the cache
 // metadata table); eviction is FIFO.
+//
+// Layout: a pool of slots threaded onto an intrusive doubly-linked FIFO
+// (array indices, not pointers) plus a linear-probe open-addressing index
+// with backward-shift deletion, kept at <= 0.5 load factor. Steady-state
+// record()/rectify() cost one hash probe plus a few slot writes with zero
+// heap allocation — the previous std::list + std::unordered_map layout
+// paid two node allocations and two pointer-chased cache misses per
+// record() on the admission hot path. The pool grows by doubling up to
+// capacity (amortized O(1), so a pathologically huge configured capacity
+// is not pre-allocated), after which no record ever allocates again.
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "trace/types.h"
@@ -28,15 +36,25 @@ class HistoryTable {
   /// i.e. the previous one-time classification is now known to be wrong.
   bool rectify(PhotoId photo, std::uint64_t index, double m);
 
-  [[nodiscard]] bool contains(PhotoId photo) const {
-    return map_.contains(photo);
+  [[nodiscard]] bool contains(PhotoId photo) const noexcept {
+    return find_slot(photo, nullptr) != kNil;
   }
-  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
   /// Number of successful rectifications so far (telemetry).
   [[nodiscard]] std::uint64_t rectified_count() const noexcept {
     return rectified_;
+  }
+
+  /// Hint the caches toward the bucket a record()/rectify() of this photo
+  /// will probe (batched admission warms a whole micro-batch up front).
+  void prefetch(PhotoId photo) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    if (!buckets_.empty()) __builtin_prefetch(&buckets_[home_bucket(photo)]);
+#else
+    (void)photo;
+#endif
   }
 
   struct Entry {
@@ -54,14 +72,44 @@ class HistoryTable {
                std::uint64_t rectified_count);
 
  private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFU;
+
   struct Slot {
-    PhotoId photo;
-    std::uint64_t index;
+    PhotoId photo = 0;
+    std::uint64_t index = 0;
+    std::uint32_t prev = kNil;  // FIFO link toward older
+    std::uint32_t next = kNil;  // FIFO link toward newer; free-list link
   };
 
+  /// Fibonacci multiplicative hash — a fixed constant, not std::hash,
+  /// whose ordering is implementation-defined and therefore banned for
+  /// state that feeds the golden hashes. Only valid once buckets exist.
+  [[nodiscard]] std::size_t home_bucket(PhotoId photo) const noexcept {
+    return static_cast<std::size_t>((photo * UINT32_C(2654435769)) >>
+                                    hash_shift_);
+  }
+
+  /// Slot holding `photo` (kNil when absent); on a hit, *bucket gets the
+  /// probe position the entry was found at (for O(1) removal).
+  [[nodiscard]] std::uint32_t find_slot(PhotoId photo,
+                                        std::size_t* bucket) const noexcept;
+  void grow();
+  void insert_new(PhotoId photo, std::uint64_t index) noexcept;
+  void unlink_fifo(std::uint32_t s) noexcept;
+  void move_to_newest(std::uint32_t s) noexcept;
+  void erase_hole(std::size_t hole) noexcept;
+  void release_slot(std::uint32_t s, std::size_t bucket) noexcept;
+  void evict_oldest() noexcept;
+
   std::size_t capacity_;
-  std::list<Slot> fifo_;  // front = oldest
-  std::unordered_map<PhotoId, std::list<Slot>::iterator> map_;
+  std::vector<Slot> slots_;             // doubles up to capacity_, then fixed
+  std::vector<std::uint32_t> buckets_;  // power-of-two sized; kNil = empty
+  std::size_t bucket_mask_ = 0;
+  unsigned hash_shift_ = 32;  // 32 - log2(buckets); unused until grow()
+  std::uint32_t head_ = kNil;  // oldest
+  std::uint32_t tail_ = kNil;  // newest
+  std::uint32_t free_ = kNil;
+  std::size_t size_ = 0;
   std::uint64_t rectified_ = 0;
 };
 

@@ -7,6 +7,10 @@ std::vector<double> duration_histogram_bounds_s() {
           0.2,   0.5,   1.0,   2.0,  5.0,  10.0, 60.0};
 }
 
+std::vector<double> admission_batch_histogram_bounds() {
+  return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
+}
+
 void populate_cache_metrics(obs::MetricsRegistry& registry,
                             const CacheStats& stats) {
   registry.set("cache.requests", stats.requests);

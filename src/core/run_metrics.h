@@ -29,9 +29,18 @@ inline constexpr std::string_view kLatencyHistogramName =
 /// family in a report, and tooling (the golden test, diff scripts) filters
 /// on that suffix.
 inline constexpr std::string_view kFitHistogramName = "trainer.fit_seconds";
+/// Per-shard admission micro-batch sizes (requests per batched classify;
+/// deterministic — batch boundaries are a pure function of the trace and
+/// the retrain schedule).
+inline constexpr std::string_view kAdmissionBatchHistogramName =
+    "serving.admission_batch_size";
 
 /// Wall-clock duration grid (seconds): 1 ms .. 60 s in a 1-2-5 ladder.
 [[nodiscard]] std::vector<double> duration_histogram_bounds_s();
+
+/// Power-of-two grid for admission batch sizes: 1, 2, 4, ... up to
+/// ServingCore::kAdmissionBatchCapacity.
+[[nodiscard]] std::vector<double> admission_batch_histogram_bounds();
 
 /// Cumulative cache counters/gauges from a CacheStats (cache.* namespace).
 void populate_cache_metrics(obs::MetricsRegistry& registry,

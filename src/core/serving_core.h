@@ -21,6 +21,7 @@
 #include "core/config.h"
 #include "core/features.h"
 #include "core/history_table.h"
+#include "ml/compiled_tree.h"
 #include "ml/decision_tree.h"
 #include "ml/metrics.h"
 #include "obs/metrics.h"
@@ -84,6 +85,10 @@ struct ServingConfig {
 
 class ServingCore {
  public:
+  /// Upper bound on requests staged per admission micro-batch.
+  static constexpr std::size_t kAdmissionBatchCapacity =
+      ml::CompiledTree::kMaxBatch;
+
   ServingCore(const PhotoCatalog& catalog, const NextAccessInfo& oracle,
               ServingConfig config, std::size_t history_capacity);
 
@@ -93,6 +98,60 @@ class ServingCore {
   /// non-finite features or a throwing predict.
   bool admit(const ml::DecisionTree* model, std::uint64_t index,
              const Request& request, const PhotoMeta& photo);
+  /// Same serving semantics over a flattened tree (the unsharded system
+  /// and the stress suite serve from a CompiledTree snapshot).
+  bool admit(const ml::CompiledTree* model, std::uint64_t index,
+             const Request& request, const PhotoMeta& photo);
+
+  // --- batched admission (the sharded proposal loop) -------------------
+  //
+  // Per micro-batch (<= kAdmissionBatchCapacity requests, never crossing a
+  // retrain barrier):
+  //   begin_batch();
+  //   for each request: stage(request, photo);   // extract + observe
+  //   classify_staged(model);                    // one batched tree walk
+  //   for each request, in order: replay the cache; on a miss,
+  //     admit_staged(slot, index, request, photo);
+  //
+  // stage() runs the model-independent half for *every* request — feature
+  // extraction into a reusable arena (zero per-request allocation) and the
+  // observe() advance — and classify_staged() predicts every staged row in
+  // one branch-free predict_proba_batch call. Predictions depend only on
+  // extractor state (never on cache/history/policy state), so classifying
+  // ahead of the strictly sequential replay is safe: admit_staged() then
+  // consumes the precomputed probability only for rows that actually miss,
+  // and its observable behavior (decisions, degradation counters, daily
+  // metrics, history mutations) is identical to calling scalar admit() at
+  // the miss point. That equivalence is what preserves shards=1
+  // bit-identity with batching enabled.
+
+  /// Reset the staging arena for a new micro-batch.
+  void begin_batch() noexcept { staged_ = 0; }
+
+  /// Extract this request's features into the arena (fused with the
+  /// observe() advance), recording subset projection errors. Returns the
+  /// full feature row (the training sample the caller may buffer); valid
+  /// until the next begin_batch().
+  std::span<const float> stage(const Request& request, const PhotoMeta& photo);
+
+  /// Classify every staged row against `model` (nullptr = no model yet)
+  /// with one predict_proba_batch call.
+  void classify_staged(const ml::CompiledTree* model);
+
+  /// Admission decision for staged row `slot` (stage() call order),
+  /// consuming the probability computed by classify_staged(). Only called
+  /// for rows that miss; behavior matches scalar admit() exactly.
+  bool admit_staged(std::size_t slot, std::uint64_t index,
+                    const Request& request, const PhotoMeta& photo);
+
+  [[nodiscard]] std::size_t staged_count() const noexcept { return staged_; }
+
+  /// Batch warm-up: hint the extractor's per-photo/per-owner state and the
+  /// history table's hash bucket for this request.
+  void prefetch(const Request& request, const PhotoMeta& photo) const noexcept {
+    extractor.prefetch(request, photo);
+    history.prefetch(request.photo);
+  }
 
   /// Features of this request given the state *before* it (the training
   /// sample the caller may buffer). Valid until the next extract()/admit().
@@ -121,6 +180,15 @@ class ServingCore {
   DegradationCounters degradation;
 
  private:
+  template <class Model>
+  bool admit_impl(const Model* model, std::uint64_t index,
+                  const Request& request, const PhotoMeta& photo);
+
+  /// Shared tail of every admission decision: predict counters, history
+  /// rectify/record, daily confusion metrics. Returns the admit verdict.
+  bool finish_admit(bool predicted_one_time, std::uint64_t index,
+                    const Request& request);
+
   void record_metric(std::int64_t day, int actual, int raw_prediction,
                      int corrected_prediction);
 
@@ -139,7 +207,25 @@ class ServingCore {
   ServingConfig config_;
   const NextAccessInfo* oracle_;
   std::array<float, FeatureExtractor::kFeatureCount> scratch_{};
+  std::size_t arity_;             // deployed arity (subset size, or all 9)
   std::vector<float> projected_;  // scratch for the deployed feature subset
+
+  // Staging arena for the batched path — sized once at construction, so
+  // the per-request cost is writes into preallocated rows. When the
+  // deployed subset is empty the full rows double as the classifier input
+  // (projected_rows_ stays unused).
+  // Non-finite rows carry no status: admit_staged() re-checks finiteness
+  // lazily (misses only) so stage() never pays the sweep for hits.
+  enum class StageStatus : std::uint8_t {
+    ok,               // row classified normally
+    degrade_predict,  // projection/predict error -> predict_failures
+  };
+  std::size_t staged_ = 0;
+  bool batch_has_model_ = false;
+  std::vector<float> full_rows_;       // staged_ x kFeatureCount
+  std::vector<float> projected_rows_;  // staged_ x arity_ (subset mode)
+  std::array<float, kAdmissionBatchCapacity> proba_{};
+  std::array<StageStatus, kAdmissionBatchCapacity> status_{};
 };
 
 }  // namespace otac

@@ -54,6 +54,8 @@ std::vector<std::uint64_t> retrain_trigger_indices(const Trace& trace,
       if (due) last_trained_day = day;
     }
     if (due) {
+      // Cold: trigger precompute runs once per run, before replay starts.
+      // otac-lint: allow(hotpath-alloc)
       triggers.push_back(i);
       last_trained_time = time.seconds;
     }
@@ -73,6 +75,8 @@ struct ShardState {
   std::unique_ptr<DailyTrainer> sampler;  // proposal only: budget + buffer
   std::unique_ptr<obs::MetricsRegistry> registry;
   obs::LatencyRecorder recorder;
+  obs::FixedHistogram* batch_sizes = nullptr;  // proposal only
+  ml::CompiledTree compiled;  // per-shard model snapshot (proposal only)
   CacheStats stats;
   std::size_t pos = 0;  // cursor into this shard's request-index list
 };
@@ -147,6 +151,8 @@ RunResult ShardedCache::run(const RunConfig& config) const {
   std::vector<std::vector<std::uint64_t>> shard_requests(shards);
   for (std::uint64_t i = 0; i < trace.requests.size(); ++i) {
     shard_requests[shard_of_photo(trace.requests[i].photo, shards)]
+        // Cold: one-time shard bucketing before the replay loop.
+        // otac-lint: allow(hotpath-alloc)
         .push_back(i);
   }
 
@@ -182,6 +188,8 @@ RunResult ShardedCache::run(const RunConfig& config) const {
     ShardState& state = states[s];
     state.policy = make_policy(config.policy, shard_capacity,
                                config.lirs_lir_fraction);
+    // Cold: per-shard construction, once per run.
+    // otac-lint: allow(hotpath-alloc)
     state.registry = std::make_unique<obs::MetricsRegistry>();
     state.recorder = obs::LatencyRecorder{
         state.registry->histogram(kLatencyHistogramName,
@@ -189,11 +197,15 @@ RunResult ShardedCache::run(const RunConfig& config) const {
         latency.request_latency_us(true, classified_path),
         latency.request_latency_us(false, classified_path)};
     if (is_proposal) {
+      // otac-lint: allow(hotpath-alloc)
       state.core = std::make_unique<ServingCore>(trace.catalog, oracle,
                                                  serving, history_slice);
       state.core->bind_metrics(*state.registry);
+      // otac-lint: allow(hotpath-alloc)
       state.sampler = std::make_unique<DailyTrainer>(
           oracle, sampler_ota, result.criteria.m, result.cost_v);
+      state.batch_sizes = state.registry->histogram(
+          kAdmissionBatchHistogramName, admission_batch_histogram_bounds());
     }
   }
   for (std::size_t s = 0; s < shards; ++s) {
@@ -222,6 +234,8 @@ RunResult ShardedCache::run(const RunConfig& config) const {
       global_registry.counter("trainer.models_published");
   obs::MetricsRegistry::Counter samples_drained =
       global_registry.counter("trainer.samples_drained");
+  obs::MetricsRegistry::Counter compiled_tree_swaps =
+      global_registry.counter("trainer.compiled_tree_swaps");
   std::vector<std::uint64_t> triggers;
   if (is_proposal) triggers = retrain_trigger_indices(trace, config.ota);
 
@@ -242,25 +256,25 @@ RunResult ShardedCache::run(const RunConfig& config) const {
 
     pool.parallel_for(shards, [&](std::size_t s) {
       ShardState& state = states[s];
-      // One slot load per epoch: the model is constant between retrain
-      // barriers, which matches the unsharded visibility rule (a retrain
-      // inside observe(i) serves requests from i+1 on).
-      const std::shared_ptr<const ml::DecisionTree> tree = model.load();
       const std::vector<std::uint64_t>& mine = shard_requests[s];
-      for (; state.pos < mine.size() && mine[state.pos] < epoch_end;
-           ++state.pos) {
-        const std::uint64_t i = mine[state.pos];
-        const Request& request = trace.requests[i];
-        const PhotoMeta& photo = trace.catalog.photo(request.photo);
-        state.policy->set_next_access_hint(oracle.next[i]);
-        const bool hit = state.policy->access(request.photo, photo.size_bytes);
-        state.stats.requests += 1;
-        state.stats.request_bytes += photo.size_bytes;
-        state.recorder.record(hit);
-        if (hit) {
-          state.stats.hits += 1;
-          state.stats.hit_bytes += photo.size_bytes;
-        } else {
+
+      if (!is_proposal) {
+        for (; state.pos < mine.size() && mine[state.pos] < epoch_end;
+             ++state.pos) {
+          const std::uint64_t i = mine[state.pos];
+          const Request& request = trace.requests[i];
+          const PhotoMeta& photo = trace.catalog.photo(request.photo);
+          state.policy->set_next_access_hint(oracle.next[i]);
+          const bool hit =
+              state.policy->access(request.photo, photo.size_bytes);
+          state.stats.requests += 1;
+          state.stats.request_bytes += photo.size_bytes;
+          state.recorder.record(hit);
+          if (hit) {
+            state.stats.hits += 1;
+            state.stats.hit_bytes += photo.size_bytes;
+            continue;
+          }
           bool admitted = false;
           switch (config.mode) {
             case AdmissionMode::original:
@@ -276,8 +290,7 @@ RunResult ShardedCache::run(const RunConfig& config) const {
               break;
             }
             case AdmissionMode::proposal:
-              admitted = state.core->admit(tree.get(), i, request, photo);
-              break;
+              break;  // handled by the batched loop below
           }
           if (admitted) {
             if (state.policy->insert(request.photo, photo.size_bytes)) {
@@ -289,14 +302,80 @@ RunResult ShardedCache::run(const RunConfig& config) const {
             state.stats.rejected_bytes += photo.size_bytes;
           }
         }
-        if (is_proposal) {
-          // Sample before observe: features must describe the stream as the
-          // classifier saw it at admit() time (same rule as the unsharded
-          // ClassifierSystem::observe).
-          state.sampler->offer(i, request,
-                               state.core->extract(request, photo));
-          state.core->observe(request, photo);
+        return;
+      }
+
+      // Proposal mode: micro-batched serving. One seqlock load per epoch —
+      // the model is constant between retrain barriers, which matches the
+      // unsharded visibility rule (a retrain inside observe(i) serves
+      // requests from i+1 on).
+      const ml::CompiledTree* tree =
+          model.load(state.compiled) ? &state.compiled : nullptr;
+      constexpr std::size_t kBatch = ServingCore::kAdmissionBatchCapacity;
+      while (state.pos < mine.size() && mine[state.pos] < epoch_end) {
+        // Gather up to kBatch requests, never crossing the epoch barrier —
+        // batch boundaries therefore depend only on the trace and the
+        // retrain schedule, keeping the replay deterministic and the batch
+        // size invisible to results.
+        std::size_t batch = 0;
+        std::array<const PhotoMeta*, kBatch> photos;
+        while (batch < kBatch && state.pos + batch < mine.size() &&
+               mine[state.pos + batch] < epoch_end) {
+          const std::uint64_t i = mine[state.pos + batch];
+          const Request& request = trace.requests[i];
+          photos[batch] = &trace.catalog.photo(request.photo);
+          // Warm the extractor's per-photo/per-owner state for the whole
+          // batch so its random-access loads overlap.
+          state.core->prefetch(request, *photos[batch]);
+          ++batch;
         }
+
+        // Pass 1 — model-independent per-request work, in trace order:
+        // feature extraction into the arena, the training-sample offer,
+        // and the extractor advance (all inside/around stage()).
+        state.core->begin_batch();
+        for (std::size_t b = 0; b < batch; ++b) {
+          const std::uint64_t i = mine[state.pos + b];
+          const Request& request = trace.requests[i];
+          state.sampler->offer(i, request,
+                               state.core->stage(request, *photos[b]));
+        }
+
+        // Pass 2 — one branch-free batched tree walk for every staged row.
+        // Predictions depend only on extractor state, never on the cache
+        // or history, so classifying ahead of the sequential replay below
+        // is bit-identical to predicting at each miss.
+        state.core->classify_staged(tree);
+        state.batch_sizes->add(static_cast<double>(batch));
+
+        // Pass 3 — the strictly sequential cache replay, consuming the
+        // precomputed verdicts on misses.
+        for (std::size_t b = 0; b < batch; ++b) {
+          const std::uint64_t i = mine[state.pos + b];
+          const Request& request = trace.requests[i];
+          const PhotoMeta& photo = *photos[b];
+          state.policy->set_next_access_hint(oracle.next[i]);
+          const bool hit =
+              state.policy->access(request.photo, photo.size_bytes);
+          state.stats.requests += 1;
+          state.stats.request_bytes += photo.size_bytes;
+          state.recorder.record(hit);
+          if (hit) {
+            state.stats.hits += 1;
+            state.stats.hit_bytes += photo.size_bytes;
+            continue;
+          }
+          if (state.core->admit_staged(b, i, request, photo)) {
+            if (state.policy->insert(request.photo, photo.size_bytes)) {
+              state.stats.insertions += 1;
+              state.stats.inserted_bytes += photo.size_bytes;
+            }
+          } else {
+            state.stats.rejected += 1;
+            state.stats.rejected_bytes += photo.size_bytes;
+          }
+        }
+        state.pos += batch;
       }
     });
 
@@ -324,10 +403,17 @@ RunResult ShardedCache::run(const RunConfig& config) const {
         if (auto tree = trainer.train(trigger, trace.requests[trigger].time)) {
           ++*fits;
           if (validate_serving_model(*tree, model_arity)) {
-            model.store(
-                std::make_shared<const ml::DecisionTree>(std::move(*tree)));
-            ++result.trainings;
-            ++*models_published;
+            const ml::CompiledTree compiled = ml::CompiledTree::compile(*tree);
+            if (ModelSlot::fits(compiled)) {
+              model.store(compiled);
+              ++result.trainings;
+              ++*models_published;
+              ++*compiled_tree_swaps;
+            } else {
+              // A tree too large for the slot is as unservable as one that
+              // fails validation.
+              ++trainer_degradation.rejected_models;
+            }
           } else {
             ++trainer_degradation.rejected_models;
           }
@@ -348,6 +434,8 @@ RunResult ShardedCache::run(const RunConfig& config) const {
       populate_degradation_metrics(global_registry, trainer_degradation);
       global_registry.set("trainer.trainings",
                           static_cast<std::uint64_t>(result.trainings));
+      // Cold: retrain barrier (9 per replay), not the per-request loop.
+      // otac-lint: allow(hotpath-alloc)
       result.obs.timeline.push_back(
           obs::BarrierSample{trigger, trace.requests[trigger].time.seconds,
                              merged_snapshot(global_registry, states)});
@@ -375,8 +463,11 @@ RunResult ShardedCache::run(const RunConfig& config) const {
         }
       }
     }
+    // Cold: end-of-run report assembly.
+    // otac-lint: allow(hotpath-alloc)
     result.daily.reserve(daily.size());
     for (const auto& [day, metrics] : daily) {
+      // otac-lint: allow(hotpath-alloc)
       result.daily.push_back(metrics);
     }
   }
@@ -401,8 +492,11 @@ RunResult ShardedCache::run(const RunConfig& config) const {
   result.obs.policy = policy_name(config.policy);
   result.obs.shards = shards;
   result.obs.threads = threads;
+  // Cold: end-of-run report assembly.
+  // otac-lint: allow(hotpath-alloc)
   result.obs.per_shard.reserve(shards);
   for (const ShardState& state : states) {
+    // otac-lint: allow(hotpath-alloc)
     result.obs.per_shard.push_back(state.registry->snapshot());
   }
   result.obs.merged = merged_snapshot(global_registry, states);
@@ -410,6 +504,7 @@ RunResult ShardedCache::run(const RunConfig& config) const {
     const std::uint64_t last = trace.requests.size() - 1;
     if (result.obs.timeline.empty() ||
         result.obs.timeline.back().request_index != last) {
+      // otac-lint: allow(hotpath-alloc)
       result.obs.timeline.push_back(obs::BarrierSample{
           last, trace.requests.back().time.seconds, result.obs.merged});
     }

@@ -1,0 +1,148 @@
+#include "ml/compiled_tree.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace otac::ml {
+
+CompiledTree CompiledTree::compile(const DecisionTree& tree) {
+  const std::size_t count = tree.node_count();
+  if (count == 0) throw std::logic_error("CompiledTree: tree not fitted");
+  CompiledTree out;
+  // One-time build at a retrain barrier, never per request.
+  // otac-lint: allow(hotpath-alloc)
+  out.feature_.resize(count);
+  // otac-lint: allow(hotpath-alloc)
+  out.threshold_.resize(count);
+  // otac-lint: allow(hotpath-alloc)
+  out.left_.resize(count);
+  // otac-lint: allow(hotpath-alloc)
+  out.right_.resize(count);
+  // otac-lint: allow(hotpath-alloc)
+  out.proba_.resize(count);
+  out.height_ = tree.height();
+  out.required_arity_ = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const DecisionTree::NodeView node = tree.node(i);
+    out.proba_[i] = node.probability;
+    if (node.feature < 0) {
+      // Leaf: self-loop so the batched walk can advance it unconditionally.
+      out.feature_[i] = 0;
+      out.threshold_[i] = 0.0F;
+      out.left_[i] = static_cast<std::uint32_t>(i);
+      out.right_[i] = static_cast<std::uint32_t>(i);
+    } else {
+      out.feature_[i] = static_cast<std::uint32_t>(node.feature);
+      out.threshold_[i] = node.threshold;
+      out.left_[i] = static_cast<std::uint32_t>(node.left);
+      out.right_[i] = static_cast<std::uint32_t>(node.right);
+      out.required_arity_ = std::max(
+          out.required_arity_, static_cast<std::size_t>(node.feature) + 1);
+    }
+  }
+  return out;
+}
+
+double CompiledTree::predict_proba(std::span<const float> features) const {
+  if (empty()) throw std::logic_error("CompiledTree: not fitted");
+  std::uint32_t node = 0;
+  while (left_[node] != node) {
+    const std::uint32_t f = feature_[node];
+    if (f >= features.size()) {
+      throw std::invalid_argument("CompiledTree: feature arity mismatch");
+    }
+    node = features[f] <= threshold_[node] ? left_[node] : right_[node];
+  }
+  return proba_[node];
+}
+
+void CompiledTree::predict_proba_batch(const float* rows, std::size_t n,
+                                       std::size_t stride, float* out) const {
+  if (empty()) throw std::logic_error("CompiledTree: not fitted");
+  if (n > kMaxBatch) {
+    throw std::invalid_argument("CompiledTree: batch exceeds kMaxBatch");
+  }
+  std::array<std::uint32_t, kMaxBatch> node{};  // every row starts at root
+  std::array<std::uint32_t, kMaxBatch> active;  // rows still descending
+  for (std::size_t r = 0; r < n; ++r) active[r] = static_cast<std::uint32_t>(r);
+  std::size_t alive = n;
+  const std::uint32_t* feat = feature_.data();
+  const float* thr = threshold_.data();
+  const std::uint32_t* lhs = left_.data();
+  const std::uint32_t* rhs = right_.data();
+  for (std::size_t level = 0; level < height_ && alive > 0; ++level) {
+    // Level-synchronous walk with active-row compaction: rows that reach a
+    // leaf drop out (branch-free, via the arithmetic keep-mask below), so
+    // the work is the sum of the reached leaf *depths*, not height * n —
+    // a best-first tree is deep only on rare paths.
+    std::size_t kept = 0;
+    for (std::size_t k = 0; k < alive; ++k) {
+      const std::uint32_t r = active[k];
+      const std::uint32_t cur = node[r];
+      // Identical comparison to the scalar walk: `<=` sends NaN right.
+      const float value = rows[r * stride + feat[cur]];
+      const std::uint32_t next = value <= thr[cur] ? lhs[cur] : rhs[cur];
+      node[r] = next;
+      active[kept] = r;
+      // Leaves self-loop, so `left == self` identifies arrival.
+      kept += lhs[next] != next ? 1 : 0;
+    }
+    alive = kept;
+  }
+  for (std::size_t r = 0; r < n; ++r) out[r] = proba_[node[r]];
+}
+
+void CompiledTree::encode_words(std::span<std::uint32_t> out) const {
+  const std::size_t count = node_count();
+  out[0] = static_cast<std::uint32_t>(count);
+  out[1] = static_cast<std::uint32_t>(height_);
+  out[2] = static_cast<std::uint32_t>(required_arity_);
+  std::uint32_t* cursor = out.data() + kHeaderWords;
+  for (std::size_t i = 0; i < count; ++i) {
+    cursor[0] = feature_[i];
+    cursor[1] = left_[i];
+    cursor[2] = right_[i];
+    cursor[3] = std::bit_cast<std::uint32_t>(threshold_[i]);
+    cursor[4] = std::bit_cast<std::uint32_t>(proba_[i]);
+    cursor += kWordsPerNode;
+  }
+}
+
+bool CompiledTree::decode_words(std::span<const std::uint32_t> words,
+                                CompiledTree& out) {
+  if (words.size() < kHeaderWords) return false;
+  const std::size_t count = words[0];
+  if (count == 0 || words.size() < kHeaderWords + kWordsPerNode * count) {
+    return false;
+  }
+  // Cold path (one decode per shard per retrain epoch); the resizes reuse
+  // the reader-owned capacity after the first epoch.
+  // otac-lint: allow(hotpath-alloc)
+  out.feature_.resize(count);
+  // otac-lint: allow(hotpath-alloc)
+  out.threshold_.resize(count);
+  // otac-lint: allow(hotpath-alloc)
+  out.left_.resize(count);
+  // otac-lint: allow(hotpath-alloc)
+  out.right_.resize(count);
+  // otac-lint: allow(hotpath-alloc)
+  out.proba_.resize(count);
+  out.height_ = words[1];
+  out.required_arity_ = words[2];
+  const std::uint32_t* cursor = words.data() + kHeaderWords;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.feature_[i] = cursor[0];
+    out.left_[i] = cursor[1];
+    out.right_[i] = cursor[2];
+    out.threshold_[i] = std::bit_cast<float>(cursor[3]);
+    out.proba_[i] = std::bit_cast<float>(cursor[4]);
+    cursor += kWordsPerNode;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (out.left_[i] >= count || out.right_[i] >= count) return false;
+  }
+  return true;
+}
+
+}  // namespace otac::ml

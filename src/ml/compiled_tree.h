@@ -1,0 +1,106 @@
+// Batched, branch-free inference over a fitted DecisionTree (§3.1.2 meets
+// §5.3.5: the paper's whole premise is that a ≤30-split CART is cheap
+// enough to sit on the serving path — this is the engine that makes it so).
+//
+// compile() flattens the pointer-chasing Node array into parallel SoA
+// vectors (feature index, threshold, child indices, leaf probability); at
+// the default 30-split budget the whole structure is ~1 KB and lives in L1.
+// Leaves are encoded as *self-loops* (left == right == self), so the
+// batched walk needs no branch on node type: every row simply advances
+// `node = value <= threshold ? left : right` for height() levels, and rows
+// that reached a leaf early spin in place. That turns per-level advancement
+// into a conditional move the compiler can keep branch-free, and lets one
+// call classify up to kMaxBatch staged requests with their dependent loads
+// overlapped instead of serialized.
+//
+// Predictions are bit-identical to DecisionTree::predict_proba — same
+// comparisons (`<=` with NaN falling right), same float probabilities —
+// which is what keeps the golden-pinned eviction hashes and shards=1
+// bit-identity intact (tests/ml/compiled_tree_test.cpp pins this).
+//
+// The word codec (encode_words/decode_words) serializes the tree into
+// fixed-width 32-bit words so core/model_slot.h can publish it through a
+// seqlock of plain std::atomic<uint32_t> — floats travel via bit_cast, so
+// a decode round-trip is exact.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace otac::ml {
+
+class CompiledTree {
+ public:
+  /// Upper bound on rows per predict_proba_batch call (the per-shard
+  /// admission micro-batch size in core/serving_core.h).
+  static constexpr std::size_t kMaxBatch = 64;
+
+  /// Word-codec layout: [node_count, height, required_arity] header, then
+  /// node_count words each of feature, left, right, threshold, probability.
+  static constexpr std::size_t kHeaderWords = 3;
+  static constexpr std::size_t kWordsPerNode = 5;
+
+  CompiledTree() = default;
+
+  /// Flatten a fitted tree. Throws std::logic_error when `tree` is unfitted.
+  [[nodiscard]] static CompiledTree compile(const DecisionTree& tree);
+
+  [[nodiscard]] bool empty() const noexcept { return feature_.empty(); }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return feature_.size();
+  }
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  /// 1 + the largest feature index any split reads; rows at least this wide
+  /// can go through the batched walk without per-node bounds checks.
+  [[nodiscard]] std::size_t required_arity() const noexcept {
+    return required_arity_;
+  }
+
+  /// Scalar prediction, semantics identical to DecisionTree::predict_proba:
+  /// throws std::logic_error when unfitted, std::invalid_argument when the
+  /// walk reaches a split whose feature index is outside `features`.
+  [[nodiscard]] double predict_proba(std::span<const float> features) const;
+  [[nodiscard]] int predict(std::span<const float> features) const {
+    return predict_proba(features) >= 0.5 ? 1 : 0;
+  }
+
+  /// Classify `n` rows (n <= kMaxBatch) stored row-major at `rows` with
+  /// `stride` floats per row. The caller must guarantee
+  /// required_arity() <= stride (no per-node bounds checks on this path).
+  /// Writes one probability per row; each is bit-identical to the scalar
+  /// predict_proba of the same row (float widened to double).
+  void predict_proba_batch(const float* rows, std::size_t n,
+                           std::size_t stride, float* out) const;
+
+  // --- word codec for core/model_slot.h -------------------------------
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return kHeaderWords + kWordsPerNode * node_count();
+  }
+  /// Serialize into exactly word_count() words.
+  void encode_words(std::span<std::uint32_t> out) const;
+  /// Rebuild from an encode_words() image (reuses `out`'s capacity).
+  /// Returns false on a structurally implausible image instead of throwing
+  /// (the seqlock reader validates sequence numbers before decoding, so
+  /// false indicates a logic bug, not a torn read).
+  [[nodiscard]] static bool decode_words(std::span<const std::uint32_t> words,
+                                         CompiledTree& out);
+
+  friend bool operator==(const CompiledTree&, const CompiledTree&) = default;
+
+ private:
+  // SoA node storage; leaf i has left_[i] == right_[i] == i, feature_ 0.
+  std::vector<std::uint32_t> feature_;
+  std::vector<float> threshold_;
+  std::vector<std::uint32_t> left_;
+  std::vector<std::uint32_t> right_;
+  std::vector<float> proba_;
+  std::size_t height_ = 0;
+  std::size_t required_arity_ = 0;
+};
+
+}  // namespace otac::ml

@@ -40,6 +40,9 @@ class Dataset {
   }
   [[nodiscard]] int label(std::size_t i) const noexcept { return labels_[i]; }
   [[nodiscard]] float weight(std::size_t i) const noexcept { return weights_[i]; }
+  [[nodiscard]] std::span<const float> weights() const noexcept {
+    return weights_;
+  }
   [[nodiscard]] float value(std::size_t i, std::size_t f) const noexcept {
     return values_[i * num_features() + f];
   }

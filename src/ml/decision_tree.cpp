@@ -26,27 +26,70 @@ double gini(double positive, double total) noexcept {
 // find_best_split is a single linear scan per feature instead of an
 // O(m log m) sort per feature per node.
 //
-// Entries carry (value, weight, positive) inline so the hot scans touch
-// one contiguous array — the row-major Dataset is only consulted through
-// the per-row side mask when a split is applied.
+// Entries carry (value, row, label) inline so the hot scans touch one
+// contiguous array — the row-major Dataset is only consulted through the
+// per-row side mask when a split is applied.
 struct DecisionTree::PresortIndex {
+  // 8 bytes: the label rides in the row index's high bit, and the weight
+  // is not stored at all. The trainer's weights are uniform per class
+  // (1.0, scaled by the §4.4.1 cost matrix for negatives), so the weight
+  // is a two-entry table lookup on the label bit — bitwise the same float
+  // the old inline field held. Non-uniform weights (AdaBoost reweighting)
+  // fall back to a row-indexed load from the dataset's weight array.
+  // fit() is bound by partition and scan traffic over these entries, so
+  // every dropped byte is throughput.
   struct Entry {
     float value;
-    float weight;
-    float positive;  // weight when label == 1, else 0
-    std::uint32_t row;
+    std::uint32_t row_and_label;  // bit 31 = label, bits 0..30 = row
+
+    [[nodiscard]] std::uint32_t row() const noexcept {
+      return row_and_label & 0x7FFFFFFFU;
+    }
   };
 
   std::size_t rows = 0;
   std::vector<Entry> entries;          // num_features segments of `rows`
   std::vector<Entry> scratch;          // right-child staging for partition
   std::vector<std::uint8_t> goes_left; // per-row side mark of current split
+  bool uniform_weights = true;         // weight is a function of the label
+  float class_weight[2] = {0.0F, 0.0F};  // [label] when uniform_weights
+  const float* row_weights = nullptr;    // dataset weights (fallback path)
+
+  /// The row's weight — exactly the float Dataset::weight(row) returns
+  /// (the uniform path is only taken when every row of the class compared
+  /// equal to the table entry, so the lookup is bitwise identical).
+  [[nodiscard]] float weight_of(Entry e) const noexcept {
+    return uniform_weights ? class_weight[e.row_and_label >> 31]
+                           : row_weights[e.row()];
+  }
+  /// weight_of(e) when label == 1, else 0 — the positive-class mass term.
+  [[nodiscard]] float positive_of(Entry e) const noexcept {
+    return (e.row_and_label & 0x80000000U) != 0U ? weight_of(e) : 0.0F;
+  }
 
   explicit PresortIndex(const Dataset& data)
       : rows(data.num_rows()),
         entries(data.num_features() * data.num_rows()),
         scratch(data.num_rows()),
-        goes_left(data.num_rows()) {
+        goes_left(data.num_rows()),
+        row_weights(data.weights().data()) {
+    // One pass to pack (row, label) words and detect per-class-uniform
+    // weights (seen[] tracks which classes have fixed their table entry).
+    std::vector<std::uint32_t> rowlab(rows);
+    bool seen[2] = {false, false};
+    for (std::size_t r = 0; r < rows; ++r) {
+      const bool positive = data.label(r) == 1;
+      rowlab[r] =
+          static_cast<std::uint32_t>(r) | (positive ? 0x80000000U : 0U);
+      const float w = data.weight(r);
+      const std::size_t cls = positive ? 1 : 0;
+      if (!seen[cls]) {
+        seen[cls] = true;
+        class_weight[cls] = w;
+      } else if (w != class_weight[cls]) {
+        uniform_weights = false;
+      }
+    }
     // LSD radix sort (3 passes of 11/11/10 bits over the order-preserving
     // float transform). Stable, so gathering in row order makes ties come
     // out row-ascending — the same deterministic (value, row) order a
@@ -57,10 +100,7 @@ struct DecisionTree::PresortIndex {
       Entry* seg = entries.data() + f * rows;
       Entry* tmp = scratch.data();
       for (std::size_t r = 0; r < rows; ++r) {
-        const float w = data.weight(r);
-        tmp[r] = Entry{data.value(r, f), w,
-                       data.label(r) == 1 ? w : 0.0F,
-                       static_cast<std::uint32_t>(r)};
+        tmp[r] = Entry{data.value(r, f), rowlab[r]};
       }
       std::fill(&hist[0][0], &hist[0][0] + 3 * 2048, 0U);
       for (std::size_t r = 0; r < rows; ++r) {
@@ -113,7 +153,7 @@ struct DecisionTree::PresortIndex {
       std::size_t left = 0;
       std::size_t right = 0;
       for (std::size_t k = 0; k < count; ++k) {
-        if (goes_left[seg[k].row]) {
+        if (goes_left[seg[k].row()]) {
           seg[left++] = seg[k];
         } else {
           scratch[right++] = seg[k];
@@ -149,8 +189,8 @@ DecisionTree::SplitChoice DecisionTree::find_best_split(
   {
     const PresortIndex::Entry* seg = index.segment(0, begin);
     for (std::size_t k = 0; k < count; ++k) {
-      node_total += static_cast<double>(seg[k].weight);
-      node_positive += static_cast<double>(seg[k].positive);
+      node_total += static_cast<double>(index.weight_of(seg[k]));
+      node_positive += static_cast<double>(index.positive_of(seg[k]));
     }
   }
   const double node_impurity = gini(node_positive, node_total);
@@ -159,11 +199,16 @@ DecisionTree::SplitChoice DecisionTree::find_best_split(
   for (std::size_t fi = 0; fi < consider; ++fi) {
     const std::size_t f = features[fi];
     const PresortIndex::Entry* seg = index.segment(f, begin);
+    // A constant-valued segment admits no cut (every adjacent pair is an
+    // equal-value run), so the whole scan would fall through — skip it.
+    // Sorted order makes the check O(1); deep nodes of the discretized
+    // features (type, terminal, hour) hit this constantly.
+    if (seg[0].value == seg[count - 1].value) continue;
     double left_total = 0.0;
     double left_positive = 0.0;
     for (std::size_t k = 0; k + 1 < count; ++k) {
-      left_total += static_cast<double>(seg[k].weight);
-      left_positive += static_cast<double>(seg[k].positive);
+      left_total += static_cast<double>(index.weight_of(seg[k]));
+      left_positive += static_cast<double>(index.positive_of(seg[k]));
       const float value = seg[k].value;
       const float next_value = seg[k + 1].value;
       if (value == next_value) continue;  // no cut inside an equal-value run
@@ -227,8 +272,8 @@ void DecisionTree::fit(const Dataset& data) {
     if (d > 0) {
       const PresortIndex::Entry* seg = index.segment(0, begin);
       for (std::size_t k = 0; k < count; ++k) {
-        total += static_cast<double>(seg[k].weight);
-        positive += static_cast<double>(seg[k].positive);
+        total += static_cast<double>(index.weight_of(seg[k]));
+        positive += static_cast<double>(index.positive_of(seg[k]));
       }
     } else {
       for (std::size_t k = 0; k < count; ++k) {
@@ -285,7 +330,7 @@ void DecisionTree::fit(const Dataset& data) {
           index.segment(cand.split.feature, cand.begin);
       for (std::size_t k = 0; k < cand.count; ++k) {
         const bool left = seg[k].value <= cand.split.threshold;
-        index.goes_left[seg[k].row] = left ? 1 : 0;
+        index.goes_left[seg[k].row()] = left ? 1 : 0;
         left_count += left ? 1 : 0;
       }
     }

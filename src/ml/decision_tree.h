@@ -58,6 +58,21 @@ class DecisionTree final : public Classifier {
     return importance_;
   }
 
+  /// Read-only view of one stored node (leaf when feature == -1), indexed
+  /// 0..node_count(). Children always point strictly forward. This is the
+  /// flattening interface for ml/compiled_tree.h.
+  struct NodeView {
+    std::int32_t feature;
+    float threshold;
+    std::int32_t left;
+    std::int32_t right;
+    float probability;
+  };
+  [[nodiscard]] NodeView node(std::size_t i) const noexcept {
+    const Node& n = nodes_[i];
+    return {n.feature, n.threshold, n.left, n.right, n.probability};
+  }
+
   /// Comparisons performed for this row (== depth of the reached leaf).
   [[nodiscard]] std::size_t decision_path_length(
       std::span<const float> features) const;

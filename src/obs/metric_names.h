@@ -44,6 +44,7 @@ inline constexpr std::string_view kKnownCounters[] = {
     "serving.predict_one_time",
     "serving.predict_reuse",
     "serving.rectified",
+    "trainer.compiled_tree_swaps",
     "trainer.fit_skipped",
     "trainer.fits",
     "trainer.models_published",
@@ -65,6 +66,7 @@ inline constexpr std::string_view kKnownHistograms[] = {
     "checkpoint.load_seconds",
     "checkpoint.save_seconds",
     "latency.request_us",   // core/run_metrics.h kLatencyHistogramName
+    "serving.admission_batch_size",  // kAdmissionBatchHistogramName
     "trainer.fit_seconds",  // core/run_metrics.h kFitHistogramName
 };
 

@@ -22,6 +22,7 @@
 #include "core/serving_core.h"
 #include "core/sharded_cache.h"
 #include "util/sim_time.h"
+#include "ml/compiled_tree.h"
 #include "ml/dataset.h"
 #include "ml/decision_tree.h"
 #include "trace/next_access.h"
@@ -51,7 +52,7 @@ class ShardedStressFixture : public ::testing::Test {
   /// A servable 9-feature tree fit on a synthetic (deterministic) dataset;
   /// `flavor` perturbs the labels so successive swaps install trees that
   /// genuinely differ.
-  static std::shared_ptr<const ml::DecisionTree> make_tree(int flavor) {
+  static ml::DecisionTree make_tree(int flavor) {
     ml::Dataset data{FeatureExtractor::feature_names()};
     std::array<float, FeatureExtractor::kFeatureCount> row{};
     for (int i = 0; i < 400; ++i) {
@@ -64,7 +65,7 @@ class ShardedStressFixture : public ::testing::Test {
     config.max_splits = 8;
     ml::DecisionTree tree{config};
     tree.fit(data);
-    return std::make_shared<const ml::DecisionTree>(std::move(tree));
+    return tree;
   }
 
   static Trace* trace_;
@@ -79,18 +80,22 @@ TEST_F(ShardedStressFixture, EightThreadsHammerAdmissionDuringModelSwaps) {
   constexpr std::uint64_t kOpsPerWorker = 150'000;  // 1.2M ops total
 
   ModelSlot model;
-  const auto tree_a = make_tree(0);
-  const auto tree_b = make_tree(1);
+  const ml::CompiledTree tree_a = ml::CompiledTree::compile(make_tree(0));
+  const ml::CompiledTree tree_b = ml::CompiledTree::compile(make_tree(1));
 
   std::atomic<bool> serving_done{false};
   std::atomic<std::uint64_t> swaps{0};
   std::thread swapper{[&] {
+    ml::CompiledTree readback;
     while (!serving_done.load()) {
       model.store((swaps.load() % 2 == 0) ? tree_a : tree_b);
       swaps.fetch_add(1);
       // A periodic read from the swapper side too (checkpointing reads the
-      // live model the same way).
-      (void)model.load();
+      // live model the same way). A decoded snapshot must always equal one
+      // of the published trees — a torn read slipping through the seqlock
+      // would trip this.
+      ASSERT_TRUE(model.load(readback));
+      ASSERT_TRUE(readback == tree_a || readback == tree_b);
     }
   }};
 
@@ -105,6 +110,7 @@ TEST_F(ShardedStressFixture, EightThreadsHammerAdmissionDuringModelSwaps) {
     std::uint64_t local_ops = 0;
     std::uint64_t local_admitted = 0;
     std::uint64_t pass = 0;
+    ml::CompiledTree snapshot;  // reader-owned storage, reused across loads
     while (local_ops < kOpsPerWorker) {
       for (std::uint64_t i = shard; i < total && local_ops < kOpsPerWorker;
            i += kWorkers) {
@@ -113,8 +119,11 @@ TEST_F(ShardedStressFixture, EightThreadsHammerAdmissionDuringModelSwaps) {
         request.time.seconds +=
             static_cast<std::int64_t>(pass) * 10 * kSecondsPerDay;
         const PhotoMeta& photo = trace_->catalog.photo(request.photo);
-        const std::shared_ptr<const ml::DecisionTree> tree = model.load();
-        if (core.admit(tree.get(), i, request, photo)) ++local_admitted;
+        // One seqlock load per op — far hotter than production (one load
+        // per shard per epoch) precisely to hammer load/store overlap.
+        const ml::CompiledTree* tree =
+            model.load(snapshot) ? &snapshot : nullptr;
+        if (core.admit(tree, i, request, photo)) ++local_admitted;
         core.observe(request, photo);
         ++local_ops;
       }
@@ -145,7 +154,7 @@ TEST_F(ShardedStressFixture, CheckpointCyclesWithFailpointsDuringServing) {
   snapshot.m = 1000.0;
   snapshot.h = 0.5;
   snapshot.p = 0.2;
-  snapshot.model_blob = make_tree(0)->serialize();
+  snapshot.model_blob = make_tree(0).serialize();
 
   std::atomic<bool> serving_done{false};
   std::atomic<std::uint64_t> saves_attempted{0};
@@ -177,7 +186,8 @@ TEST_F(ShardedStressFixture, CheckpointCyclesWithFailpointsDuringServing) {
     for (std::uint64_t i = shard; i < total; i += 4) {
       const Request& request = trace_->requests[i];
       const PhotoMeta& photo = trace_->catalog.photo(request.photo);
-      (void)core.admit(nullptr, i, request, photo);
+      (void)core.admit(static_cast<const ml::CompiledTree*>(nullptr), i,
+                       request, photo);
       core.observe(request, photo);
     }
   });

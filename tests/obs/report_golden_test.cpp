@@ -300,8 +300,12 @@ TEST(ReportGolden, ShardedOneMatchesUnshardedModuloTimings) {
 
   MetricsSnapshot a = strip_timings(unsharded.obs.merged);
   MetricsSnapshot b = strip_timings(sharded.obs.merged);
-  // The shard-buffer drain counter only exists on the sharded path.
+  // These metrics only exist on the sharded path: the shard-buffer drain
+  // counter, the seqlock publish counter, and the admission micro-batch
+  // size histogram (the unsharded system serves scalar).
   b.counters.erase("trainer.samples_drained");
+  b.counters.erase("trainer.compiled_tree_swaps");
+  b.histograms.erase("serving.admission_batch_size");
   EXPECT_EQ(a, b);
   EXPECT_EQ(unsharded.obs.derived, sharded.obs.derived);
 }

@@ -1,0 +1,42 @@
+// Fixture: every allocation/indirection pattern the hotpath-alloc rule
+// bans, in a file opted into the hot-path set via pragma.
+// Expected hits: hotpath-alloc x6.
+// otac-lint: hotpath-file
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace otac_fixture {
+
+struct Request {
+  int id = 0;
+};
+
+int serve(std::vector<int>& queue, int value) {
+  auto* leaked = new Request{value};                  // hit 1
+  auto owned = std::make_unique<Request>(value);      // hit 2
+  auto shared = std::make_shared<Request>(value);     // hit 3
+  std::function<int(int)> callback = [](int v) {      // hit 4
+    return v + 1;
+  };
+  queue.push_back(value);                             // hit 5
+  queue.resize(queue.size() * 2);                     // hit 6
+  delete leaked;
+  return callback(owned->id + shared->id);
+}
+
+// A cold site suppresses with a pragma stating why.
+void setup(std::vector<int>& queue, int capacity) {
+  // Cold: one-time construction, before the replay loop.
+  // otac-lint: allow(hotpath-alloc)
+  queue.reserve(static_cast<unsigned long>(capacity));
+}
+
+// `renew`/`news_feed` must not trip the word-boundary `new` pattern, and
+// "new" inside a string is blanked before matching.
+int renew(int news_feed) {
+  const char* banner = "allocate new entries here";
+  return news_feed + static_cast<int>(sizeof(banner));
+}
+
+}  // namespace otac_fixture

@@ -25,6 +25,10 @@ why in a neighbouring comment):
                                                    unordered-serialization
                                                    rule (in addition to the
                                                    built-in boundary list)
+    // otac-lint: hotpath-file                     mark file for the
+                                                   hotpath-alloc rule (in
+                                                   addition to the built-in
+                                                   hot-path list)
 
 Adding a rule: subclass Rule, implement check(), append an instance to
 RULES, add a fixture in tools/otac_lint/fixtures/ plus an expectation in
@@ -58,9 +62,20 @@ SERIALIZATION_BOUNDARY_FILES = {
     "src/trace/trace_io.cpp",
 }
 
+# Translation units containing the per-request replay loops: every request
+# of a 25M-op replay crosses these, so a stray allocation or type-erased
+# call is a systematic throughput regression, not noise. Cold sites inside
+# them (setup, retrain barriers, report assembly) carry allow() pragmas.
+HOTPATH_FILES = {
+    "src/core/serving_core.cpp",
+    "src/core/sharded_cache.cpp",
+    "src/ml/compiled_tree.cpp",
+}
+
 ALLOW_RE = re.compile(r"otac-lint:\s*allow\(([a-z0-9\-,\s]+)\)")
 ALLOW_FILE_RE = re.compile(r"otac-lint:\s*allow-file\(([a-z0-9\-,\s]+)\)")
 BOUNDARY_PRAGMA_RE = re.compile(r"otac-lint:\s*serialization-boundary")
+HOTPATH_PRAGMA_RE = re.compile(r"otac-lint:\s*hotpath-file")
 
 
 def strip_comments(text: str) -> str:
@@ -156,6 +171,7 @@ class FileContext:
         self.file_allows: set[str] = set()
         self.line_allows: dict[int, set[str]] = {}
         self.boundary_pragma = False
+        self.hotpath_pragma = False
         for lineno, line in enumerate(self.raw_lines, start=1):
             m = ALLOW_FILE_RE.search(line)
             if m:
@@ -169,6 +185,8 @@ class FileContext:
                 self.line_allows.setdefault(lineno + 1, set()).update(rules)
             if BOUNDARY_PRAGMA_RE.search(line):
                 self.boundary_pragma = True
+            if HOTPATH_PRAGMA_RE.search(line):
+                self.hotpath_pragma = True
 
     def allowed(self, rule: str, lineno: int) -> bool:
         if rule in self.file_allows:
@@ -184,6 +202,9 @@ class FileContext:
     def is_serialization_boundary(self) -> bool:
         return (self.rel_path in SERIALIZATION_BOUNDARY_FILES
                 or self.boundary_pragma)
+
+    def is_hotpath_file(self) -> bool:
+        return self.rel_path in HOTPATH_FILES or self.hotpath_pragma
 
 
 def _split_rules(spec: str) -> set[str]:
@@ -413,6 +434,49 @@ class GoldenHashRule(Rule):
         return out
 
 
+class HotpathAllocRule(Rule):
+    """The admission path's zero-allocation contract (DESIGN.md §12): the
+    per-request replay loops pre-size every buffer at construction, so any
+    heap traffic that appears later is a regression the throughput benches
+    will pay for on every one of ~25M requests. Cold sites inside hot-path
+    translation units (setup, retrain barriers, report assembly) suppress
+    with an allow() pragma stating why they are cold."""
+
+    name = "hotpath-alloc"
+    summary = ("no new/make_unique/make_shared, std::function, or "
+               "vector-growth calls (push_back/emplace_back/resize/reserve) "
+               "in hot-path files; cold sites carry allow() pragmas")
+
+    PATTERNS = [
+        (re.compile(r"(?<![A-Za-z0-9_])new(?![A-Za-z0-9_])"),
+         "operator new"),
+        (re.compile(r"\bstd\s*::\s*(make_unique|make_shared)\s*[<(]"),
+         "heap allocation"),
+        (re.compile(r"\bstd\s*::\s*function\s*<"),
+         "type-erased std::function (allocates and indirects)"),
+        (re.compile(r"(?:\.|->)\s*"
+                    r"(push_back|emplace_back|resize|reserve)\s*\("),
+         "container growth"),
+    ]
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        if not ctx.is_hotpath_file():
+            return []
+        out = []
+        for pattern, label in self.PATTERNS:
+            for m in pattern.finditer(ctx.ident_text):
+                lineno = ctx.line_of_offset(m.start())
+                if ctx.allowed(self.name, lineno):
+                    continue
+                what = (m.group(1) if pattern.groups else m.group(0)).strip()
+                out.append(self._hit(
+                    ctx, lineno,
+                    f"{label} '{what}' in a hot-path file; the admission "
+                    f"path is zero-allocation — pre-size at construction, "
+                    f"or mark a cold site with an allow() pragma"))
+        return out
+
+
 class HeaderHygieneRule(Rule):
     """Headers carry #pragma once and never inject namespaces into every
     includer."""
@@ -457,6 +521,7 @@ def build_rules(root: Path) -> list[Rule]:
         FailpointRegistryRule(parse_registry_names(root, FAILPOINT_REGISTRY)),
         MetricRegistryRule(parse_registry_names(root, METRIC_REGISTRY)),
         GoldenHashRule(),
+        HotpathAllocRule(),
         HeaderHygieneRule(),
     ]
 

@@ -25,6 +25,7 @@ EXPECTED = {
     "failpoint_registry_violation.cpp": {"failpoint-registry": 1},
     "metric_registry_violation.cpp": {"metric-registry": 2},
     "golden_hash_violation.cpp": {"golden-hash": 3},
+    "hotpath_alloc_violation.cpp": {"hotpath-alloc": 6},
     "header_hygiene_violation.h": {"header-hygiene": 2},
     "allow_pragma_clean.cpp": {},
 }
@@ -36,6 +37,7 @@ ALL_RULES = {
     "failpoint-registry",
     "metric-registry",
     "golden-hash",
+    "hotpath-alloc",
     "header-hygiene",
 }
 
