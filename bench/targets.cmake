@@ -39,6 +39,12 @@ otac_add_bench(micro_cache_ops)
 otac_add_bench(micro_sharded_replay)
 otac_add_bench(micro_obs_overhead)
 
+# Chaos-schedule replay report (tools/chaos): a behavior gate, not a
+# timing contest — BENCH_chaos.json records completion/recovery/shed-rate
+# per builtin fault scenario.
+otac_add_bench(micro_chaos_replay)
+target_link_libraries(micro_chaos_replay PRIVATE otac_chaos)
+
 # google-benchmark micro-benchmarks.
 function(otac_add_micro name)
   otac_add_bench(${name})

@@ -11,6 +11,11 @@
 #                (failpoints, crash-safe checkpointing, crash recovery)
 #   concurrency  TSan over the `concurrency` ctest label
 #                (sharded stress + determinism)
+#   chaos        chaos-schedule gate: the `chaos` ctest label (builtin
+#                fault scenarios, tools/chaos) under ASan+UBSan *and*
+#                TSan, then the replay report binary emits and validates
+#                BENCH_chaos.json (exits nonzero if any scenario fails
+#                to complete, recover, or keep shedding bounded)
 #   bench-smoke  reduced-iteration micro-bench pass (OTAC_SCALE, default
 #                0.02) that emits and validates the BENCH_*.json reports
 #   lint         three-layer static-analysis gate: otac-lint invariants,
@@ -52,12 +57,40 @@ case "$JOB" in
     echo "concurrency suite clean under TSan"
     ;;
 
+  chaos)
+    # Both sanitizers on purpose: ASan+UBSan catches lifetime bugs on the
+    # fault paths (abandoned retrains, checkpoint retries), TSan
+    # race-checks the watchdog worker and the mid-serve checkpointer
+    # thread. The build dirs match the robustness/concurrency jobs so
+    # local runs and CI share their caches.
+    ASAN_DIR="${BUILD_DIR:-build-asan}"
+    TSAN_DIR="${BUILD_DIR:+$BUILD_DIR-tsan}"
+    TSAN_DIR="${TSAN_DIR:-build-tsan}"
+    cmake -B "$ASAN_DIR" -S . -DOTAC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$ASAN_DIR" --target test_chaos micro_chaos_replay -j"$(nproc)"
+    ctest --test-dir "$ASAN_DIR" -L chaos --output-on-failure -j"$(nproc)"
+    echo "chaos suite clean under ASan+UBSan"
+    cmake -B "$TSAN_DIR" -S . -DOTAC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$TSAN_DIR" --target test_chaos -j"$(nproc)"
+    ctest --test-dir "$TSAN_DIR" -L chaos --output-on-failure -j"$(nproc)"
+    echo "chaos suite clean under TSan"
+    # The replay report is the artifact: micro_chaos_replay runs every
+    # builtin scenario at a reduced trace scale and exits nonzero unless
+    # each one completes, recovers, and keeps shedding bounded. Running
+    # the ASan binary keeps the gate honest about fault-path lifetimes.
+    mkdir -p "$ASAN_DIR/bench-smoke"
+    "$ASAN_DIR/bench/micro_chaos_replay" \
+      "$ASAN_DIR/bench-smoke/BENCH_chaos.json" "${OTAC_CHAOS_SCALE:-0.05}"
+    python3 -m json.tool "$ASAN_DIR/bench-smoke/BENCH_chaos.json" > /dev/null
+    echo "chaos gate passed; report in $ASAN_DIR/bench-smoke/BENCH_chaos.json"
+    ;;
+
   bench-smoke)
     BUILD_DIR="${BUILD_DIR:-build}"
     cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
     cmake --build "$BUILD_DIR" -j"$(nproc)" \
       --target micro_cache_ops micro_classifier micro_obs_overhead \
-               micro_sharded_replay
+               micro_sharded_replay micro_chaos_replay
     mkdir -p "$BUILD_DIR/bench-smoke"
     (
       cd "$BUILD_DIR/bench-smoke"
@@ -68,6 +101,9 @@ case "$JOB" in
       # Sharded replay at a tiny trace scale (argv[2]); the smoke run's job
       # is exercising the batched admission path end-to-end, not timing.
       ../bench/micro_sharded_replay BENCH_sharded_replay.json 0.05
+      # Chaos replay report: a behavior gate (completion/recovery/shed
+      # rate per fault scenario), self-failing on any scenario miss.
+      ../bench/micro_chaos_replay BENCH_chaos.json 0.05
       # Malformed report JSON fails the job — the reports are the artifact.
       for report in BENCH_*.json; do
         python3 -m json.tool "$report" > /dev/null
@@ -128,7 +164,7 @@ EOF
     ;;
 
   *)
-    echo "usage: scripts/ci.sh {build|robustness|concurrency|bench-smoke|lint|format} [build-dir]" >&2
+    echo "usage: scripts/ci.sh {build|robustness|concurrency|chaos|bench-smoke|lint|format} [build-dir]" >&2
     exit 2
     ;;
 esac

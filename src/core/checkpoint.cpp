@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 
 #include "core/run_metrics.h"
 #include "util/crc32.h"
@@ -367,9 +368,70 @@ CheckpointLoad CheckpointManager::load() const {
   return result;
 }
 
+void CheckpointManager::configure_retry(const CheckpointRetryConfig& config) {
+  retry_config_ = config;
+  BackoffConfig backoff = config.backoff;
+  backoff.max_retries = config.max_retries;
+  retry_backoff_ = ExponentialBackoff{backoff, config.backoff_seed};
+}
+
+bool CheckpointManager::save_with_retry(const ClassifierSnapshot& snapshot) {
+  if (read_only_) {
+    // Terminal state: durability was given up; serving goes on. Counted so
+    // an operator can see how many snapshots were sacrificed.
+    if (read_only_skips_ != nullptr) ++*read_only_skips_;
+    return false;
+  }
+  retry_backoff_.reset();
+  bool done = false;
+  while (!done) {  // bounded by retry_backoff_.exhausted() below
+    try {
+      save(snapshot);
+      return true;
+    } catch (const std::exception&) {
+      if (retry_backoff_.exhausted()) {
+        // Budget spent: either surface the final error or fall through to
+        // the terminal read-only state below.
+        if (!retry_config_.read_only_on_exhaustion) throw;
+        done = true;
+      } else {
+        // Transient storage faults (the write.* failpoints model media
+        // errors and crash points) are re-attempted after a backoff delay;
+        // save_impl starts from encode() so a half-written temp file from
+        // the failed attempt is simply overwritten.
+        const double delay_s = retry_backoff_.next_delay_s();
+        if (save_retries_ != nullptr) ++*save_retries_;
+        std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
+      }
+    }
+  }
+  read_only_ = true;
+  if (read_only_skips_ != nullptr) ++*read_only_skips_;
+  return false;
+}
+
+CheckpointLoad CheckpointManager::load_with_retry() {
+  retry_backoff_.reset();
+  CheckpointLoad result = load();
+  // A generation that exists but was rejected may be a *transient* read
+  // error (checkpoint.load.io) rather than corruption: re-read up to the
+  // budget. Cold start with nothing on disk is final — no retry can help.
+  while (result.origin == CheckpointOrigin::none && result.rejected_files > 0 &&
+         !retry_backoff_.exhausted()) {
+    const double delay_s = retry_backoff_.next_delay_s();
+    if (load_retries_ != nullptr) ++*load_retries_;
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
+    result = load();
+  }
+  return result;
+}
+
 void CheckpointManager::bind_metrics(obs::MetricsRegistry& registry) {
   saves_ = registry.counter("checkpoint.saves");
   save_failures_ = registry.counter("checkpoint.save_failures");
+  save_retries_ = registry.counter("checkpoint.save_retries");
+  load_retries_ = registry.counter("checkpoint.load_retries");
+  read_only_skips_ = registry.counter("checkpoint.read_only_skips");
   loads_current_ = registry.counter("checkpoint.loads_current");
   loads_previous_ = registry.counter("checkpoint.loads_previous");
   loads_cold_ = registry.counter("checkpoint.loads_cold");

@@ -21,8 +21,10 @@
 #include <vector>
 
 #include "core/history_table.h"
+#include "core/resilience.h"
 #include "core/trainer.h"
 #include "obs/metrics.h"
+#include "util/backoff.h"
 
 namespace otac {
 
@@ -82,6 +84,29 @@ class CheckpointManager {
   /// Validate-and-load with fallback; never throws on corrupt input.
   [[nodiscard]] CheckpointLoad load() const;
 
+  // --- storage-fault retry path (core/resilience.h) --------------------
+
+  /// Arm save/load retry with backoff. Without this call the *_with_retry
+  /// entry points behave exactly like save()/load() (zero retries, no
+  /// read-only state) — the historical first-failure contract.
+  void configure_retry(const CheckpointRetryConfig& config);
+
+  /// save() with bounded retry/backoff. Returns true when a generation
+  /// landed. After the budget is exhausted: with
+  /// `read_only_on_exhaustion` the manager enters a terminal *read-only*
+  /// state — this and every later call return false (counted as
+  /// checkpoint.read_only_skips) instead of throwing, trading durability
+  /// for availability; without it the last error propagates.
+  bool save_with_retry(const ClassifierSnapshot& snapshot);
+
+  /// load() re-run (bounded) while transient I/O rejections leave nothing
+  /// loadable; returns the last attempt's result (load() never throws).
+  [[nodiscard]] CheckpointLoad load_with_retry();
+
+  /// True once save retries were exhausted and the manager gave up on
+  /// durability for the rest of its lifetime.
+  [[nodiscard]] bool read_only() const noexcept { return read_only_; }
+
   [[nodiscard]] std::string current_path() const;
   [[nodiscard]] std::string previous_path() const;
   [[nodiscard]] std::string temp_path() const;
@@ -109,9 +134,19 @@ class CheckpointManager {
 
   std::string dir_;
 
+  // Storage-fault retry state. Until configure_retry() the defaults below
+  // make save_with_retry() a plain save() (zero retries, errors propagate,
+  // never read-only).
+  CheckpointRetryConfig retry_config_{.read_only_on_exhaustion = false};
+  ExponentialBackoff retry_backoff_{BackoffConfig{.max_retries = 0}, 0};
+  bool read_only_ = false;
+
   // Telemetry handles (null until bind_metrics).
   obs::MetricsRegistry::Counter saves_ = nullptr;
   obs::MetricsRegistry::Counter save_failures_ = nullptr;
+  obs::MetricsRegistry::Counter save_retries_ = nullptr;
+  obs::MetricsRegistry::Counter load_retries_ = nullptr;
+  obs::MetricsRegistry::Counter read_only_skips_ = nullptr;
   obs::MetricsRegistry::Counter loads_current_ = nullptr;
   obs::MetricsRegistry::Counter loads_previous_ = nullptr;
   obs::MetricsRegistry::Counter loads_cold_ = nullptr;

@@ -19,6 +19,7 @@
 #include "core/classifier_system.h"
 #include "core/config.h"
 #include "core/ota_criteria.h"
+#include "core/resilience.h"
 #include "obs/report.h"
 #include "storage/latency_model.h"
 #include "trace/next_access.h"
@@ -48,6 +49,12 @@ struct RunConfig {
   /// workers (0 = one thread per shard, capped by the hardware).
   std::size_t shards = 1;
   std::size_t threads = 0;
+
+  /// Overload-resilience layer (core/resilience.h): bounded shard queues
+  /// with degradation states, the retrain watchdog, and storage retry.
+  /// Every default keeps the replay bit-identical to a build without the
+  /// layer; only ShardedCache::run consumes it.
+  ResilienceConfig resilience{};
 };
 
 struct RunResult {

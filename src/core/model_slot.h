@@ -90,6 +90,9 @@ class ModelSlot {
   /// publish to the generation being read lands mid-copy, which retries.
   [[nodiscard]] bool load(ml::CompiledTree& out) const {
     std::array<std::uint32_t, kWords> staged;
+    // Seqlock read loop: bounded by publisher progress (a retry happens
+    // only when a publish landed mid-copy), not by an attempt budget.
+    // otac-lint: allow(bounded-retry)
     for (;;) {
       const std::uint64_t s = end_.load(std::memory_order_acquire);
       if (s == 0) return false;

@@ -33,6 +33,15 @@ void populate_degradation_metrics(obs::MetricsRegistry& registry,
   registry.set("degradation.nonfinite_feature_requests",
                degradation.nonfinite_feature_requests);
   registry.set("degradation.predict_failures", degradation.predict_failures);
+  registry.set("degradation.retrain_retries", degradation.retrain_retries);
+  registry.set("degradation.retrain_timeouts", degradation.retrain_timeouts);
+  registry.set("degradation.degraded_admits", degradation.degraded_admits);
+  registry.set("degradation.shed_requests", degradation.shed_requests);
+  registry.set("degradation.overload_transitions",
+               degradation.overload_transitions);
+  registry.set("degradation.ssd_write_retries",
+               degradation.ssd_write_retries);
+  registry.set("degradation.ssd_write_drops", degradation.ssd_write_drops);
 }
 
 void populate_history_metrics(obs::MetricsRegistry& registry,

@@ -42,7 +42,8 @@ struct DayClassifierMetrics {
 /// counter here (Flashield's rule: an ML cache component must fail toward
 /// conservative admission, i.e. the paper's Original admit-all behavior).
 struct DegradationCounters {
-  /// Retrain threw — last-good tree kept serving.
+  /// Retrain threw (terminally — retries exhausted or disabled) — the
+  /// last-good tree kept serving. Counted once per failed barrier.
   std::uint64_t retrain_failures = 0;
   /// A trained or checkpointed model failed validation — rejected; the
   /// previous tree (or admit-all when none) keeps serving.
@@ -52,9 +53,31 @@ struct DegradationCounters {
   /// predict() threw (arity mismatch etc.) — admitted via fallback.
   std::uint64_t predict_failures = 0;
 
+  // --- overload-resilience layer (core/resilience.h) -------------------
+  /// Watchdog re-ran a thrown retrain within one barrier's retry budget.
+  std::uint64_t retrain_retries = 0;
+  /// A barrier gave up waiting on a hung retrain (or found the trainer
+  /// still busy from a previous barrier) and proceeded on the last-good
+  /// model. Counted once per affected barrier.
+  std::uint64_t retrain_timeouts = 0;
+  /// Admissions decided by the Original (admit-all-cheap) fallback while a
+  /// shard was in the Degraded overload state.
+  std::uint64_t degraded_admits = 0;
+  /// Requests dropped (counted as rejected) while a shard was Shedding.
+  std::uint64_t shed_requests = 0;
+  /// Overload state-machine transitions (any direction, any shard).
+  std::uint64_t overload_transitions = 0;
+  /// SSD insert writes that failed transiently and were retried.
+  std::uint64_t ssd_write_retries = 0;
+  /// SSD insert writes abandoned after the retry budget — the object was
+  /// not cached (counted as rejected), which only costs a future miss.
+  std::uint64_t ssd_write_drops = 0;
+
   [[nodiscard]] std::uint64_t total() const noexcept {
     return retrain_failures + rejected_models + nonfinite_feature_requests +
-           predict_failures;
+           predict_failures + retrain_retries + retrain_timeouts +
+           degraded_admits + shed_requests + overload_transitions +
+           ssd_write_retries + ssd_write_drops;
   }
 
   void merge(const DegradationCounters& other) noexcept {
@@ -62,6 +85,13 @@ struct DegradationCounters {
     rejected_models += other.rejected_models;
     nonfinite_feature_requests += other.nonfinite_feature_requests;
     predict_failures += other.predict_failures;
+    retrain_retries += other.retrain_retries;
+    retrain_timeouts += other.retrain_timeouts;
+    degraded_admits += other.degraded_admits;
+    shed_requests += other.shed_requests;
+    overload_transitions += other.overload_transitions;
+    ssd_write_retries += other.ssd_write_retries;
+    ssd_write_drops += other.ssd_write_drops;
   }
 
   friend bool operator==(const DegradationCounters&,

@@ -1,0 +1,102 @@
+#include "core/shard_queue.h"
+
+#include <algorithm>
+
+namespace otac {
+
+const char* to_string(OverloadState state) noexcept {
+  switch (state) {
+    case OverloadState::normal:
+      return "normal";
+    case OverloadState::degraded:
+      return "degraded";
+    case OverloadState::shedding:
+      return "shedding";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Clamp a config into the documented watermark invariant
+///   degraded_exit < degraded_enter <= shed_exit < shed_enter
+/// so a hand-rolled config cannot wedge the machine (e.g. an exit above
+/// its enter would re-trigger on the same depth forever).
+OverloadConfig sanitized(OverloadConfig c) noexcept {
+  constexpr double kGap = 1e-9;
+  c.service_rate_per_s = std::max(c.service_rate_per_s, kGap);
+  c.degraded_enter = std::max(c.degraded_enter, 1.0);
+  // min(max(...)) chains instead of std::clamp: repairs are applied in
+  // dependency order, so an inverted input never produces lo > hi.
+  c.degraded_exit =
+      std::min(std::max(c.degraded_exit, 0.0), c.degraded_enter - kGap);
+  c.shed_enter = std::max(c.shed_enter, c.degraded_enter + kGap);
+  c.shed_exit =
+      std::min(std::max(c.shed_exit, c.degraded_enter), c.shed_enter - kGap);
+  c.flash_crowd_burst = std::max(c.flash_crowd_burst, 0.0);
+  return c;
+}
+
+}  // namespace
+
+ShardQueue::ShardQueue(const OverloadConfig& config) noexcept
+    : config_(sanitized(config)) {}
+
+void ShardQueue::drain_until(double time_s) noexcept {
+  if (!started_) {
+    started_ = true;
+    last_time_s_ = time_s;
+    return;
+  }
+  // Trace times are non-decreasing per shard; guard anyway so a malformed
+  // trace cannot grow the queue by draining a negative interval.
+  const double elapsed = std::max(time_s - last_time_s_, 0.0);
+  last_time_s_ = time_s;
+  depth_ = std::max(depth_ - elapsed * config_.service_rate_per_s, 0.0);
+}
+
+OverloadState ShardQueue::step(OverloadState from) const noexcept {
+  switch (from) {
+    case OverloadState::normal:
+      if (depth_ >= config_.degraded_enter) return OverloadState::degraded;
+      break;
+    case OverloadState::degraded:
+      if (depth_ >= config_.shed_enter) return OverloadState::shedding;
+      if (depth_ <= config_.degraded_exit) return OverloadState::normal;
+      break;
+    case OverloadState::shedding:
+      if (depth_ <= config_.shed_exit) return OverloadState::degraded;
+      break;
+  }
+  return from;
+}
+
+void ShardQueue::settle() noexcept {
+  // Converges in <= 2 steps (the chain has three states and hysteresis
+  // gaps prevent cycles), so this is not an unbounded retry loop.
+  OverloadState next = step(state_);
+  while (next != state_) {
+    state_ = next;
+    ++transitions_;
+    next = step(state_);
+  }
+}
+
+OverloadState ShardQueue::on_request(double time_s) noexcept {
+  drain_until(time_s);
+  depth_ += 1.0;  // tentative enqueue: the arrival itself is load
+  settle();
+  if (state_ == OverloadState::shedding) {
+    depth_ -= 1.0;  // shed work never occupies the queue
+    ++shed_;
+    return OverloadState::shedding;
+  }
+  return state_;
+}
+
+void ShardQueue::inject(double work_units) noexcept {
+  depth_ += std::max(work_units, 0.0);
+  settle();
+}
+
+}  // namespace otac

@@ -12,8 +12,11 @@
 #include "core/model_slot.h"
 #include "core/run_metrics.h"
 #include "core/serving_core.h"
+#include "core/shard_queue.h"
 #include "core/trainer.h"
+#include "core/trainer_watchdog.h"
 #include "storage/latency_model.h"
+#include "util/failpoint.h"
 #include "util/sim_time.h"
 #include "util/thread_pool.h"
 
@@ -73,6 +76,7 @@ struct ShardState {
   std::unique_ptr<CachePolicy> policy;
   std::unique_ptr<ServingCore> core;      // proposal only
   std::unique_ptr<DailyTrainer> sampler;  // proposal only: budget + buffer
+  std::unique_ptr<ShardQueue> queue;      // proposal + overload only
   std::unique_ptr<obs::MetricsRegistry> registry;
   obs::LatencyRecorder recorder;
   obs::FixedHistogram* batch_sizes = nullptr;  // proposal only
@@ -206,6 +210,10 @@ RunResult ShardedCache::run(const RunConfig& config) const {
           oracle, sampler_ota, result.criteria.m, result.cost_v);
       state.batch_sizes = state.registry->histogram(
           kAdmissionBatchHistogramName, admission_batch_histogram_bounds());
+      if (config.resilience.overload.enabled) {
+        // otac-lint: allow(hotpath-alloc)
+        state.queue = std::make_unique<ShardQueue>(config.resilience.overload);
+      }
     }
   }
   for (std::size_t s = 0; s < shards; ++s) {
@@ -223,6 +231,10 @@ RunResult ShardedCache::run(const RunConfig& config) const {
   // needs no synchronization either.
   ModelSlot model;
   DailyTrainer trainer{oracle, config.ota, result.criteria.m, result.cost_v};
+  // Retrain supervision (core/trainer_watchdog.h). With the default
+  // WatchdogConfig (inline, zero retries) this is exactly the historical
+  // try/catch-once barrier, so default-config replays stay bit-identical.
+  TrainerWatchdog watchdog{trainer, config.resilience.watchdog};
   DegradationCounters trainer_degradation;
   obs::MetricsRegistry global_registry;
   obs::FixedHistogram* fit_seconds = global_registry.histogram(
@@ -311,6 +323,111 @@ RunResult ShardedCache::run(const RunConfig& config) const {
       // requests from i+1 on).
       const ml::CompiledTree* tree =
           model.load(state.compiled) ? &state.compiled : nullptr;
+
+      if (state.queue != nullptr) {
+        // Overload-resilience loop (core/shard_queue.h): scalar serving
+        // gated by the shard's degradation state machine. Only taken when
+        // OverloadConfig::enabled — the default batched path below stays
+        // byte-identical to the pre-resilience code. Per-request failpoint
+        // evaluations (registry mutex + hash lookup) are acceptable here
+        // by the same reasoning: the cost is confined to this opt-in path.
+        const OverloadConfig& overload = config.resilience.overload;
+        const int ssd_budget = config.resilience.ssd_write_max_retries;
+        DegradationCounters& degradation = state.core->degradation;
+        const auto insert_with_ssd_retry = [&](const Request& request,
+                                               const PhotoMeta& photo) {
+          // Transient SSD write faults retry in place (a re-evaluation of
+          // the failpoint models the re-issued write); after the budget
+          // the object is simply not cached — admission rejection, never
+          // an error on the serving path.
+          int attempt = 0;
+          while (OTAC_FAILPOINT_ACTIVE("storage.ssd.write_error")) {
+            if (attempt >= ssd_budget) {
+              ++degradation.ssd_write_drops;
+              state.stats.rejected += 1;
+              state.stats.rejected_bytes += photo.size_bytes;
+              return;
+            }
+            ++attempt;
+            ++degradation.ssd_write_retries;
+          }
+          if (state.policy->insert(request.photo, photo.size_bytes)) {
+            state.stats.insertions += 1;
+            state.stats.inserted_bytes += photo.size_bytes;
+          }
+        };
+
+        for (; state.pos < mine.size() && mine[state.pos] < epoch_end;
+             ++state.pos) {
+          const std::uint64_t i = mine[state.pos];
+          const Request& request = trace.requests[i];
+          const PhotoMeta& photo = trace.catalog.photo(request.photo);
+          if (OTAC_FAILPOINT_ACTIVE("chaos.flash_crowd")) {
+            state.queue->inject(overload.flash_crowd_burst);
+          }
+          const OverloadState pressure = state.queue->on_request(
+              static_cast<double>(request.time.seconds));
+          state.stats.requests += 1;
+          state.stats.request_bytes += photo.size_bytes;
+          if (pressure == OverloadState::shedding) {
+            // Dropped before any serving work — no cache lookup, no
+            // feature extraction, no sample. Counted as a rejection so
+            // the stats stay coherent (hits + insertions + rejected ==
+            // requests); the shard-level shed total is snapshotted from
+            // the queue after the epoch.
+            state.stats.rejected += 1;
+            state.stats.rejected_bytes += photo.size_bytes;
+            state.recorder.record(false);
+            continue;
+          }
+          if (pressure == OverloadState::degraded) {
+            // The paper's Original policy as pressure relief: skip the
+            // whole ML half (extraction, sampling, classification) and
+            // admit every miss cheap.
+            state.policy->set_next_access_hint(oracle.next[i]);
+            const bool hit =
+                state.policy->access(request.photo, photo.size_bytes);
+            state.recorder.record(hit);
+            if (hit) {
+              state.stats.hits += 1;
+              state.stats.hit_bytes += photo.size_bytes;
+              continue;
+            }
+            ++degradation.degraded_admits;
+            insert_with_ssd_retry(request, photo);
+            continue;
+          }
+          // Normal: the full ML admission path as a batch of one —
+          // identical semantics to the batched loop below, at scalar
+          // granularity so the state machine can redirect the very next
+          // request.
+          state.core->begin_batch();
+          state.sampler->offer(i, request, state.core->stage(request, photo));
+          state.core->classify_staged(tree);
+          state.batch_sizes->add(1.0);
+          state.policy->set_next_access_hint(oracle.next[i]);
+          const bool hit =
+              state.policy->access(request.photo, photo.size_bytes);
+          state.recorder.record(hit);
+          if (hit) {
+            state.stats.hits += 1;
+            state.stats.hit_bytes += photo.size_bytes;
+            continue;
+          }
+          if (state.core->admit_staged(0, i, request, photo)) {
+            insert_with_ssd_retry(request, photo);
+          } else {
+            state.stats.rejected += 1;
+            state.stats.rejected_bytes += photo.size_bytes;
+          }
+        }
+        // Epoch-end snapshot of the queue's own counters into the shard's
+        // DegradationCounters (assignment — cumulative, idempotent).
+        degradation.shed_requests = state.queue->shed();
+        degradation.overload_transitions = state.queue->transitions();
+        return;
+      }
+
       constexpr std::size_t kBatch = ServingCore::kAdmissionBatchCapacity;
       while (state.pos < mine.size() && mine[state.pos] < epoch_end) {
         // Gather up to kBatch requests, never crossing the epoch barrier —
@@ -396,14 +513,18 @@ RunResult ShardedCache::run(const RunConfig& config) const {
                 [](const TrainingSample& a, const TrainingSample& b) {
                   return a.index < b.index;
                 });
-      trainer.ingest(drained);
       *samples_drained += drained.size();
       const auto fit_started = std::chrono::steady_clock::now();
-      try {
-        if (auto tree = trainer.train(trigger, trace.requests[trigger].time)) {
+      const RetrainOutcome outcome = watchdog.retrain(
+          std::move(drained), trigger, trace.requests[trigger].time);
+      trainer_degradation.retrain_retries +=
+          static_cast<std::uint64_t>(outcome.retries);
+      switch (outcome.status) {
+        case RetrainOutcome::Status::trained:
           ++*fits;
-          if (validate_serving_model(*tree, model_arity)) {
-            const ml::CompiledTree compiled = ml::CompiledTree::compile(*tree);
+          if (validate_serving_model(*outcome.tree, model_arity)) {
+            const ml::CompiledTree compiled =
+                ml::CompiledTree::compile(*outcome.tree);
             if (ModelSlot::fits(compiled)) {
               model.store(compiled);
               ++result.trainings;
@@ -417,11 +538,19 @@ RunResult ShardedCache::run(const RunConfig& config) const {
           } else {
             ++trainer_degradation.rejected_models;
           }
-        } else {
+          break;
+        case RetrainOutcome::Status::skipped:
           ++*fit_skipped;
-        }
-      } catch (const std::exception&) {
-        ++trainer_degradation.retrain_failures;
+          break;
+        case RetrainOutcome::Status::failed:
+          ++trainer_degradation.retrain_failures;
+          break;
+        case RetrainOutcome::Status::timed_out:
+        case RetrainOutcome::Status::busy:
+          // Shards keep serving the last-good generation; the watchdog has
+          // buffered this barrier's samples for a later idle barrier.
+          ++trainer_degradation.retrain_timeouts;
+          break;
       }
       fit_seconds->add(std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - fit_started)

@@ -1,6 +1,8 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "util/failpoint.h"
 
@@ -54,6 +56,12 @@ std::optional<ml::DecisionTree> DailyTrainer::train(std::uint64_t now_index,
   // OOM to a poisoned sample batch; the serving tier must keep the
   // last-good tree (see ClassifierSystem::observe).
   OTAC_FAILPOINT_THROW("trainer.train.fail");
+  // Hung-retrain surface for the watchdog: a stall long enough that any
+  // realistic barrier timeout expires, short enough to keep chaos tests
+  // fast. Like train.fail it sits before any state mutation.
+  if (OTAC_FAILPOINT_ACTIVE("trainer.train.hang")) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  }
   // Drop samples older than the training window.
   const SimTime window_start =
       now - static_cast<std::int64_t>(config_.training_window_days *

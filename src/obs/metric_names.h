@@ -28,16 +28,26 @@ inline constexpr std::string_view kKnownCounters[] = {
     "cache.misses",
     "cache.rejected",
     "cache.requests",
+    "checkpoint.load_retries",
     "checkpoint.loads_cold",
     "checkpoint.loads_current",
     "checkpoint.loads_previous",
+    "checkpoint.read_only_skips",
     "checkpoint.rejected_files",
     "checkpoint.save_failures",
+    "checkpoint.save_retries",
     "checkpoint.saves",
+    "degradation.degraded_admits",
     "degradation.nonfinite_feature_requests",
+    "degradation.overload_transitions",
     "degradation.predict_failures",
     "degradation.rejected_models",
     "degradation.retrain_failures",
+    "degradation.retrain_retries",
+    "degradation.retrain_timeouts",
+    "degradation.shed_requests",
+    "degradation.ssd_write_drops",
+    "degradation.ssd_write_retries",
     "history.rectified",
     "serving.history_recorded",
     "serving.no_model_admits",

@@ -1,0 +1,94 @@
+// Deterministic exponential backoff with bounded jitter, for the
+// overload-resilience layer's retry loops (retrain watchdog, checkpoint
+// save/load, SSD-write recovery).
+//
+// Two project invariants shape the design:
+//  - No ambient randomness (otac-lint rule `ambient-random`): the jitter
+//    stream is a seeded util/rng.h fork, so a retry schedule is a pure
+//    function of (config, seed) and replays are reproducible.
+//  - No unbounded retries (otac-lint rule `bounded-retry`): the budget is
+//    part of the config and exhausted() is the loop condition, so a caller
+//    literally cannot write `while (true) retry();` around this class
+//    without the linter flagging it.
+//
+// The schedule is the classic capped exponential with proportional jitter:
+//   envelope(k) = min(cap_s, base_s * multiplier^k)
+//   delay(k)    = envelope(k) * (1 - jitter * u),  u ~ U[0,1) seeded
+// so delay(k) always lies in [envelope(k) * (1 - jitter), envelope(k)] —
+// the bounds the unit tests pin.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace otac {
+
+struct BackoffConfig {
+  double base_s = 0.001;    ///< first-retry envelope (seconds)
+  double multiplier = 2.0;  ///< envelope growth per attempt
+  double cap_s = 0.100;     ///< envelope ceiling (seconds)
+  double jitter = 0.5;      ///< fraction of the envelope randomized away
+  int max_retries = 2;      ///< retry budget; exhausted() gates the loop
+};
+
+class ExponentialBackoff {
+ public:
+  explicit ExponentialBackoff(BackoffConfig config = {},
+                              std::uint64_t seed = 0) noexcept
+      : config_(sanitized(config)), rng_(seed) {}
+
+  /// True once the retry budget is spent; callers use this as the loop
+  /// bound (never retry on an exhausted backoff).
+  [[nodiscard]] bool exhausted() const noexcept {
+    return attempt_ >= config_.max_retries;
+  }
+
+  /// Retries consumed so far.
+  [[nodiscard]] int attempt() const noexcept { return attempt_; }
+
+  /// Deterministic envelope for retry `k` (what next_delay_s jitters).
+  [[nodiscard]] double envelope_s(int k) const noexcept {
+    double envelope = config_.base_s;
+    for (int i = 0; i < k; ++i) {
+      envelope *= config_.multiplier;
+      if (envelope >= config_.cap_s) return config_.cap_s;
+    }
+    return std::min(envelope, config_.cap_s);
+  }
+
+  /// Consume one retry from the budget and return its jittered delay in
+  /// seconds. Requires !exhausted().
+  [[nodiscard]] double next_delay_s() noexcept {
+    const double envelope = envelope_s(attempt_);
+    ++attempt_;
+    const double u = rng_.next_double();  // [0, 1)
+    return envelope * (1.0 - config_.jitter * u);
+  }
+
+  /// Rewind the schedule (e.g. after a success, before the next barrier);
+  /// the jitter stream continues — it is not re-seeded, so two resets do
+  /// not replay identical delays within one run.
+  void reset() noexcept { attempt_ = 0; }
+
+  [[nodiscard]] const BackoffConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] static BackoffConfig sanitized(BackoffConfig c) noexcept {
+    c.base_s = std::max(c.base_s, 0.0);
+    c.cap_s = std::max(c.cap_s, c.base_s);
+    c.multiplier = std::max(c.multiplier, 1.0);
+    c.jitter = std::clamp(c.jitter, 0.0, 1.0);
+    c.max_retries = std::max(c.max_retries, 0);
+    return c;
+  }
+
+  BackoffConfig config_;
+  Rng rng_;
+  int attempt_ = 0;
+};
+
+}  // namespace otac

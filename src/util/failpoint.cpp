@@ -14,10 +14,18 @@ Registry& Registry::instance() {
 
 void Registry::enable(const std::string& name, Spec spec) {
   // A typo'd name would otherwise register fine and simply never fire —
-  // the scripted fault silently tests nothing. Unknown names fail loudly.
+  // the scripted fault silently tests nothing. Unknown names fail loudly,
+  // and the message lists every registered name so the nearest valid
+  // spelling is one read away.
   if (!is_known_failpoint(name)) {
-    throw std::invalid_argument("failpoint not in util/failpoint_names.h: " +
-                                name);
+    std::string message =
+        "failpoint not in util/failpoint_names.h: " + name + " (registered:";
+    for (const std::string_view known : kKnownFailpoints) {
+      message += ' ';
+      message += known;
+    }
+    message += ')';
+    throw std::invalid_argument(message);
   }
   const std::lock_guard lock(mutex_);
   State& state = states_[name];
@@ -65,6 +73,10 @@ bool Registry::should_fire(std::string_view name) {
       fire = u < state.spec.p;
       break;
     }
+    case Trigger::window:
+      fire = state.hits >= state.spec.from && state.hits <= state.spec.to;
+      if (state.hits >= state.spec.to) state.enabled = false;  // window past
+      break;
   }
   if (fire) ++state.fires;
   return fire;

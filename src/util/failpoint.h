@@ -49,6 +49,7 @@ enum class Trigger {
   once,         ///< fire on the first evaluation, then disarm
   every_nth,    ///< fire on evaluations n, 2n, 3n, ... after enabling
   probability,  ///< fire with probability p per evaluation (seeded RNG)
+  window,       ///< fire on evaluations [from, to] after enabling, then stop
 };
 
 struct Spec {
@@ -56,6 +57,8 @@ struct Spec {
   std::uint64_t n = 1;       ///< period for every_nth
   double p = 1.0;            ///< fire probability for probability mode
   std::uint64_t seed = 0;    ///< RNG seed for probability mode
+  std::uint64_t from = 1;    ///< first firing evaluation for window mode
+  std::uint64_t to = 1;      ///< last firing evaluation for window mode
 };
 
 /// Process-wide registry of enabled failpoints. Thread-safe; evaluations
@@ -75,6 +78,17 @@ class Registry {
   void enable_probability(const std::string& name, double p,
                           std::uint64_t seed) {
     enable(name, Spec{Trigger::probability, 1, p, seed});
+  }
+  /// Deterministic fault *window*: fire on evaluations `from`..`to`
+  /// (1-based, inclusive), then never again — the chaos harness's way of
+  /// pinning "faults clear" to an evaluation count instead of wall time.
+  void enable_window(const std::string& name, std::uint64_t from,
+                     std::uint64_t to) {
+    Spec spec;
+    spec.trigger = Trigger::window;
+    spec.from = from == 0 ? 1 : from;
+    spec.to = to;
+    enable(name, spec);
   }
 
   void disable(const std::string& name);

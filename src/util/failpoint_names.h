@@ -18,6 +18,7 @@
 namespace otac::fail {
 
 inline constexpr std::string_view kKnownFailpoints[] = {
+    "chaos.flash_crowd",
     "checkpoint.load.io",
     "checkpoint.rename.fail",
     "checkpoint.rotate.fail",
@@ -25,7 +26,9 @@ inline constexpr std::string_view kKnownFailpoints[] = {
     "checkpoint.write.crash",
     "checkpoint.write.open_fail",
     "checkpoint.write.torn",
+    "storage.ssd.write_error",
     "trainer.train.fail",
+    "trainer.train.hang",
 };
 
 /// Reserved prefix for synthetic names used by registry unit tests.

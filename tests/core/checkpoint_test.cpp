@@ -7,7 +7,9 @@
 #include <fstream>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/crc32.h"
+#include "util/failpoint.h"
 
 namespace otac {
 namespace {
@@ -248,6 +250,117 @@ TEST_F(CheckpointTest, HugeDeclaredCountsRejectedWithoutAllocation) {
   append_section(4, trainer);
   EXPECT_THROW((void)CheckpointManager::decode(file), std::runtime_error);
   (void)bytes;
+}
+
+// --- storage-fault retry path ------------------------------------------
+
+/// Fast backoff so retry tests never sleep noticeably.
+CheckpointRetryConfig fast_retry(int max_retries,
+                                 bool read_only_on_exhaustion = true) {
+  CheckpointRetryConfig config;
+  config.max_retries = max_retries;
+  config.backoff.base_s = 1e-6;
+  config.backoff.cap_s = 1e-5;
+  config.read_only_on_exhaustion = read_only_on_exhaustion;
+  return config;
+}
+
+class CheckpointRetryTest : public CheckpointTest {
+ protected:
+  void SetUp() override {
+#if !defined(OTAC_FAILPOINTS_ENABLED) || !OTAC_FAILPOINTS_ENABLED
+    GTEST_SKIP() << "built with OTAC_FAILPOINTS=OFF";
+#endif
+    CheckpointTest::SetUp();
+    fail::Registry::instance().disable_all();
+  }
+  void TearDown() override {
+    fail::Registry::instance().disable_all();
+    CheckpointTest::TearDown();
+  }
+};
+
+TEST_F(CheckpointRetryTest, SaveRetryAbsorbsTransientFault) {
+  CheckpointManager manager{dir_};
+  manager.configure_retry(fast_retry(2));
+  obs::MetricsRegistry registry;
+  manager.bind_metrics(registry);
+  fail::Registry::instance().enable_once("checkpoint.write.open_fail");
+
+  EXPECT_TRUE(manager.save_with_retry(sample_snapshot()));
+  EXPECT_FALSE(manager.read_only());
+  const CheckpointLoad loaded = manager.load();
+  EXPECT_EQ(loaded.origin, CheckpointOrigin::current);
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counters.at("checkpoint.save_retries"), 1u);
+  EXPECT_EQ(snapshot.counters.at("checkpoint.saves"), 1u);
+  EXPECT_EQ(snapshot.counters.at("checkpoint.save_failures"), 1u);
+}
+
+TEST_F(CheckpointRetryTest, SaveRetryExhaustionEntersTerminalReadOnly) {
+  CheckpointManager manager{dir_};
+  manager.configure_retry(fast_retry(1));
+  obs::MetricsRegistry registry;
+  manager.bind_metrics(registry);
+  fail::Registry::instance().enable("checkpoint.write.open_fail");  // always
+
+  EXPECT_FALSE(manager.save_with_retry(sample_snapshot()));
+  EXPECT_TRUE(manager.read_only());
+  // The fault clearing does NOT resurrect durability: read-only is
+  // terminal for the manager's lifetime, and skips are counted.
+  fail::Registry::instance().disable_all();
+  EXPECT_FALSE(manager.save_with_retry(sample_snapshot()));
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counters.at("checkpoint.save_retries"), 1u);
+  EXPECT_EQ(snapshot.counters.at("checkpoint.read_only_skips"), 2u);
+  // Nothing ever landed on disk.
+  EXPECT_EQ(manager.load().origin, CheckpointOrigin::none);
+}
+
+TEST_F(CheckpointRetryTest, SaveRetryExhaustionCanPropagateInstead) {
+  CheckpointManager manager{dir_};
+  manager.configure_retry(fast_retry(1, /*read_only_on_exhaustion=*/false));
+  fail::Registry::instance().enable("checkpoint.write.open_fail");
+  EXPECT_THROW(manager.save_with_retry(sample_snapshot()),
+               std::runtime_error);
+  EXPECT_FALSE(manager.read_only());
+}
+
+TEST_F(CheckpointRetryTest, UnconfiguredSaveWithRetryKeepsFirstFailureContract) {
+  CheckpointManager manager{dir_};  // no configure_retry()
+  fail::Registry::instance().enable_once("checkpoint.write.open_fail");
+  // Zero retries, errors propagate, no read-only state: exactly save().
+  EXPECT_THROW(manager.save_with_retry(sample_snapshot()),
+               std::runtime_error);
+  EXPECT_FALSE(manager.read_only());
+  EXPECT_TRUE(manager.save_with_retry(sample_snapshot()));
+}
+
+TEST_F(CheckpointRetryTest, LoadRetryRecoversFromTransientIo) {
+  CheckpointManager manager{dir_};
+  manager.configure_retry(fast_retry(2));
+  obs::MetricsRegistry registry;
+  manager.bind_metrics(registry);
+  ASSERT_TRUE(manager.save_with_retry(sample_snapshot()));
+
+  // Both generations reject on the first pass (transient I/O), then the
+  // fault clears and the re-read restores the current generation.
+  fail::Registry::instance().enable_once("checkpoint.load.io");
+  const CheckpointLoad loaded = manager.load_with_retry();
+  EXPECT_EQ(loaded.origin, CheckpointOrigin::current);
+  expect_equal(loaded.snapshot, sample_snapshot());
+  EXPECT_EQ(registry.snapshot().counters.at("checkpoint.load_retries"), 1u);
+}
+
+TEST_F(CheckpointRetryTest, LoadRetryColdStartIsFinalWithoutFaults) {
+  CheckpointManager manager{dir_};
+  manager.configure_retry(fast_retry(3));
+  obs::MetricsRegistry registry;
+  manager.bind_metrics(registry);
+  // Nothing on disk and nothing rejected: no retry is attempted.
+  const CheckpointLoad loaded = manager.load_with_retry();
+  EXPECT_EQ(loaded.origin, CheckpointOrigin::none);
+  EXPECT_EQ(registry.snapshot().counters.at("checkpoint.load_retries"), 0u);
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include "cachesim/admission.h"
 #include "cachesim/simulator.h"
 #include "trace/trace_generator.h"
+#include "util/failpoint.h"
 #include "util/sim_time.h"
 
 namespace otac {
@@ -208,6 +209,86 @@ TEST_F(ShardedFixture, ShardedProposalAggregatesStayCoherent) {
   EXPECT_TRUE(merged.criteria == reference.criteria);
   EXPECT_EQ(merged.cost_v, reference.cost_v);
 }
+
+TEST(DegradationCountersMerge, SumsEveryField) {
+  // Distinct values per field so a merge that drops or cross-wires any
+  // single counter is caught; total() must cover the same set.
+  DegradationCounters a;
+  a.retrain_failures = 1;
+  a.rejected_models = 2;
+  a.nonfinite_feature_requests = 3;
+  a.predict_failures = 5;
+  a.retrain_retries = 7;
+  a.retrain_timeouts = 11;
+  a.degraded_admits = 13;
+  a.shed_requests = 17;
+  a.overload_transitions = 19;
+  a.ssd_write_retries = 23;
+  a.ssd_write_drops = 29;
+  DegradationCounters b;
+  b.retrain_failures = 100;
+  b.rejected_models = 200;
+  b.nonfinite_feature_requests = 300;
+  b.predict_failures = 500;
+  b.retrain_retries = 700;
+  b.retrain_timeouts = 1'100;
+  b.degraded_admits = 1'300;
+  b.shed_requests = 1'700;
+  b.overload_transitions = 1'900;
+  b.ssd_write_retries = 2'300;
+  b.ssd_write_drops = 2'900;
+
+  DegradationCounters merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.retrain_failures, 101u);
+  EXPECT_EQ(merged.rejected_models, 202u);
+  EXPECT_EQ(merged.nonfinite_feature_requests, 303u);
+  EXPECT_EQ(merged.predict_failures, 505u);
+  EXPECT_EQ(merged.retrain_retries, 707u);
+  EXPECT_EQ(merged.retrain_timeouts, 1'111u);
+  EXPECT_EQ(merged.degraded_admits, 1'313u);
+  EXPECT_EQ(merged.shed_requests, 1'717u);
+  EXPECT_EQ(merged.overload_transitions, 1'919u);
+  EXPECT_EQ(merged.ssd_write_retries, 2'323u);
+  EXPECT_EQ(merged.ssd_write_drops, 2'929u);
+  EXPECT_EQ(merged.total(), a.total() + b.total());
+}
+
+#if defined(OTAC_FAILPOINTS_ENABLED) && OTAC_FAILPOINTS_ENABLED
+
+TEST_F(ShardedFixture, DegradationSumEquivalentAcrossShardCountsUnderFaults) {
+  // Retrain failures are injected at alternating barriers. The retrain
+  // schedule is a global property of the trace, so the merged degradation
+  // counters — trainer-side failures plus the per-shard serving counters
+  // folded by DegradationCounters::merge — must be bit-identical between
+  // shards=1 and shards=4.
+  const ShardedCache sharded{*system_};
+  const RunConfig config1 =
+      config_for(PolicyKind::lru, AdmissionMode::proposal, 1);
+
+  fail::Registry::instance().enable_every_nth("trainer.train.fail", 2);
+  const RunResult one = sharded.run(config1);
+  // Re-arm to reset the evaluation counter for the second run.
+  fail::Registry::instance().enable_every_nth("trainer.train.fail", 2);
+  const RunResult four =
+      sharded.run(config_for(PolicyKind::lru, AdmissionMode::proposal, 4));
+  fail::Registry::instance().disable_all();
+
+  const std::size_t triggers =
+      retrain_trigger_indices(*trace_, config1.ota).size();
+  ASSERT_GE(triggers, 2u);
+  EXPECT_EQ(one.degradation.retrain_failures, triggers / 2);
+  EXPECT_GT(one.degradation.total(), 0u);
+  EXPECT_TRUE(four.degradation == one.degradation)
+      << "retrain_failures " << four.degradation.retrain_failures << " vs "
+      << one.degradation.retrain_failures << ", total "
+      << four.degradation.total() << " vs " << one.degradation.total();
+  // The surviving barriers still published models on both runs.
+  EXPECT_EQ(four.trainings, one.trainings);
+  EXPECT_GT(one.trainings, 0);
+}
+
+#endif  // OTAC_FAILPOINTS_ENABLED
 
 }  // namespace
 }  // namespace otac

@@ -74,6 +74,37 @@ TEST_F(FailpointTest, ProbabilityIsSeededAndDeterministic) {
   EXPECT_LT(fired, 48);
 }
 
+TEST_F(FailpointTest, WindowFiresExactlyInsideEvaluationRange) {
+  auto& registry = Registry::instance();
+  registry.enable_window("test.window", 3, 5);
+  std::vector<bool> outcomes;
+  for (int i = 0; i < 10; ++i) {
+    outcomes.push_back(registry.should_fire("test.window"));
+  }
+  const std::vector<bool> expected{false, false, true, true, true,
+                                   false, false, false, false, false};
+  EXPECT_EQ(outcomes, expected);
+  // Past the window the failpoint is fully disarmed, not just dormant.
+  EXPECT_EQ(registry.fires("test.window"), 3u);
+}
+
+TEST_F(FailpointTest, WindowFromZeroClampsToFirstEvaluation) {
+  auto& registry = Registry::instance();
+  registry.enable_window("test.window0", 0, 2);
+  EXPECT_TRUE(registry.should_fire("test.window0"));
+  EXPECT_TRUE(registry.should_fire("test.window0"));
+  EXPECT_FALSE(registry.should_fire("test.window0"));
+}
+
+TEST_F(FailpointTest, EmptyWindowNeverFires) {
+  auto& registry = Registry::instance();
+  registry.enable_window("test.window_empty", 5, 2);  // to < from
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(registry.should_fire("test.window_empty"));
+  }
+  EXPECT_EQ(registry.fires("test.window_empty"), 0u);
+}
+
 TEST_F(FailpointTest, ProbabilityZeroNeverFires) {
   auto& registry = Registry::instance();
   registry.enable_probability("test.p0", 0.0, 7);
@@ -118,6 +149,32 @@ TEST_F(FailpointTest, EnableRejectsNamesMissingFromCentralRegistry) {
   // Registered production names and the reserved test. prefix both arm.
   EXPECT_NO_THROW(registry.enable_once("checkpoint.write.crash"));
   EXPECT_NO_THROW(registry.enable_once("test.anything.goes"));
+  registry.disable_all();
+}
+
+TEST_F(FailpointTest, EnableErrorListsEveryRegisteredName) {
+  auto& registry = Registry::instance();
+  try {
+    registry.enable("checkpoint.write.crsh");
+    FAIL() << "unknown name did not throw";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("checkpoint.write.crsh"), std::string::npos);
+    // Every registered name appears, so the fix is one read away.
+    for (const auto known : kKnownFailpoints) {
+      EXPECT_NE(message.find(std::string{known}), std::string::npos)
+          << "missing from error message: " << known;
+    }
+  }
+}
+
+TEST_F(FailpointTest, ChaosFailpointNamesAreRegistered) {
+  auto& registry = Registry::instance();
+  // The overload-resilience layer's fault surfaces: all enable cleanly.
+  EXPECT_NO_THROW(registry.enable_window("chaos.flash_crowd", 1, 8));
+  EXPECT_NO_THROW(registry.enable_probability("storage.ssd.write_error", 0.1,
+                                              /*seed=*/9));
+  EXPECT_NO_THROW(registry.enable_once("trainer.train.hang"));
   registry.disable_all();
 }
 

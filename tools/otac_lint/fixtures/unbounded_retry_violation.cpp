@@ -1,0 +1,52 @@
+// Fixture: every unconditional-loop spelling the bounded-retry rule
+// bans, in a file opted into the retry-path set via pragma.
+// Expected hits: bounded-retry x3.
+// otac-lint: retry-path
+
+namespace otac_fixture {
+
+bool try_save();
+
+void save_forever() {
+  while (true) {  // hit 1
+    if (try_save()) return;
+  }
+}
+
+void save_forever_c_style() {
+  while (1) {  // hit 2
+    if (try_save()) return;
+  }
+}
+
+void save_forever_for() {
+  for (;;) {  // hit 3
+    if (try_save()) return;
+  }
+}
+
+// A progress-bounded loop suppresses with a pragma stating why.
+int seqlock_read(const volatile int* seq) {
+  // Bounded by publisher progress, not an attempt budget.
+  // otac-lint: allow(bounded-retry)
+  for (;;) {
+    const int s = *seq;
+    if ((s & 1) == 0) return s;
+  }
+}
+
+// Bounded loops must not trip the pattern: the condition carries the
+// attempt budget, and `while (!done)` is a termination flag, not an
+// unconditional spin.
+bool save_with_budget(int max_retries) {
+  bool done = false;
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    if (try_save()) return true;
+  }
+  while (!done) {
+    done = try_save();
+  }
+  return done;
+}
+
+}  // namespace otac_fixture

@@ -29,6 +29,10 @@ why in a neighbouring comment):
                                                    hotpath-alloc rule (in
                                                    addition to the built-in
                                                    hot-path list)
+    // otac-lint: retry-path                       mark file for the
+                                                   bounded-retry rule (in
+                                                   addition to the built-in
+                                                   retry-path list)
 
 Adding a rule: subclass Rule, implement check(), append an instance to
 RULES, add a fixture in tools/otac_lint/fixtures/ plus an expectation in
@@ -72,10 +76,25 @@ HOTPATH_FILES = {
     "src/ml/compiled_tree.cpp",
 }
 
+# Files on the serving / checkpoint retry paths (DESIGN.md §13): every
+# retry loop here must be bounded by an attempt budget (util/backoff.h),
+# because an unbounded `while (true) retry();` turns a persistent fault
+# into a hang that the watchdog and chaos suite exist to prevent. Files
+# can also opt in with the retry-path pragma.
+RETRY_PATH_FILES = {
+    "src/core/checkpoint.cpp",
+    "src/core/model_slot.h",
+    "src/core/shard_queue.cpp",
+    "src/core/sharded_cache.cpp",
+    "src/core/trainer_watchdog.cpp",
+    "src/util/backoff.h",
+}
+
 ALLOW_RE = re.compile(r"otac-lint:\s*allow\(([a-z0-9\-,\s]+)\)")
 ALLOW_FILE_RE = re.compile(r"otac-lint:\s*allow-file\(([a-z0-9\-,\s]+)\)")
 BOUNDARY_PRAGMA_RE = re.compile(r"otac-lint:\s*serialization-boundary")
 HOTPATH_PRAGMA_RE = re.compile(r"otac-lint:\s*hotpath-file")
+RETRY_PRAGMA_RE = re.compile(r"otac-lint:\s*retry-path")
 
 
 def strip_comments(text: str) -> str:
@@ -172,6 +191,7 @@ class FileContext:
         self.line_allows: dict[int, set[str]] = {}
         self.boundary_pragma = False
         self.hotpath_pragma = False
+        self.retry_pragma = False
         for lineno, line in enumerate(self.raw_lines, start=1):
             m = ALLOW_FILE_RE.search(line)
             if m:
@@ -187,6 +207,8 @@ class FileContext:
                 self.boundary_pragma = True
             if HOTPATH_PRAGMA_RE.search(line):
                 self.hotpath_pragma = True
+            if RETRY_PRAGMA_RE.search(line):
+                self.retry_pragma = True
 
     def allowed(self, rule: str, lineno: int) -> bool:
         if rule in self.file_allows:
@@ -205,6 +227,9 @@ class FileContext:
 
     def is_hotpath_file(self) -> bool:
         return self.rel_path in HOTPATH_FILES or self.hotpath_pragma
+
+    def is_retry_path_file(self) -> bool:
+        return self.rel_path in RETRY_PATH_FILES or self.retry_pragma
 
 
 def _split_rules(spec: str) -> set[str]:
@@ -477,6 +502,40 @@ class HotpathAllocRule(Rule):
         return out
 
 
+class BoundedRetryRule(Rule):
+    """Retry loops on the serving and checkpoint paths must be bounded by
+    an attempt budget (util/backoff.h): an unbounded `while (true)
+    retry();` turns a persistent fault into a hang, which is exactly the
+    failure mode the watchdog and chaos suite (DESIGN.md §13) guard
+    against. Loops that are unbounded by design — the seqlock reader in
+    core/model_slot.h, whose retry is bounded by publisher progress, not
+    an attempt count — suppress with an allow() pragma stating why."""
+
+    name = "bounded-retry"
+    summary = ("no unconditional loops (while(true)/while(1)/for(;;)) in "
+               "retry-path files; bound retries with an attempt budget "
+               "(util/backoff.h)")
+
+    PATTERN = re.compile(
+        r"\bwhile\s*\(\s*(?:true|1)\s*\)|\bfor\s*\(\s*;\s*;\s*\)")
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        if not ctx.is_retry_path_file():
+            return []
+        out = []
+        for m in self.PATTERN.finditer(ctx.ident_text):
+            lineno = ctx.line_of_offset(m.start())
+            if ctx.allowed(self.name, lineno):
+                continue
+            out.append(self._hit(
+                ctx, lineno,
+                f"unconditional loop '{m.group(0).strip()}' in a retry-path "
+                f"file; retries must be bounded by an attempt budget "
+                f"(util/backoff.h), or mark a progress-bounded loop with an "
+                f"allow() pragma"))
+        return out
+
+
 class HeaderHygieneRule(Rule):
     """Headers carry #pragma once and never inject namespaces into every
     includer."""
@@ -522,6 +581,7 @@ def build_rules(root: Path) -> list[Rule]:
         MetricRegistryRule(parse_registry_names(root, METRIC_REGISTRY)),
         GoldenHashRule(),
         HotpathAllocRule(),
+        BoundedRetryRule(),
         HeaderHygieneRule(),
     ]
 

@@ -26,6 +26,7 @@ EXPECTED = {
     "metric_registry_violation.cpp": {"metric-registry": 2},
     "golden_hash_violation.cpp": {"golden-hash": 3},
     "hotpath_alloc_violation.cpp": {"hotpath-alloc": 6},
+    "unbounded_retry_violation.cpp": {"bounded-retry": 3},
     "header_hygiene_violation.h": {"header-hygiene": 2},
     "allow_pragma_clean.cpp": {},
 }
@@ -38,6 +39,7 @@ ALL_RULES = {
     "metric-registry",
     "golden-hash",
     "hotpath-alloc",
+    "bounded-retry",
     "header-hygiene",
 }
 
