@@ -45,6 +45,13 @@ otac_add_bench(micro_obs_overhead)
 otac_add_bench(micro_chaos_replay)
 target_link_libraries(micro_chaos_replay PRIVATE otac_chaos)
 
+# Scenario-matrix report (src/scenario): every registered adapter +
+# adversarial scenario across Original/Proposal — BENCH_scenarios.json is
+# the artifact `scripts/ci.sh scenarios` gates against checked-in
+# envelopes (tools/scenario_gate).
+otac_add_bench(micro_scenarios)
+target_link_libraries(micro_scenarios PRIVATE otac_scenario)
+
 # google-benchmark micro-benchmarks.
 function(otac_add_micro name)
   otac_add_bench(${name})

@@ -18,6 +18,12 @@
 #                to complete, recover, or keep shedding bounded)
 #   bench-smoke  reduced-iteration micro-bench pass (OTAC_SCALE, default
 #                0.02) that emits and validates the BENCH_*.json reports
+#   scenarios    scenario-matrix regression gate: micro_scenarios replays
+#                every registered scenario (src/scenario) at full scale
+#                through Original and Proposal admission, emits
+#                BENCH_scenarios.json, and tools/scenario_gate validates
+#                every cell against the checked-in tolerance envelopes
+#                (hit rate, write count, shed ceiling, p99)
 #   lint         three-layer static-analysis gate: otac-lint invariants,
 #                hardened-warning build (OTAC_WERROR=ON), curated
 #                clang-tidy over the compile database
@@ -90,7 +96,7 @@ case "$JOB" in
     cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
     cmake --build "$BUILD_DIR" -j"$(nproc)" \
       --target micro_cache_ops micro_classifier micro_obs_overhead \
-               micro_sharded_replay micro_chaos_replay
+               micro_sharded_replay micro_chaos_replay micro_scenarios
     mkdir -p "$BUILD_DIR/bench-smoke"
     (
       cd "$BUILD_DIR/bench-smoke"
@@ -104,6 +110,9 @@ case "$JOB" in
       # Chaos replay report: a behavior gate (completion/recovery/shed
       # rate per fault scenario), self-failing on any scenario miss.
       ../bench/micro_chaos_replay BENCH_chaos.json 0.05
+      # Scenario matrix at a smoke scale (envelope checks only engage at
+      # scale >= 1.0 — the `scenarios` job owns the tight gate).
+      ../bench/micro_scenarios BENCH_scenarios.json 0.2
       # Malformed report JSON fails the job — the reports are the artifact.
       for report in BENCH_*.json; do
         python3 -m json.tool "$report" > /dev/null
@@ -124,6 +133,29 @@ print("sharded-replay warning field consistent")
 EOF
     )
     echo "bench smoke passed (OTAC_SCALE=${OTAC_SCALE:-0.02}); reports in $BUILD_DIR/bench-smoke"
+    ;;
+
+  scenarios)
+    BUILD_DIR="${BUILD_DIR:-build}"
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$BUILD_DIR" --target micro_scenarios -j"$(nproc)"
+    mkdir -p "$BUILD_DIR/bench-smoke"
+    # Full-scale replay: the envelopes are calibrated at scale 1.0 with
+    # the bench's pinned seed, so the run is deterministic and the gate's
+    # windows are drift, not noise. micro_scenarios itself exits nonzero
+    # if any cell falls outside its registry sanity envelope.
+    "$BUILD_DIR/bench/micro_scenarios" \
+      "$BUILD_DIR/bench-smoke/BENCH_scenarios.json" \
+      "${OTAC_SCENARIO_SCALE:-1.0}"
+    python3 -m json.tool "$BUILD_DIR/bench-smoke/BENCH_scenarios.json" \
+      > /dev/null
+    # The regression gate proper: per-(scenario, mode) windows on hit
+    # rate, write count, shed ceiling, and p99. Fails on any cell outside
+    # its envelope or any scenario missing from either side.
+    python3 tools/scenario_gate/check_scenarios.py \
+      "$BUILD_DIR/bench-smoke/BENCH_scenarios.json" \
+      tools/scenario_gate/envelopes.json
+    echo "scenario gate passed; report in $BUILD_DIR/bench-smoke/BENCH_scenarios.json"
     ;;
 
   lint)
@@ -164,7 +196,7 @@ EOF
     ;;
 
   *)
-    echo "usage: scripts/ci.sh {build|robustness|concurrency|chaos|bench-smoke|lint|format} [build-dir]" >&2
+    echo "usage: scripts/ci.sh {build|robustness|concurrency|chaos|bench-smoke|scenarios|lint|format} [build-dir]" >&2
     exit 2
     ;;
 esac

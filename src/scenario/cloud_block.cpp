@@ -1,0 +1,157 @@
+#include "scenario/cloud_block.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "trace/diurnal.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace otac::scenario {
+
+namespace {
+
+/// A previously generated sequential extent, kept so later runs can
+/// re-read it (restore traffic) instead of always touching cold blocks.
+struct Extent {
+  PhotoId first = 0;
+  std::uint32_t blocks = 0;
+};
+
+}  // namespace
+
+CloudBlockConfig scaled(CloudBlockConfig config, double factor) {
+  if (factor <= 0.0) {
+    throw std::invalid_argument("cloud_block: scale factor must be > 0");
+  }
+  const auto scale_u32 = [factor](std::uint32_t value) {
+    return std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::llround(value * factor)));
+  };
+  config.hot_blocks = scale_u32(config.hot_blocks);
+  config.volumes = scale_u32(config.volumes);
+  config.requests = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(static_cast<double>(config.requests) * factor)));
+  return config;
+}
+
+Trace generate_cloud_block_trace(const CloudBlockConfig& config) {
+  if (config.volumes == 0 || config.hot_blocks == 0) {
+    throw std::invalid_argument("cloud_block: volumes/hot_blocks must be > 0");
+  }
+  Rng rng{config.seed};
+  Rng time_rng = rng.fork(1);
+  Rng size_rng = rng.fork(2);
+  const DiurnalModel diurnal{config.diurnal};
+  const ZipfSampler hot{config.hot_blocks, config.hot_zipf_alpha};
+  const auto horizon_days =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(config.horizon_days));
+
+  Trace trace;
+  std::vector<PhotoMeta> photos;
+  std::vector<OwnerMeta> owners(config.volumes);
+  for (OwnerMeta& owner : owners) {
+    owner.active_friends = 0;
+    owner.activity = 1.0F;
+    owner.quality = 0.0F;
+  }
+
+  // Hot blocks exist before the window opens (they back live volumes).
+  const PhotoType hot_type{Resolution::b, PhotoFormat::jpg};
+  photos.reserve(config.hot_blocks + config.requests / 8);
+  for (std::uint32_t block = 0; block < config.hot_blocks; ++block) {
+    PhotoMeta meta;
+    meta.owner = block % config.volumes;
+    meta.type = hot_type;
+    meta.size_bytes = config.hot_block_bytes;
+    meta.upload_time = from_days(-1.0) - static_cast<std::int64_t>(block % 7);
+    photos.push_back(meta);
+    owners[meta.owner].photo_count += 1;
+  }
+
+  const PhotoType run_type{Resolution::o, PhotoFormat::png};
+  std::vector<Extent> extents;
+  std::vector<Request> requests;
+  requests.reserve(config.requests + config.max_run_blocks);
+
+  const auto draw_time = [&]() -> SimTime {
+    const std::int64_t day =
+        static_cast<std::int64_t>(time_rng.next_below(
+            static_cast<std::uint64_t>(horizon_days)));
+    return SimTime{day * kSecondsPerDay +
+                   diurnal.sample_second_of_day(time_rng)};
+  };
+
+  // sequential_share is a share of *requests*, and a run emits a whole
+  // extent at once — so pick the stream that is behind its target share
+  // rather than flipping a per-draw coin (a coin would let the ~100-block
+  // runs drown the hot stream).
+  std::size_t sequential_emitted = 0;
+  while (requests.size() < config.requests) {
+    const SimTime t = draw_time();
+    const bool want_run =
+        static_cast<double>(sequential_emitted) <
+        config.sequential_share * static_cast<double>(requests.size() + 1);
+    if (!want_run) {
+      Request request;
+      request.time = t;
+      request.photo = static_cast<PhotoId>(hot.sample(rng) - 1);
+      request.terminal = TerminalType::pc;
+      requests.push_back(request);
+      continue;
+    }
+
+    // One sequential run: reuse a prior extent or carve a fresh one.
+    Extent extent;
+    if (!extents.empty() && rng.bernoulli(config.run_reuse_probability)) {
+      extent = extents[rng.next_below(extents.size())];
+    } else {
+      const double drawn =
+          1.0 + rng.lomax(config.run_shape, config.run_scale_blocks);
+      extent.blocks = static_cast<std::uint32_t>(std::min<double>(
+          drawn, static_cast<double>(config.max_run_blocks)));
+      extent.first = static_cast<PhotoId>(photos.size());
+      const UserId volume = static_cast<UserId>(rng.next_below(config.volumes));
+      for (std::uint32_t block = 0; block < extent.blocks; ++block) {
+        PhotoMeta meta;
+        meta.owner = volume;
+        meta.type = run_type;
+        meta.size_bytes =
+            config.run_block_bytes +
+            static_cast<std::uint32_t>(size_rng.next_below(1'024));
+        meta.upload_time = t - kSecondsPerMinute;
+        photos.push_back(meta);
+      }
+      owners[volume].photo_count += extent.blocks;
+      extents.push_back(extent);
+    }
+    // ~32 large blocks stream per simulated second.
+    for (std::uint32_t block = 0; block < extent.blocks; ++block) {
+      Request request;
+      request.time = t + static_cast<std::int64_t>(block / 32);
+      request.photo = extent.first + block;
+      request.terminal = TerminalType::mobile;  // background transfer
+      requests.push_back(request);
+      ++sequential_emitted;
+    }
+  }
+
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const Request& a, const Request& b) {
+                     return std::pair{a.time.seconds, a.photo} <
+                            std::pair{b.time.seconds, b.photo};
+                   });
+
+  trace.catalog = PhotoCatalog{std::move(photos), std::move(owners)};
+  trace.requests = std::move(requests);
+  trace.horizon =
+      SimTime{std::max(horizon_days * kSecondsPerDay,
+                       trace.requests.back().time.seconds + 1)};
+  return trace;
+}
+
+}  // namespace otac::scenario

@@ -1,0 +1,55 @@
+// Cloud block-storage synthetic workload: the access shape of virtual-disk
+// caches (PAPERS.md, "Optimizing SSD Caches for Cloud Block Storage
+// Systems Using Machine Learning Approaches") rather than photo serving —
+// long sequential runs of large blocks (VM boot, backup, scan traffic)
+// interleaved with a small, intensely hot set of random-I/O blocks
+// (database pages, filesystem metadata). Sequential runs are mostly
+// one-time: admitting them wears the SSD for nothing, which is exactly
+// the regime where the admission gate's payoff differs from photo
+// traffic.
+//
+// Built on src/trace's components (DiurnalModel arrivals, ZipfSampler hot
+// set, Lomax run lengths) but emitting a Trace directly: volumes map to
+// owners, blocks to photos, run blocks to large `o`-resolution objects and
+// hot blocks to small `b`-resolution objects.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace otac::scenario {
+
+struct CloudBlockConfig {
+  std::uint64_t seed = 7;
+
+  std::uint32_t volumes = 48;        ///< virtual disks, mapped to owners
+  std::uint32_t hot_blocks = 20'000; ///< random-I/O working set (photos)
+  double hot_zipf_alpha = 0.95;      ///< skew within the hot set
+  std::uint32_t hot_block_bytes = 4'096;
+  std::uint32_t run_block_bytes = 65'536;
+
+  /// Fraction of *requests* that belong to sequential runs.
+  double sequential_share = 0.45;
+  /// Lomax-tailed run length in blocks (mean-ish scale; capped).
+  double run_scale_blocks = 64.0;
+  double run_shape = 1.4;
+  std::uint32_t max_run_blocks = 1'024;
+  /// Probability a run re-reads a previously generated extent (restore /
+  /// repeated scan) instead of touching fresh cold blocks.
+  double run_reuse_probability = 0.15;
+
+  double horizon_days = 3.0;
+  std::size_t requests = 400'000;  ///< approximate (runs complete whole)
+  DiurnalConfig diurnal{};
+};
+
+/// Scale request volume and the hot working set by `factor`, keeping the
+/// shape knobs (mirrors otac::scaled for WorkloadConfig).
+[[nodiscard]] CloudBlockConfig scaled(CloudBlockConfig config, double factor);
+
+/// Deterministic for a fixed config: same catalog, same request stream,
+/// same horizon. Requests come out sorted by (time, photo).
+[[nodiscard]] Trace generate_cloud_block_trace(const CloudBlockConfig& config);
+
+}  // namespace otac::scenario

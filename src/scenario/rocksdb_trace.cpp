@@ -1,0 +1,280 @@
+#include "scenario/rocksdb_trace.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "trace/trace_io.h"
+#include "trace/workload_config.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace otac::scenario {
+
+namespace {
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("rocksdb_trace: truncated stream");
+  return value;
+}
+
+/// On-wire bytes per record: fixed-width fields, no padding.
+constexpr std::uint64_t kWireRecordBytes = 8 + 8 + 8 + 4 + 4 + 4 + 1 + 1 + 1;
+
+/// Bytes left between the current position and the end of a seekable
+/// stream; max() when the stream cannot be positioned.
+std::uint64_t remaining_bytes(std::istream& in) {
+  const std::istream::pos_type current = in.tellg();
+  if (current == std::istream::pos_type(-1)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(current);
+  if (end == std::istream::pos_type(-1) || end < current) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return static_cast<std::uint64_t>(end - current);
+}
+
+/// Resolution letter for a block size, bucketed against the synthetic
+/// ladder so "small block" and "large block" land on the same type codes
+/// the classifier sees on photo traces. The bucket boundary is the
+/// geometric midpoint between adjacent ladder medians.
+Resolution resolution_for_size(std::uint32_t size_bytes) {
+  const WorkloadConfig defaults{};
+  int index = kResolutionCount - 1;
+  for (int r = 0; r + 1 < kResolutionCount; ++r) {
+    const double upper = defaults.resolution_size_bytes[std::size_t(r)] *
+                         (defaults.resolution_size_bytes[std::size_t(r) + 1] /
+                          defaults.resolution_size_bytes[std::size_t(r)]) *
+                         0.5;
+    if (static_cast<double>(size_bytes) <= upper) {
+      index = r;
+      break;
+    }
+  }
+  return static_cast<Resolution>(index);
+}
+
+bool is_user_facing(std::uint8_t caller) {
+  switch (static_cast<RocksdbCaller>(caller)) {
+    case RocksdbCaller::get:
+    case RocksdbCaller::multiget:
+    case RocksdbCaller::iterator:
+      return true;
+    case RocksdbCaller::prefetch:
+    case RocksdbCaller::compaction:
+    case RocksdbCaller::flush:
+      return false;
+  }
+  return false;
+}
+
+template <typename T>
+T parse_field(const std::string& field, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long value = std::stoull(field, &used);
+    if (used != field.size() || field.find('-') != std::string::npos) {
+      throw std::invalid_argument("trailing characters");
+    }
+    if (value > std::numeric_limits<T>::max()) {
+      throw std::out_of_range("field overflow");
+    }
+    return static_cast<T>(value);
+  } catch (const std::exception&) {
+    throw std::runtime_error("rocksdb_trace: bad field '" + field +
+                             "' at line " + std::to_string(line));
+  }
+}
+
+}  // namespace
+
+void write_rocksdb_trace(const std::vector<RocksdbTraceRecord>& records,
+                         std::ostream& out) {
+  write_pod(out, kRocksdbTraceMagic);
+  write_pod(out, kRocksdbTraceVersion);
+  write_pod(out, static_cast<std::uint64_t>(records.size()));
+  for (const RocksdbTraceRecord& record : records) {
+    write_pod(out, record.access_time_us);
+    write_pod(out, record.block_key);
+    write_pod(out, record.get_id);
+    write_pod(out, record.block_size);
+    write_pod(out, record.cf_id);
+    write_pod(out, record.level);
+    write_pod(out, record.block_type);
+    write_pod(out, record.caller);
+    write_pod(out, record.no_insert);
+  }
+  if (!out) throw std::runtime_error("rocksdb_trace: write failure");
+}
+
+std::vector<RocksdbTraceRecord> read_rocksdb_trace(std::istream& in) {
+  if (read_pod<std::uint32_t>(in) != kRocksdbTraceMagic) {
+    throw std::runtime_error("rocksdb_trace: bad magic");
+  }
+  if (read_pod<std::uint32_t>(in) != kRocksdbTraceVersion) {
+    throw std::runtime_error("rocksdb_trace: unsupported version");
+  }
+  const auto count = read_pod<std::uint64_t>(in);
+  // Bound the declared count against what the stream can actually hold
+  // before allocating (same defense as trace_io's read_vector).
+  if (count > remaining_bytes(in) / kWireRecordBytes) {
+    throw std::runtime_error("rocksdb_trace: record count exceeds stream size");
+  }
+  std::vector<RocksdbTraceRecord> records(count);
+  for (RocksdbTraceRecord& record : records) {
+    record.access_time_us = read_pod<std::uint64_t>(in);
+    record.block_key = read_pod<std::uint64_t>(in);
+    record.get_id = read_pod<std::uint64_t>(in);
+    record.block_size = read_pod<std::uint32_t>(in);
+    record.cf_id = read_pod<std::uint32_t>(in);
+    record.level = read_pod<std::uint32_t>(in);
+    record.block_type = read_pod<std::uint8_t>(in);
+    record.caller = read_pod<std::uint8_t>(in);
+    record.no_insert = read_pod<std::uint8_t>(in);
+  }
+  return records;
+}
+
+std::vector<RocksdbTraceRecord> read_rocksdb_trace_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) ||
+      line.rfind("access_time_us,block_key,get_id,block_size", 0) != 0) {
+    throw std::runtime_error("rocksdb_trace: missing/invalid CSV header");
+  }
+  std::vector<RocksdbTraceRecord> records;
+  std::size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream fields{line};
+    std::array<std::string, 9> field;
+    for (std::size_t i = 0; i < field.size(); ++i) {
+      const char delim = i + 1 < field.size() ? ',' : '\n';
+      if (!std::getline(fields, field[i], delim)) {
+        throw std::runtime_error("rocksdb_trace: short row at line " +
+                                 std::to_string(lineno));
+      }
+    }
+    RocksdbTraceRecord record;
+    record.access_time_us = parse_field<std::uint64_t>(field[0], lineno);
+    record.block_key = parse_field<std::uint64_t>(field[1], lineno);
+    record.get_id = parse_field<std::uint64_t>(field[2], lineno);
+    record.block_size = parse_field<std::uint32_t>(field[3], lineno);
+    record.cf_id = parse_field<std::uint32_t>(field[4], lineno);
+    record.level = parse_field<std::uint32_t>(field[5], lineno);
+    record.block_type = parse_field<std::uint8_t>(field[6], lineno);
+    record.caller = parse_field<std::uint8_t>(field[7], lineno);
+    record.no_insert = parse_field<std::uint8_t>(field[8], lineno);
+    records.push_back(record);
+  }
+  return records;
+}
+
+Trace trace_from_rocksdb_records(std::vector<RocksdbTraceRecord> records) {
+  if (records.empty()) {
+    throw std::runtime_error("rocksdb_trace: empty record set");
+  }
+  // Real logs interleave writer threads; the photo-trace invariant is
+  // time-sorted requests, so sort stably (ties keep log order) before
+  // funnelling through the CSV import path.
+  std::stable_sort(records.begin(), records.end(),
+                   [](const RocksdbTraceRecord& a, const RocksdbTraceRecord& b) {
+                     return a.access_time_us < b.access_time_us;
+                   });
+  const std::uint64_t epoch_us = records.front().access_time_us;
+  std::ostringstream csv;
+  csv << "time_s,photo,owner,type,size_bytes,terminal\n";
+  for (const RocksdbTraceRecord& record : records) {
+    if (record.block_size == 0) {
+      throw std::runtime_error("rocksdb_trace: zero-sized block " +
+                               std::to_string(record.block_key));
+    }
+    const PhotoType type{resolution_for_size(record.block_size),
+                         record.block_type % 2 == 0 ? PhotoFormat::png
+                                                    : PhotoFormat::jpg};
+    csv << (record.access_time_us - epoch_us) / 1'000'000 << ",b"
+        << record.block_key << ",cf" << record.cf_id << ','
+        << type_name(type) << ',' << record.block_size << ','
+        << (is_user_facing(record.caller) ? "pc" : "mobile") << '\n';
+  }
+  std::istringstream in{csv.str()};
+  return import_requests_csv(in);
+}
+
+Trace import_rocksdb_trace(std::istream& in) {
+  return trace_from_rocksdb_records(read_rocksdb_trace(in));
+}
+
+std::vector<RocksdbTraceRecord> synth_rocksdb_records(std::uint64_t seed,
+                                                      std::size_t records) {
+  // Point reads: Zipf-skewed over a data-block keyspace, Poisson-ish
+  // arrivals. Compaction scans: every ~2000 reads a background sweep
+  // touches a run of consecutive cold keys exactly once — the one-time
+  // flood the admission gate exists for.
+  Rng rng{seed};
+  const std::uint64_t data_blocks = std::max<std::uint64_t>(
+      512, static_cast<std::uint64_t>(records) / 8);
+  ZipfSampler hot{data_blocks, 0.9};
+  std::vector<RocksdbTraceRecord> out;
+  out.reserve(records);
+  std::uint64_t now_us = 0;
+  // Point-read gaps pace the stream so the whole record set spans ~2.5
+  // simulated days regardless of count — enough for the daily retrain
+  // schedule to fire when the records are replayed through the simulator.
+  const std::uint64_t mean_gap_us =
+      std::max<std::uint64_t>(1, 216'000'000'000ULL / records);
+  std::uint64_t scan_cursor = data_blocks;  // cold keys live past the hot set
+  std::uint64_t get_id = 0;
+  while (out.size() < records) {
+    now_us += mean_gap_us / 4 + rng.next_below(mean_gap_us + mean_gap_us / 2);
+    if (!out.empty() && out.size() % 2'000 == 0) {
+      const std::uint64_t run = 64 + rng.next_below(192);
+      for (std::uint64_t i = 0; i < run && out.size() < records; ++i) {
+        RocksdbTraceRecord record;
+        record.access_time_us = now_us;
+        record.block_key = scan_cursor++;
+        record.block_size = 32'768 + static_cast<std::uint32_t>(
+                                         rng.next_below(32'768));
+        record.cf_id = 1;
+        record.level = 3 + static_cast<std::uint32_t>(rng.next_below(3));
+        record.block_type = 0;
+        record.caller = static_cast<std::uint8_t>(RocksdbCaller::compaction);
+        record.no_insert = 0;
+        out.push_back(record);
+        now_us += 50;
+      }
+      continue;
+    }
+    RocksdbTraceRecord record;
+    record.access_time_us = now_us;
+    record.block_key = hot.sample(rng) - 1;
+    record.block_size =
+        2'048 + static_cast<std::uint32_t>(rng.next_below(14'336));
+    record.cf_id = static_cast<std::uint32_t>(rng.next_below(4));
+    record.level = static_cast<std::uint32_t>(rng.next_below(3));
+    record.block_type = static_cast<std::uint8_t>(rng.next_below(4));
+    record.caller = static_cast<std::uint8_t>(
+        rng.next_below(8) < 6 ? RocksdbCaller::get : RocksdbCaller::iterator);
+    record.no_insert = 0;
+    record.get_id = ++get_id;
+    out.push_back(record);
+  }
+  return out;
+}
+
+}  // namespace otac::scenario

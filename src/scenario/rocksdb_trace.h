@@ -1,0 +1,102 @@
+// RocksDB block-cache trace adapter: read/write the de-facto interchange
+// format for real block-cache access logs (the field layout of
+// BlockCacheTraceRecord in RocksDB's trace_replay/block_cache_tracer.h)
+// and map records onto otac::Trace for replay through the simulator.
+//
+// The binary container is ours (RocksDB's on-disk framing is tied to its
+// internal Slice/varint encoders); the *fields* are theirs: access time in
+// microseconds, block key, block size, column family, LSM level, caller,
+// no_insert, get id. Field mapping onto the photo-trace model:
+//
+//   block key        -> photo      (dense-remapped by import_requests_csv)
+//   cf_id            -> owner      (dense-remapped likewise)
+//   block_size       -> size_bytes; also buckets the resolution letter
+//                       a..o against the synthetic ladder
+//                       (WorkloadConfig::resolution_size_bytes) so the
+//                       type feature keeps its "small block / large block"
+//                       meaning; block_type parity picks png/jpg
+//   caller           -> terminal   (user-facing Get/MultiGet/Iterator ->
+//                       pc, background Prefetch/Compaction/Flush -> mobile)
+//   access_time_us   -> time_s     (floor to whole simulated seconds)
+//
+// Conversion funnels through export-format CSV into the existing
+// import_requests_csv dense-remap path (trace/trace_io.h), so imported
+// RocksDB traces get exactly the same validation, id-compaction, and
+// upload-time approximation as any other foreign log.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace otac::scenario {
+
+inline constexpr std::uint32_t kRocksdbTraceMagic = 0x52424354;  // "RBCT"
+inline constexpr std::uint32_t kRocksdbTraceVersion = 1;
+
+/// Callers that can touch the block cache (subset of RocksDB's
+/// TableReaderCaller, same user-facing/background split).
+enum class RocksdbCaller : std::uint8_t {
+  get = 0,
+  multiget = 1,
+  iterator = 2,
+  prefetch = 3,
+  compaction = 4,
+  flush = 5,
+};
+inline constexpr int kRocksdbCallerCount = 6;
+
+/// One block access, field-for-field the useful core of RocksDB's
+/// BlockCacheTraceRecord.
+struct RocksdbTraceRecord {
+  std::uint64_t access_time_us = 0;  ///< wall micros in the source system
+  std::uint64_t block_key = 0;       ///< cache key of the block
+  std::uint64_t get_id = 0;          ///< issuing Get, 0 if none
+  std::uint32_t block_size = 0;      ///< bytes
+  std::uint32_t cf_id = 0;           ///< column family
+  std::uint32_t level = 0;           ///< LSM level of the SST file
+  std::uint8_t block_type = 0;       ///< data/index/filter/... ordinal
+  std::uint8_t caller = 0;           ///< RocksdbCaller ordinal
+  std::uint8_t no_insert = 0;        ///< 1 = access bypassed insertion
+
+  friend bool operator==(const RocksdbTraceRecord&,
+                         const RocksdbTraceRecord&) = default;
+};
+
+/// Serialize records (magic | version | count | packed fields per record).
+/// Field-by-field, fixed width, no struct padding on the wire.
+void write_rocksdb_trace(const std::vector<RocksdbTraceRecord>& records,
+                         std::ostream& out);
+
+/// Parse a binary record stream. Throws std::runtime_error on bad
+/// magic/version, a count the stream cannot hold, or a short read.
+[[nodiscard]] std::vector<RocksdbTraceRecord> read_rocksdb_trace(
+    std::istream& in);
+
+/// Map records onto a replayable Trace via the import_requests_csv
+/// dense-remap path. Records are stably sorted by access time first (real
+/// logs interleave writer threads). Throws std::runtime_error on an empty
+/// record set or a zero-sized block.
+[[nodiscard]] Trace trace_from_rocksdb_records(
+    std::vector<RocksdbTraceRecord> records);
+
+/// read_rocksdb_trace + trace_from_rocksdb_records.
+[[nodiscard]] Trace import_rocksdb_trace(std::istream& in);
+
+/// CSV flavour of the reader: header
+/// `access_time_us,block_key,get_id,block_size,cf_id,level,block_type,caller,no_insert`
+/// then one record per line. Throws std::runtime_error with the 1-based
+/// line number on malformed input.
+[[nodiscard]] std::vector<RocksdbTraceRecord> read_rocksdb_trace_csv(
+    std::istream& in);
+
+/// Deterministic synthetic record set for tests and the registry's
+/// `rocksdb_blockcache` scenario: a Zipf-skewed point-read stream over a
+/// keyspace of data blocks mixed with periodic compaction scans, the
+/// shape block_cache_pysim simulates. Pure function of (seed, records).
+[[nodiscard]] std::vector<RocksdbTraceRecord> synth_rocksdb_records(
+    std::uint64_t seed, std::size_t records);
+
+}  // namespace otac::scenario

@@ -185,7 +185,7 @@ Trace import_requests_csv(std::istream& in) {
         !std::getline(fields, type_s, ',') ||
         !std::getline(fields, size_s, ',') ||
         !std::getline(fields, terminal_s)) {
-      throw std::runtime_error("import_requests_csv: bad row " +
+      throw std::runtime_error("import_requests_csv: malformed row at line " +
                                std::to_string(row));
     }
     std::int64_t time = 0;
@@ -200,17 +200,20 @@ Trace import_requests_csv(std::istream& in) {
         throw std::invalid_argument("trailing characters");
       }
     } catch (const std::exception&) {
-      throw std::runtime_error("import_requests_csv: bad number in row " +
+      throw std::runtime_error("import_requests_csv: bad number at line " +
                                std::to_string(row));
     }
     if (time < 0 ||
         size > std::numeric_limits<std::uint32_t>::max() ||
         size_s.find('-') != std::string::npos) {
-      throw std::runtime_error("import_requests_csv: value out of range in row " +
-                               std::to_string(row));
+      throw std::runtime_error(
+          "import_requests_csv: value out of range at line " +
+          std::to_string(row));
     }
     if (time < previous_time) {
-      throw std::runtime_error("import_requests_csv: rows not time-sorted");
+      throw std::runtime_error(
+          "import_requests_csv: rows not time-sorted at line " +
+          std::to_string(row));
     }
     previous_time = time;
 
@@ -234,7 +237,7 @@ Trace import_requests_csv(std::istream& in) {
       const auto type = type_by_name.find(type_s);
       if (type == type_by_name.end()) {
         throw std::runtime_error("import_requests_csv: unknown type '" +
-                                 type_s + "' in row " + std::to_string(row));
+                                 type_s + "' at line " + std::to_string(row));
       }
       meta.type = type_from_index(type->second);
       meta.size_bytes = static_cast<std::uint32_t>(size);

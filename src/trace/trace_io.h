@@ -30,7 +30,8 @@ void export_requests_csv(const Trace& trace, std::ostream& out);
 /// as one minute before its first access (real logs rarely carry it), and
 /// owner social attributes default to zero, so the social features carry
 /// less signal on imported traces than on synthetic ones. Rows must be
-/// time-sorted; throws std::runtime_error on malformed input.
+/// time-sorted; throws std::runtime_error naming the 1-based line number
+/// (the header is line 1) on malformed or unsorted input.
 [[nodiscard]] Trace import_requests_csv(std::istream& in);
 
 }  // namespace otac

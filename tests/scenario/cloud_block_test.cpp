@@ -1,0 +1,126 @@
+// Cloud block-storage generator pins (scenario/cloud_block.h): the
+// workload must be deterministic, sorted, and actually shaped like the
+// claim — a small hot random-I/O set plus one-time large sequential runs
+// holding roughly the configured share of requests.
+#include "scenario/cloud_block.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "util/sim_time.h"
+
+namespace otac::scenario {
+namespace {
+
+CloudBlockConfig small_config() {
+  CloudBlockConfig config;
+  config.volumes = 8;
+  config.hot_blocks = 500;
+  config.requests = 20'000;
+  config.horizon_days = 1.0;
+  return config;
+}
+
+TEST(CloudBlock, DeterministicForFixedConfig) {
+  const Trace a = generate_cloud_block_trace(small_config());
+  const Trace b = generate_cloud_block_trace(small_config());
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  ASSERT_EQ(a.catalog.photo_count(), b.catalog.photo_count());
+  ASSERT_EQ(a.catalog.owner_count(), b.catalog.owner_count());
+  EXPECT_EQ(a.horizon.seconds, b.horizon.seconds);
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    ASSERT_EQ(a.requests[i].time.seconds, b.requests[i].time.seconds);
+    ASSERT_EQ(a.requests[i].photo, b.requests[i].photo);
+    ASSERT_EQ(a.requests[i].terminal, b.requests[i].terminal);
+  }
+  CloudBlockConfig reseeded = small_config();
+  reseeded.seed = 8;
+  const Trace c = generate_cloud_block_trace(reseeded);
+  bool identical = c.requests.size() == a.requests.size();
+  for (std::size_t i = 0; identical && i < a.requests.size(); ++i) {
+    identical = a.requests[i].photo == c.requests[i].photo &&
+                a.requests[i].time.seconds == c.requests[i].time.seconds;
+  }
+  EXPECT_FALSE(identical) << "seed must actually steer the stream";
+}
+
+TEST(CloudBlock, RequestsSortedAndIdsInRange) {
+  const Trace trace = generate_cloud_block_trace(small_config());
+  std::int64_t previous_time = std::numeric_limits<std::int64_t>::min();
+  PhotoId previous_photo = 0;
+  for (const Request& request : trace.requests) {
+    ASSERT_LT(request.photo, trace.catalog.photo_count());
+    if (request.time.seconds == previous_time) {
+      ASSERT_GE(request.photo, previous_photo) << "ties must sort by photo";
+    } else {
+      ASSERT_GT(request.time.seconds, previous_time);
+    }
+    previous_time = request.time.seconds;
+    previous_photo = request.photo;
+  }
+  for (PhotoId id = 0; id < trace.catalog.photo_count(); ++id) {
+    ASSERT_LT(trace.catalog.photo(id).owner, trace.catalog.owner_count());
+  }
+  EXPECT_GE(trace.horizon.seconds,
+            trace.requests.back().time.seconds + 1);
+}
+
+TEST(CloudBlock, SequentialShareTracksConfig) {
+  const CloudBlockConfig config = small_config();
+  const Trace trace = generate_cloud_block_trace(config);
+  // Run blocks are the large objects (run_block_bytes plus a small
+  // jitter); hot blocks the small ones. Classify requests by object size
+  // to recover the split.
+  std::size_t sequential = 0;
+  for (const Request& request : trace.requests) {
+    if (trace.catalog.photo(request.photo).size_bytes >=
+        config.run_block_bytes) {
+      ++sequential;
+    }
+  }
+  const double share =
+      static_cast<double>(sequential) /
+      static_cast<double>(trace.requests.size());
+  EXPECT_NEAR(share, config.sequential_share, 0.05);
+  // And the sequential stream must touch far more distinct blocks than the
+  // hot stream re-reads — that asymmetry is the scenario's entire point.
+  std::set<PhotoId> sequential_blocks;
+  std::set<PhotoId> hot_blocks;
+  for (const Request& request : trace.requests) {
+    if (trace.catalog.photo(request.photo).size_bytes >=
+        config.run_block_bytes) {
+      sequential_blocks.insert(request.photo);
+    } else {
+      hot_blocks.insert(request.photo);
+    }
+  }
+  EXPECT_GT(sequential_blocks.size(), hot_blocks.size() * 2);
+}
+
+TEST(CloudBlock, ScaledShrinksVolumeNotShape) {
+  const CloudBlockConfig base = small_config();
+  const CloudBlockConfig half = scaled(base, 0.5);
+  EXPECT_EQ(half.requests, base.requests / 2);
+  EXPECT_EQ(half.hot_blocks, base.hot_blocks / 2);
+  EXPECT_LE(half.volumes, base.volumes);
+  EXPECT_GT(half.volumes, 0u);
+  EXPECT_DOUBLE_EQ(half.sequential_share, base.sequential_share);
+  EXPECT_DOUBLE_EQ(half.hot_zipf_alpha, base.hot_zipf_alpha);
+  EXPECT_EQ(half.run_block_bytes, base.run_block_bytes);
+  const Trace trace = generate_cloud_block_trace(half);
+  EXPECT_GT(trace.requests.size(), half.requests / 2);
+  EXPECT_THROW((void)scaled(base, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)scaled(base, -1.0), std::invalid_argument);
+}
+
+TEST(CloudBlock, HorizonCoversConfiguredDays) {
+  const Trace trace = generate_cloud_block_trace(small_config());
+  EXPECT_GE(trace.horizon.seconds,
+            static_cast<std::int64_t>(small_config().horizon_days *
+                                      kSecondsPerDay));
+}
+
+}  // namespace
+}  // namespace otac::scenario

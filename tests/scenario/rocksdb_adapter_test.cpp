@@ -1,0 +1,234 @@
+// RocksDB block-cache adapter pins (scenario/rocksdb_trace.h): binary
+// round-trip must be field-exact, every malformed-stream shape must be a
+// clean runtime_error, and the record->Trace mapping must follow the
+// documented field table (block key -> photo, cf -> owner, caller ->
+// terminal, micros -> whole seconds).
+#include "scenario/rocksdb_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace otac::scenario {
+namespace {
+
+std::string serialized(const std::vector<RocksdbTraceRecord>& records) {
+  std::stringstream out;
+  write_rocksdb_trace(records, out);
+  return out.str();
+}
+
+TEST(RocksdbTrace, SynthRoundTripFieldExact) {
+  const std::vector<RocksdbTraceRecord> records = synth_rocksdb_records(7, 500);
+  ASSERT_EQ(records.size(), 500u);
+  std::stringstream buffer{serialized(records)};
+  const std::vector<RocksdbTraceRecord> loaded = read_rocksdb_trace(buffer);
+  // Defaulted operator== compares every field of every record.
+  EXPECT_TRUE(loaded == records);
+}
+
+TEST(RocksdbTrace, ExtremeFieldValuesRoundTrip) {
+  RocksdbTraceRecord record;
+  record.access_time_us = std::numeric_limits<std::uint64_t>::max();
+  record.block_key = std::numeric_limits<std::uint64_t>::max() - 1;
+  record.get_id = 1;
+  record.block_size = std::numeric_limits<std::uint32_t>::max();
+  record.cf_id = std::numeric_limits<std::uint32_t>::max() - 2;
+  record.level = 7;
+  record.block_type = 255;
+  record.caller = static_cast<std::uint8_t>(RocksdbCaller::flush);
+  record.no_insert = 1;
+  std::stringstream buffer{serialized({record, RocksdbTraceRecord{}})};
+  const std::vector<RocksdbTraceRecord> loaded = read_rocksdb_trace(buffer);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_TRUE(loaded[0] == record);
+  EXPECT_TRUE(loaded[1] == RocksdbTraceRecord{});
+}
+
+TEST(RocksdbTrace, EmptyRecordSetRoundTrips) {
+  std::stringstream buffer{serialized({})};
+  EXPECT_TRUE(read_rocksdb_trace(buffer).empty());
+}
+
+TEST(RocksdbTrace, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "definitely not a block-cache trace";
+  EXPECT_THROW((void)read_rocksdb_trace(buffer), std::runtime_error);
+}
+
+TEST(RocksdbTrace, RejectsForwardVersion) {
+  std::string bytes = serialized(synth_rocksdb_records(1, 8));
+  const std::uint32_t next_version = kRocksdbTraceVersion + 1;
+  std::memcpy(&bytes[sizeof(kRocksdbTraceMagic)], &next_version,
+              sizeof(next_version));
+  std::stringstream in{bytes};
+  try {
+    (void)read_rocksdb_trace(in);
+    FAIL() << "version+1 stream loaded instead of being rejected";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "rocksdb_trace: unsupported version");
+  }
+}
+
+TEST(RocksdbTrace, RejectsEveryShortReadPrefix) {
+  const std::string full = serialized(synth_rocksdb_records(3, 16));
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::stringstream truncated{full.substr(0, cut)};
+    EXPECT_THROW((void)read_rocksdb_trace(truncated), std::runtime_error)
+        << "prefix length " << cut;
+  }
+}
+
+TEST(RocksdbTrace, RejectsOversizedCountBeforeAllocating) {
+  // Header then a count claiming 2^58 records backed by 8 payload bytes —
+  // must be rejected by the stream-size bound, not attempted.
+  std::string bytes;
+  const auto append = [&bytes](const void* data, std::size_t size) {
+    bytes.append(static_cast<const char*>(data), size);
+  };
+  append(&kRocksdbTraceMagic, sizeof(kRocksdbTraceMagic));
+  append(&kRocksdbTraceVersion, sizeof(kRocksdbTraceVersion));
+  const std::uint64_t huge = 1ULL << 58;
+  append(&huge, sizeof(huge));
+  const std::uint64_t filler = 0;
+  append(&filler, sizeof(filler));
+  std::stringstream in{bytes};
+  try {
+    (void)read_rocksdb_trace(in);
+    FAIL() << "oversized count accepted";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "rocksdb_trace: record count exceeds stream size");
+  }
+}
+
+TEST(RocksdbTraceCsv, ParsesHandWrittenLog) {
+  std::stringstream csv;
+  csv << "access_time_us,block_key,get_id,block_size,cf_id,level,block_type,"
+         "caller,no_insert\n"
+      << "1000,42,7,4096,1,2,0,0,0\n"
+      << "2500,42,8,4096,1,2,0,4,1\n";
+  const std::vector<RocksdbTraceRecord> records = read_rocksdb_trace_csv(csv);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].access_time_us, 1000u);
+  EXPECT_EQ(records[0].block_key, 42u);
+  EXPECT_EQ(records[0].get_id, 7u);
+  EXPECT_EQ(records[0].block_size, 4096u);
+  EXPECT_EQ(records[1].caller,
+            static_cast<std::uint8_t>(RocksdbCaller::compaction));
+  EXPECT_EQ(records[1].no_insert, 1u);
+}
+
+TEST(RocksdbTraceCsv, ErrorsNameTheOneBasedLine) {
+  const auto importing = [](const std::string& body) -> std::string {
+    std::stringstream csv;
+    csv << "access_time_us,block_key,get_id,block_size,cf_id,level,"
+           "block_type,caller,no_insert\n"
+        << body;
+    try {
+      (void)read_rocksdb_trace_csv(csv);
+    } catch (const std::runtime_error& error) {
+      return error.what();
+    }
+    return {};
+  };
+  EXPECT_EQ(importing("1000,42,7,4096,1\n"),
+            "rocksdb_trace: short row at line 2");
+  EXPECT_EQ(importing("1000,42,7,4096,1,2,0,0,0\n"
+                      "2000,nope,7,4096,1,2,0,0,0\n"),
+            "rocksdb_trace: bad field 'nope' at line 3");
+  // Negative and overflowing numerics reject rather than wrap.
+  EXPECT_EQ(importing("1000,42,7,-4096,1,2,0,0,0\n"),
+            "rocksdb_trace: bad field '-4096' at line 2");
+  EXPECT_EQ(importing("1000,42,7,5000000000,1,2,0,0,0\n"),
+            "rocksdb_trace: bad field '5000000000' at line 2");
+  std::stringstream headerless;
+  headerless << "1000,42,7,4096,1,2,0,0,0\n";
+  EXPECT_THROW((void)read_rocksdb_trace_csv(headerless), std::runtime_error);
+}
+
+TEST(RocksdbAdapter, MapsFieldsOntoTraceModel) {
+  std::vector<RocksdbTraceRecord> records;
+  // Deliberately out of order: the adapter must stable-sort by time.
+  RocksdbTraceRecord late;
+  late.access_time_us = 7'000'000;
+  late.block_key = 100;
+  late.block_size = 4'096;
+  late.cf_id = 2;
+  late.caller = static_cast<std::uint8_t>(RocksdbCaller::compaction);
+  RocksdbTraceRecord early;
+  early.access_time_us = 1'000'000;
+  early.block_key = 5;
+  early.block_size = 65'536;
+  early.cf_id = 0;
+  early.caller = static_cast<std::uint8_t>(RocksdbCaller::get);
+  RocksdbTraceRecord middle = early;
+  middle.access_time_us = 3'500'000;
+  middle.caller = static_cast<std::uint8_t>(RocksdbCaller::iterator);
+  records = {late, early, middle};
+
+  const Trace trace = trace_from_rocksdb_records(records);
+  ASSERT_EQ(trace.requests.size(), 3u);
+  // Two distinct block keys -> two photos; two distinct cfs -> two owners.
+  EXPECT_EQ(trace.catalog.photo_count(), 2u);
+  EXPECT_EQ(trace.catalog.owner_count(), 2u);
+  // Times are epoch-relative whole seconds (epoch = earliest record).
+  EXPECT_EQ(trace.requests[0].time.seconds, 0);
+  EXPECT_EQ(trace.requests[1].time.seconds, 2);
+  EXPECT_EQ(trace.requests[2].time.seconds, 6);
+  // Same block key -> same photo across requests; sizes preserved.
+  EXPECT_EQ(trace.requests[0].photo, trace.requests[1].photo);
+  EXPECT_NE(trace.requests[0].photo, trace.requests[2].photo);
+  EXPECT_EQ(trace.catalog.photo(trace.requests[0].photo).size_bytes, 65'536u);
+  EXPECT_EQ(trace.catalog.photo(trace.requests[2].photo).size_bytes, 4'096u);
+  // User-facing callers -> pc, background -> mobile.
+  EXPECT_EQ(trace.requests[0].terminal, TerminalType::pc);
+  EXPECT_EQ(trace.requests[1].terminal, TerminalType::pc);
+  EXPECT_EQ(trace.requests[2].terminal, TerminalType::mobile);
+}
+
+TEST(RocksdbAdapter, RejectsEmptyAndZeroSized) {
+  EXPECT_THROW((void)trace_from_rocksdb_records({}), std::runtime_error);
+  RocksdbTraceRecord zero;
+  zero.access_time_us = 1;
+  zero.block_key = 9;
+  zero.block_size = 0;
+  try {
+    (void)trace_from_rocksdb_records({zero});
+    FAIL() << "zero-sized block accepted";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "rocksdb_trace: zero-sized block 9");
+  }
+}
+
+TEST(RocksdbAdapter, ImportStreamEndToEnd) {
+  const std::vector<RocksdbTraceRecord> records =
+      synth_rocksdb_records(11, 2'000);
+  std::stringstream buffer{serialized(records)};
+  const Trace trace = import_rocksdb_trace(buffer);
+  EXPECT_EQ(trace.requests.size(), records.size());
+  // The dense remap keeps requests sorted and ids in range.
+  std::int64_t previous = std::numeric_limits<std::int64_t>::min();
+  for (const Request& request : trace.requests) {
+    ASSERT_GE(request.time.seconds, previous);
+    previous = request.time.seconds;
+    ASSERT_LT(request.photo, trace.catalog.photo_count());
+  }
+  // Synthetic pacing must span multiple days so daily retrains fire when
+  // the scenario replays this stream.
+  EXPECT_GE(trace.horizon.seconds, 2 * kSecondsPerDay);
+}
+
+TEST(RocksdbAdapter, SynthIsDeterministic) {
+  EXPECT_TRUE(synth_rocksdb_records(42, 1'000) ==
+              synth_rocksdb_records(42, 1'000));
+  EXPECT_FALSE(synth_rocksdb_records(42, 1'000) ==
+               synth_rocksdb_records(43, 1'000));
+}
+
+}  // namespace
+}  // namespace otac::scenario

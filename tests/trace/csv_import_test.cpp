@@ -89,5 +89,38 @@ TEST(CsvImport, RejectsBadNumbers) {
   EXPECT_THROW((void)import_requests_csv(csv), std::runtime_error);
 }
 
+// What import_requests_csv threw for the given document, or "" if it
+// (unexpectedly) parsed.
+std::string import_error(const std::string& body) {
+  std::stringstream csv;
+  csv << "time_s,photo,owner,type,size_bytes,terminal\n" << body;
+  try {
+    (void)import_requests_csv(csv);
+  } catch (const std::runtime_error& error) {
+    return error.what();
+  }
+  return {};
+}
+
+TEST(CsvImport, ErrorsNameTheOneBasedLine) {
+  // The header is line 1, so the first data row is line 2. Exact-message
+  // pins: operators paste these lines into `sed -n '3p'` on multi-million
+  // row logs, so the number must be the *file* line, not a row index.
+  EXPECT_EQ(import_error("0,p1,alice,l5,100,pc\n"
+                         "5,p2,bob\n"),
+            "import_requests_csv: malformed row at line 3");
+  EXPECT_EQ(import_error("abc,p1,alice,l5,100,pc\n"),
+            "import_requests_csv: bad number at line 2");
+  EXPECT_EQ(import_error("0,p1,alice,l5,100,pc\n"
+                         "5,p2,bob,l5,5000000000,pc\n"),
+            "import_requests_csv: value out of range at line 3");
+  EXPECT_EQ(import_error("0,p1,alice,l5,100,pc\n"
+                         "10,p2,bob,l5,100,pc\n"
+                         "5,p3,carol,l5,100,pc\n"),
+            "import_requests_csv: rows not time-sorted at line 4");
+  EXPECT_EQ(import_error("0,p1,alice,z9,100,pc\n"),
+            "import_requests_csv: unknown type 'z9' at line 2");
+}
+
 }  // namespace
 }  // namespace otac

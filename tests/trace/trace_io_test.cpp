@@ -75,6 +75,70 @@ TEST(TraceIo, RejectsMissingFile) {
                std::runtime_error);
 }
 
+TEST(TraceIo, ForwardVersionRejectedNotMisparsed) {
+  // A kTraceVersion+1 stream comes from a *newer* writer whose layout we
+  // cannot know; it must be refused at the version check, before any
+  // section is interpreted.
+  const Trace original = generated();
+  std::stringstream buffer;
+  save_trace(original, buffer);
+  std::string bytes = buffer.str();
+  const std::uint32_t next_version = kTraceVersion + 1;
+  std::memcpy(&bytes[sizeof(kTraceMagic)], &next_version,
+              sizeof(next_version));
+  std::stringstream in{bytes};
+  try {
+    (void)load_trace(in);
+    FAIL() << "version+1 stream loaded instead of being rejected";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "trace_io: unsupported version");
+  }
+}
+
+TEST(TraceIo, RejectsTruncationAtEverySectionBoundary) {
+  // Reconstruct the writer's exact byte layout (header, then four
+  // length-prefixed vectors) and cut the stream at the start of every
+  // section and one byte into it: each prefix must be a clean
+  // runtime_error, never a partially populated trace.
+  const Trace original = generated();
+  std::stringstream buffer;
+  save_trace(original, buffer);
+  const std::string full = buffer.str();
+
+  std::vector<std::size_t> boundaries;
+  std::size_t offset = 0;
+  const auto section = [&](std::size_t bytes) {
+    boundaries.push_back(offset);
+    offset += bytes;
+  };
+  section(sizeof(kTraceMagic));
+  section(sizeof(kTraceVersion));
+  section(sizeof(original.horizon.seconds));
+  const auto vector_section = [&](std::size_t count, std::size_t element) {
+    section(sizeof(std::uint64_t));  // length prefix
+    section(count * element);        // payload
+  };
+  vector_section(original.catalog.photo_count(), sizeof(PhotoMeta));
+  vector_section(original.catalog.owner_count(), sizeof(OwnerMeta));
+  vector_section(original.requests.size(), sizeof(Request));
+  vector_section(original.latent_score.size(), sizeof(float));
+  // The layout model must cover the file exactly, or the cuts below test
+  // the wrong offsets.
+  ASSERT_EQ(offset, full.size());
+
+  for (const std::size_t boundary : boundaries) {
+    for (const std::size_t cut : {boundary, boundary + 1}) {
+      if (cut >= full.size()) continue;
+      std::stringstream truncated{full.substr(0, cut)};
+      EXPECT_THROW((void)load_trace(truncated), std::runtime_error)
+          << "prefix length " << cut;
+    }
+  }
+  // One byte short of a complete file: the final payload read must fail.
+  std::stringstream nearly{full.substr(0, full.size() - 1)};
+  EXPECT_THROW((void)load_trace(nearly), std::runtime_error);
+}
+
 TEST(TraceIo, RejectsTruncationAtEveryBoundary) {
   // Every prefix of a valid file must produce a clean runtime_error — the
   // stride walks across the header, each vector length, and payload bytes.

@@ -1,0 +1,12 @@
+// Fixture for the scenario-registry rule: scenario::find() must only be
+// handed names registered in src/scenario/scenario_names.h. Misspelled or
+// unregistered names throw at runtime and silently drop the scenario from
+// any matrix that catches the exception.
+
+void lookup_scenarios() {
+  (void)otac::scenario::find("flash_crowd");  // registered: clean
+  (void)otac::scenario::find("flash_mob");    // hit
+  (void)otac::scenario::find("scan_floood");  // hit
+  // otac-lint: allow(scenario-registry) — demonstrating suppression
+  (void)otac::scenario::find("prototype_scenario_not_yet_registered");
+}

@@ -51,6 +51,7 @@ DEFAULT_SCAN_DIRS = ("src", "bench", "examples")
 
 FAILPOINT_REGISTRY = "src/util/failpoint_names.h"
 METRIC_REGISTRY = "src/obs/metric_names.h"
+SCENARIO_REGISTRY = "src/scenario/scenario_names.h"
 
 # Files whose output is serialized, hashed, or golden-pinned: checkpoint
 # bytes, run reports, bench JSON, trace files, eviction-sequence hashes.
@@ -419,6 +420,38 @@ class MetricRegistryRule(Rule):
         return out
 
 
+class ScenarioRegistryRule(Rule):
+    """Scenario names live in src/scenario/scenario_names.h; a
+    scenario::find("...") call naming anything else only fails at runtime
+    (std::invalid_argument), and a misspelled name in a bench or example
+    silently drops that scenario from its matrix. Catch it at lint time."""
+
+    name = "scenario-registry"
+    summary = ('every scenario::find("...") string literal must appear in '
+               "scenario/scenario_names.h")
+
+    SITE_RE = re.compile(r'scenario\s*::\s*find\s*\(\s*"([^"]+)"')
+
+    def __init__(self, known_names: set[str]):
+        self.known_names = known_names
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out = []
+        for m in self.SITE_RE.finditer(ctx.code_text):
+            name = m.group(1)
+            if name in self.known_names:
+                continue
+            lineno = ctx.line_of_offset(m.start())
+            if ctx.allowed(self.name, lineno):
+                continue
+            out.append(self._hit(
+                ctx, lineno,
+                f'scenario "{name}" is not listed in {SCENARIO_REGISTRY}; '
+                f"register it (name, spec, and gate envelopes) before "
+                f"referencing it"))
+        return out
+
+
 class GoldenHashRule(Rule):
     """util/fnv.h is the one hash for golden sequences: std::hash is
     implementation-defined (goldens would differ across standard
@@ -579,6 +612,7 @@ def build_rules(root: Path) -> list[Rule]:
         UnorderedSerializationRule(),
         FailpointRegistryRule(parse_registry_names(root, FAILPOINT_REGISTRY)),
         MetricRegistryRule(parse_registry_names(root, METRIC_REGISTRY)),
+        ScenarioRegistryRule(parse_registry_names(root, SCENARIO_REGISTRY)),
         GoldenHashRule(),
         HotpathAllocRule(),
         BoundedRetryRule(),

@@ -24,6 +24,7 @@ EXPECTED = {
     "unordered_serialization_violation.cpp": {"unordered-serialization": 2},
     "failpoint_registry_violation.cpp": {"failpoint-registry": 1},
     "metric_registry_violation.cpp": {"metric-registry": 2},
+    "scenario_registry_violation.cpp": {"scenario-registry": 2},
     "golden_hash_violation.cpp": {"golden-hash": 3},
     "hotpath_alloc_violation.cpp": {"hotpath-alloc": 6},
     "unbounded_retry_violation.cpp": {"bounded-retry": 3},
@@ -37,6 +38,7 @@ ALL_RULES = {
     "unordered-serialization",
     "failpoint-registry",
     "metric-registry",
+    "scenario-registry",
     "golden-hash",
     "hotpath-alloc",
     "bounded-retry",

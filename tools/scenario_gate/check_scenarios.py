@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate BENCH_scenarios.json against checked-in tolerance envelopes.
+
+Usage: check_scenarios.py <BENCH_scenarios.json> <envelopes.json>
+
+The report comes from bench/micro_scenarios (one cell per scenario x
+admission mode); the envelopes file (tools/scenario_gate/envelopes.json)
+pins, per cell:
+
+  requests          -- exact (the replay is deterministic; a drifted trace
+                       is a different experiment, not noise)
+  file_hit_rate     -- [lo, hi] window
+  byte_write_rate   -- [lo, hi] window
+  insertions        -- [lo, hi] window (SSD writes)
+  max_shed_requests -- ceiling on load-shedding drops
+  p99_latency_us    -- [lo, hi] window
+
+A regression in any scenario's hit rate / writes / p99 therefore fails CI,
+as does a scenario missing from either side (a silently dropped scenario
+is the failure mode the registry exists to prevent). Exit code 0 = all
+cells in-window, 1 = any violation, 2 = usage/IO error.
+
+When a workload or the admission path changes *intentionally*, re-run
+`build/bench/micro_scenarios` at scale 1.0 and update envelopes.json in
+the same commit, with the regenerated numbers in the PR description.
+"""
+
+import json
+import sys
+
+
+def cell_key(cell):
+    return f'{cell["scenario"]}/{cell["mode"]}'
+
+
+def check_window(errors, key, metric, value, window):
+    lo, hi = window
+    if not lo <= value <= hi:
+        errors.append(
+            f"{key}: {metric} = {value:g} outside envelope [{lo:g}, {hi:g}]")
+
+
+def check(report, envelopes):
+    """Return a list of violation messages (empty = gate passes)."""
+    errors = []
+    cells = {}
+    for cell in report.get("cells", []):
+        key = cell_key(cell)
+        if key in cells:
+            errors.append(f"{key}: duplicate cell in report")
+        cells[key] = cell
+
+    expected = {
+        f"{scenario}/{mode}": envelope
+        for scenario, modes in envelopes["scenarios"].items()
+        for mode, envelope in modes.items()
+    }
+
+    for key in sorted(expected.keys() - cells.keys()):
+        errors.append(f"{key}: missing from report (scenario dropped?)")
+    for key in sorted(cells.keys() - expected.keys()):
+        errors.append(f"{key}: present in report but has no envelope")
+
+    for key in sorted(expected.keys() & cells.keys()):
+        cell, envelope = cells[key], expected[key]
+        if not cell.get("ok", False):
+            errors.append(f"{key}: cell reports ok=false")
+        if cell["requests"] != envelope["requests"]:
+            errors.append(
+                f'{key}: requests = {cell["requests"]} != '
+                f'{envelope["requests"]} (workload drifted)')
+        for metric in ("file_hit_rate", "byte_write_rate", "insertions",
+                       "p99_latency_us"):
+            check_window(errors, key, metric, cell[metric], envelope[metric])
+        if cell["shed_requests"] > envelope["max_shed_requests"]:
+            errors.append(
+                f'{key}: shed_requests = {cell["shed_requests"]} > '
+                f'{envelope["max_shed_requests"]}')
+    return errors
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1]) as f:
+            report = json.load(f)
+        with open(argv[2]) as f:
+            envelopes = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"scenario-gate: cannot load inputs: {error}", file=sys.stderr)
+        return 2
+
+    errors = check(report, envelopes)
+    if errors:
+        for error in errors:
+            print(f"scenario-gate: FAIL {error}")
+        print(f"scenario-gate: {len(errors)} violation(s)")
+        return 1
+    checked = sum(len(modes) for modes in envelopes["scenarios"].values())
+    print(f"scenario-gate: OK ({checked} cells within envelopes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

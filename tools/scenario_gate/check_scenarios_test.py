@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Tests for the scenario regression gate (check_scenarios.py).
+
+The negative case is the acceptance criterion for the whole gate: an
+injected hit-rate regression in the fixture report must fail the check
+with a violation naming the metric. Also pins the cross-file invariants —
+the checked-in envelopes.json must cover exactly the scenarios registered
+in src/scenario/scenario_names.h, in both admission modes.
+"""
+
+import json
+import pathlib
+import re
+import sys
+import unittest
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+FIXTURES = HERE / "fixtures"
+
+sys.path.insert(0, str(HERE))
+import check_scenarios  # noqa: E402
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+class CheckScenariosTest(unittest.TestCase):
+    def test_ok_report_passes(self):
+        errors = check_scenarios.check(
+            load(FIXTURES / "report_ok.json"), load(FIXTURES / "envelope.json"))
+        self.assertEqual(errors, [])
+
+    def test_injected_hit_rate_regression_fails(self):
+        errors = check_scenarios.check(
+            load(FIXTURES / "report_regressed.json"),
+            load(FIXTURES / "envelope.json"))
+        self.assertEqual(len(errors), 1)
+        self.assertIn("toy_scan/Proposal", errors[0])
+        self.assertIn("file_hit_rate", errors[0])
+
+    def test_missing_scenario_fails(self):
+        report = load(FIXTURES / "report_ok.json")
+        report["cells"] = [c for c in report["cells"]
+                           if c["mode"] != "Proposal"]
+        errors = check_scenarios.check(report,
+                                       load(FIXTURES / "envelope.json"))
+        self.assertTrue(any("missing from report" in e for e in errors))
+
+    def test_unexpected_scenario_fails(self):
+        report = load(FIXTURES / "report_ok.json")
+        extra = dict(report["cells"][0], scenario="rogue")
+        report["cells"].append(extra)
+        errors = check_scenarios.check(report,
+                                       load(FIXTURES / "envelope.json"))
+        self.assertTrue(any("no envelope" in e for e in errors))
+
+    def test_requests_drift_fails(self):
+        report = load(FIXTURES / "report_ok.json")
+        report["cells"][0]["requests"] += 1
+        errors = check_scenarios.check(report,
+                                       load(FIXTURES / "envelope.json"))
+        self.assertTrue(any("workload drifted" in e for e in errors))
+
+    def test_shed_ceiling_fails(self):
+        report = load(FIXTURES / "report_ok.json")
+        report["cells"][1]["shed_requests"] = 11
+        errors = check_scenarios.check(report,
+                                       load(FIXTURES / "envelope.json"))
+        self.assertTrue(any("shed_requests" in e for e in errors))
+
+    def test_ok_false_cell_fails(self):
+        report = load(FIXTURES / "report_ok.json")
+        report["cells"][0]["ok"] = False
+        errors = check_scenarios.check(report,
+                                       load(FIXTURES / "envelope.json"))
+        self.assertTrue(any("ok=false" in e for e in errors))
+
+    def test_main_exit_codes(self):
+        self.assertEqual(
+            check_scenarios.main(["check", str(FIXTURES / "report_ok.json"),
+                                  str(FIXTURES / "envelope.json")]), 0)
+        self.assertEqual(
+            check_scenarios.main(
+                ["check", str(FIXTURES / "report_regressed.json"),
+                 str(FIXTURES / "envelope.json")]), 1)
+        self.assertEqual(check_scenarios.main(["check"]), 2)
+        self.assertEqual(
+            check_scenarios.main(["check", "/nonexistent.json",
+                                  str(FIXTURES / "envelope.json")]), 2)
+
+
+class EnvelopeRegistrySyncTest(unittest.TestCase):
+    """The checked-in envelopes must track the C++ scenario registry."""
+
+    def registered_names(self):
+        header = (REPO / "src" / "scenario" / "scenario_names.h").read_text()
+        body = header[header.index("kKnownScenarios"):]
+        body = body[:body.index("}")]
+        return re.findall(r'"([^"]+)"', body)
+
+    def test_envelopes_cover_every_registered_scenario(self):
+        envelopes = load(HERE / "envelopes.json")["scenarios"]
+        self.assertEqual(sorted(envelopes.keys()),
+                         sorted(self.registered_names()))
+        for name, modes in envelopes.items():
+            self.assertEqual(sorted(modes.keys()), ["Original", "Proposal"],
+                             f"scenario {name} must pin both admission modes")
+
+    def test_envelope_windows_are_sane(self):
+        envelopes = load(HERE / "envelopes.json")["scenarios"]
+        for name, modes in envelopes.items():
+            for mode, env in modes.items():
+                for metric in ("file_hit_rate", "byte_write_rate",
+                               "insertions", "p99_latency_us"):
+                    lo, hi = env[metric]
+                    self.assertLessEqual(lo, hi, f"{name}/{mode} {metric}")
+                self.assertGreater(env["requests"], 0)
+                self.assertGreaterEqual(env["max_shed_requests"], 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
