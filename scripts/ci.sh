@@ -24,6 +24,13 @@
 #                BENCH_scenarios.json, and tools/scenario_gate validates
 #                every cell against the checked-in tolerance envelopes
 #                (hit rate, write count, shed ceiling, p99)
+#   daemon       serving-daemon smoke gate: otacd replays the pinned
+#                bench workload behind real loopback sockets while
+#                otac_loadgen offers the trace open-loop, the resulting
+#                BENCH_daemon.json must sit inside
+#                tools/daemon_gate/envelopes.json (after the gate's own
+#                negative fixtures prove it can fail), and the daemon
+#                e2e suite runs under TSan
 #   lint         three-layer static-analysis gate: otac-lint invariants,
 #                hardened-warning build (OTAC_WERROR=ON), curated
 #                clang-tidy over the compile database
@@ -58,7 +65,8 @@ case "$JOB" in
   concurrency)
     BUILD_DIR="${BUILD_DIR:-build-tsan}"
     cmake -B "$BUILD_DIR" -S . -DOTAC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-    cmake --build "$BUILD_DIR" --target test_concurrency -j"$(nproc)"
+    cmake --build "$BUILD_DIR" --target test_concurrency test_daemon_e2e \
+      -j"$(nproc)"
     ctest --test-dir "$BUILD_DIR" -L concurrency --output-on-failure -j"$(nproc)"
     echo "concurrency suite clean under TSan"
     ;;
@@ -132,6 +140,10 @@ for cell in report["cells"]:
 print("sharded-replay warning field consistent")
 EOF
     )
+    # Schema gate: json.tool only proves the reports parse; a bench that
+    # silently emitted zero cells (or dropped the keys the perf notes
+    # read) must fail the job, not upload an empty artifact.
+    python3 tools/bench_gate/check_bench_smoke.py "$BUILD_DIR/bench-smoke"
     echo "bench smoke passed (OTAC_SCALE=${OTAC_SCALE:-0.02}); reports in $BUILD_DIR/bench-smoke"
     ;;
 
@@ -156,6 +168,58 @@ EOF
       "$BUILD_DIR/bench-smoke/BENCH_scenarios.json" \
       tools/scenario_gate/envelopes.json
     echo "scenario gate passed; report in $BUILD_DIR/bench-smoke/BENCH_scenarios.json"
+    ;;
+
+  daemon)
+    # Loopback smoke of the serving stack: otacd replays the pinned bench
+    # workload (seed 42, scale 0.02, overload ladder + threaded watchdog
+    # on) behind real sockets while the open-loop load generator offers
+    # the first 20k requests at 40k rps; the resulting BENCH_daemon.json
+    # (client p50/p99/p999 + the server-side replay summary, eviction
+    # hash included) must sit inside tools/daemon_gate/envelopes.json.
+    # The gate's own negative fixtures (injected p99 regression,
+    # silently-empty report) run first, so a gate that cannot fail
+    # cannot pass the job. Finally the daemon e2e suite — real acceptor/
+    # reader/worker threads reproducing the in-process replay
+    # bit-for-bit — runs under TSan. Build dirs match the bench-smoke
+    # and concurrency jobs so local runs and CI share caches.
+    BUILD_DIR="${BUILD_DIR:-build}"
+    TSAN_DIR="${2:+$2-tsan}"
+    TSAN_DIR="${TSAN_DIR:-build-tsan}"
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$BUILD_DIR" --target otacd otac_loadgen -j"$(nproc)"
+    python3 tools/daemon_gate/check_daemon_test.py
+    echo "daemon gate self-test passed (regression fixtures fail as required)"
+    mkdir -p "$BUILD_DIR/bench-smoke"
+    PORT_FILE="$BUILD_DIR/bench-smoke/otacd.port"
+    rm -f "$PORT_FILE"
+    # --port 0 + --port-file is the bind handshake: the kernel picks a
+    # free port, otacd writes it after listen(), the loadgen polls the
+    # file. No fixed port, no bind races on shared CI machines.
+    "$BUILD_DIR/tools/otacd/otacd" \
+      --port 0 --port-file "$PORT_FILE" \
+      --seed 42 --scale 0.02 --shards 4 --overload \
+      --watchdog-timeout 0.5 &
+    OTACD_PID=$!
+    trap 'kill "$OTACD_PID" 2>/dev/null || true' EXIT
+    "$BUILD_DIR/tools/otac_loadgen/otac_loadgen" \
+      --port-file "$PORT_FILE" \
+      --seed 42 --scale 0.02 --requests 20000 --offered-rps 40000 \
+      --out "$BUILD_DIR/bench-smoke/BENCH_daemon.json"
+    # The loadgen's SHUTDOWN handshake stops the daemon; a hang here is
+    # a bug the job should time out on, not silently kill away.
+    wait "$OTACD_PID"
+    trap - EXIT
+    python3 -m json.tool "$BUILD_DIR/bench-smoke/BENCH_daemon.json" > /dev/null
+    python3 tools/daemon_gate/check_daemon.py \
+      "$BUILD_DIR/bench-smoke/BENCH_daemon.json" \
+      tools/daemon_gate/envelopes.json
+    cmake -B "$TSAN_DIR" -S . -DOTAC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$TSAN_DIR" --target test_daemon_e2e -j"$(nproc)"
+    ctest --test-dir "$TSAN_DIR" -L concurrency -R DaemonE2e \
+      --output-on-failure -j"$(nproc)"
+    echo "daemon e2e clean under TSan"
+    echo "daemon gate passed; report in $BUILD_DIR/bench-smoke/BENCH_daemon.json"
     ;;
 
   lint)
@@ -196,7 +260,7 @@ EOF
     ;;
 
   *)
-    echo "usage: scripts/ci.sh {build|robustness|concurrency|chaos|bench-smoke|scenarios|lint|format} [build-dir]" >&2
+    echo "usage: scripts/ci.sh {build|robustness|concurrency|chaos|bench-smoke|scenarios|daemon|lint|format} [build-dir]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,73 @@
+// Open-loop load generator for the serving daemon (tools/otac_loadgen).
+//
+// The generator replays the seeded trace's arrival process compressed to
+// wall clock: send time of request i is (t_i - t_0) * c, with c chosen so
+// the average rate equals `offered_rps`. Because the trace's per-user
+// popularity model is heavy-tailed and diurnal, compressing its arrival
+// times — rather than emitting a uniform or Poisson stream — preserves
+// the burst shape that makes the daemon's overload ladder interesting.
+//
+// Open loop: the sender never waits for replies (a receiver thread
+// matches RESULT frames back to send timestamps by sequence), so client
+// latency includes server queueing. The one closed-loop element is TCP
+// itself — with the daemon's default blocking dispatch, a full shard
+// queue propagates to the sender as socket backpressure, which is exactly
+// the behavior BENCH_daemon.json is meant to observe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/protocol.h"
+#include "trace/trace.h"
+
+namespace otac::net {
+
+struct LoadgenConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// GET frames to send (0 = the whole trace, in trace order).
+  std::uint64_t requests = 0;
+  /// Open-loop offered rate in requests per wall-clock second.
+  double offered_rps = 20000.0;
+  /// Every k-th request also sends a PUT of the same photo (0 = none).
+  std::uint64_t put_every = 0;
+  /// Also fetch the server's RunReport JSON before shutting down.
+  bool fetch_report = false;
+};
+
+/// Client- and server-side outcome of one load-generation run. The server
+/// cell comes back over the wire (STATS -> SummaryPayload), so writing
+/// BENCH_daemon.json needs no JSON parsing.
+struct LoadgenResult {
+  std::uint64_t requests = 0;  ///< GET frames sent
+  std::uint64_t puts = 0;      ///< PUT frames sent
+  std::uint64_t replies = 0;   ///< RESULT frames received
+  std::uint64_t hits = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t degraded = 0;  ///< replies flagged Degraded
+  std::uint64_t put_oks = 0;
+  std::uint64_t errors = 0;
+  std::string error_text;  ///< first transport/protocol error, if any
+  double wall_seconds = 0.0;   ///< send phase (first to last GET frame)
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;   ///< replies over time-to-last-reply
+  double p50_us = 0.0;         ///< client-side reply latency quantiles
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  SummaryPayload server;           ///< STATS reply
+  std::string server_report_json;  ///< REPORT reply (fetch_report only)
+};
+
+/// Connect, replay `config.requests` trace requests open-loop, collect
+/// the server summary, and shut the daemon down. The trace must be the
+/// same seed/scale the daemon was started with — the daemon verifies
+/// every GET's photo id against its own trace and drops the connection on
+/// mismatch. Throws std::runtime_error on connect failure.
+[[nodiscard]] LoadgenResult run_loadgen(const Trace& trace,
+                                        const LoadgenConfig& config);
+
+}  // namespace otac::net

@@ -37,6 +37,14 @@ inline constexpr std::string_view kKnownCounters[] = {
     "checkpoint.save_failures",
     "checkpoint.save_retries",
     "checkpoint.saves",
+    "daemon.connections",
+    "daemon.frames_received",
+    "daemon.frames_sent",
+    "daemon.get_requests",
+    "daemon.protocol_errors",
+    "daemon.put_requests",
+    "daemon.retry_replies",
+    "daemon.shed_replies",
     "degradation.degraded_admits",
     "degradation.nonfinite_feature_requests",
     "degradation.overload_transitions",
@@ -75,6 +83,7 @@ inline constexpr std::string_view kKnownGauges[] = {
 inline constexpr std::string_view kKnownHistograms[] = {
     "checkpoint.load_seconds",
     "checkpoint.save_seconds",
+    "daemon.batch_gather_size",
     "latency.request_us",   // core/run_metrics.h kLatencyHistogramName
     "serving.admission_batch_size",  // kAdmissionBatchHistogramName
     "trainer.fit_seconds",  // core/run_metrics.h kFitHistogramName

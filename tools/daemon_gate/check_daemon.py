@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Validate BENCH_daemon.json against checked-in serving envelopes.
+
+Usage: check_daemon.py <BENCH_daemon.json> <envelopes.json>
+
+The report comes from tools/otac_loadgen driving tools/otacd over
+loopback with a fixed seed/scale/request count (the `daemon` CI job). It
+has exactly two cells, tagged "side": "client" (frames sent, reply mix,
+p50/p99/p999 reply latency, achieved rate) and "side": "server" (the
+daemon's own CacheStats summary fetched over the wire).
+
+The envelopes file (tools/daemon_gate/envelopes.json) pins:
+
+  client.requests       -- exact (the loadgen sends a fixed count)
+  client.replies        -- exact (every GET/PUT must be answered)
+  client.max_*          -- ceilings on errors / retries / shed replies
+  client.min_achieved_rps, client.p50/p99/p999_us windows
+                        -- throughput/latency envelope; generous because
+                           CI machines are shared, but a wedged daemon
+                           (e.g. a worker deadlock serializing shards)
+                           still lands far outside it
+  server.requests       -- exact (server-side replay is deterministic)
+  server.file_hit_rate  -- [lo, hi] window
+  server.trainings      -- [lo, hi] window (threaded retrains may time
+                           out on a loaded machine; a daemon that never
+                           trains is broken)
+  server.max_shed_requests, server.max_retrain_timeouts -- ceilings
+  server.eviction_hash_nonzero -- the eviction fingerprint must be live
+
+A silently-empty report (no cells, or a cell missing its schema keys)
+fails, as does an injected p99 regression — both are pinned by
+check_daemon_test.py. Exit code 0 = in-envelope, 1 = any violation,
+2 = usage/IO error.
+
+When the serving path changes *intentionally*, re-run `scripts/ci.sh
+daemon` locally and update envelopes.json in the same commit.
+"""
+
+import json
+import sys
+
+CLIENT_KEYS = (
+    "requests", "puts", "replies", "hits", "admitted", "rejected", "shed",
+    "retries", "degraded", "errors", "wall_seconds", "offered_rps",
+    "achieved_rps", "p50_us", "p99_us", "p999_us",
+)
+SERVER_KEYS = (
+    "requests", "hits", "insertions", "rejected", "evictions",
+    "shed_requests", "degraded_admits", "overload_transitions",
+    "retrain_timeouts", "trainings", "file_hit_rate", "byte_hit_rate",
+    "mean_latency_us", "eviction_hash",
+)
+
+
+def check_window(errors, side, metric, value, window):
+    lo, hi = window
+    if not lo <= value <= hi:
+        errors.append(
+            f"{side}: {metric} = {value:g} outside envelope [{lo:g}, {hi:g}]")
+
+
+def check_ceiling(errors, side, metric, value, ceiling):
+    if value > ceiling:
+        errors.append(f"{side}: {metric} = {value} > {ceiling}")
+
+
+def check(report, envelopes):
+    """Return a list of violation messages (empty = gate passes)."""
+    errors = []
+    cells = report.get("cells", [])
+    if not cells:
+        return ["report has no cells (silently-empty artifact)"]
+
+    by_side = {}
+    for cell in cells:
+        side = cell.get("side")
+        if side in by_side:
+            errors.append(f"{side}: duplicate cell in report")
+        by_side[side] = cell
+
+    for side, keys in (("client", CLIENT_KEYS), ("server", SERVER_KEYS)):
+        cell = by_side.get(side)
+        if cell is None:
+            errors.append(f"{side}: cell missing from report")
+            continue
+        missing = [k for k in keys if k not in cell]
+        if missing:
+            errors.append(f"{side}: cell missing keys {missing}")
+    if errors:
+        return errors
+
+    client, server = by_side["client"], by_side["server"]
+    env_client, env_server = envelopes["client"], envelopes["server"]
+
+    if client["requests"] != env_client["requests"]:
+        errors.append(
+            f'client: requests = {client["requests"]} != '
+            f'{env_client["requests"]} (loadgen schedule drifted)')
+    expected_replies = client["requests"] + client["puts"]
+    if client["replies"] != expected_replies:
+        errors.append(
+            f'client: replies = {client["replies"]} != {expected_replies} '
+            f"(sent frames unanswered)")
+    check_ceiling(errors, "client", "errors", client["errors"],
+                  env_client["max_errors"])
+    check_ceiling(errors, "client", "retries", client["retries"],
+                  env_client["max_retries"])
+    check_ceiling(errors, "client", "shed", client["shed"],
+                  env_client["max_shed"])
+    if client["achieved_rps"] < env_client["min_achieved_rps"]:
+        errors.append(
+            f'client: achieved_rps = {client["achieved_rps"]:g} < '
+            f'{env_client["min_achieved_rps"]:g}')
+    for metric in ("p50_us", "p99_us", "p999_us"):
+        check_window(errors, "client", metric, client[metric],
+                     env_client[metric])
+
+    if server["requests"] != env_server["requests"]:
+        errors.append(
+            f'server: requests = {server["requests"]} != '
+            f'{env_server["requests"]} (server-side replay drifted)')
+    check_window(errors, "server", "file_hit_rate", server["file_hit_rate"],
+                 env_server["file_hit_rate"])
+    check_window(errors, "server", "trainings", server["trainings"],
+                 env_server["trainings"])
+    check_ceiling(errors, "server", "shed_requests", server["shed_requests"],
+                  env_server["max_shed_requests"])
+    check_ceiling(errors, "server", "retrain_timeouts",
+                  server["retrain_timeouts"],
+                  env_server["max_retrain_timeouts"])
+    if env_server.get("eviction_hash_nonzero", False):
+        if int(server["eviction_hash"], 16) == 0:
+            errors.append(
+                "server: eviction_hash is zero (eviction fingerprint dead)")
+    return errors
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1]) as f:
+            report = json.load(f)
+        with open(argv[2]) as f:
+            envelopes = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"daemon-gate: cannot load inputs: {error}", file=sys.stderr)
+        return 2
+
+    errors = check(report, envelopes)
+    if errors:
+        for error in errors:
+            print(f"daemon-gate: FAIL {error}")
+        print(f"daemon-gate: {len(errors)} violation(s)")
+        return 1
+    print("daemon-gate: OK (client and server cells within envelopes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

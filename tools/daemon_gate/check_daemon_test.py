@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Tests for the daemon serving-envelope gate (check_daemon.py).
+
+Two negative cases are the acceptance criteria for the whole gate: an
+injected client-side p99 regression must fail with a violation naming
+the metric, and a silently-empty report (no cells, or a cell stripped of
+its schema keys) must fail rather than pass vacuously.
+"""
+
+import json
+import pathlib
+import sys
+import unittest
+
+HERE = pathlib.Path(__file__).resolve().parent
+FIXTURES = HERE / "fixtures"
+
+sys.path.insert(0, str(HERE))
+import check_daemon  # noqa: E402
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def envelope():
+    return load(FIXTURES / "envelope.json")
+
+
+class CheckDaemonTest(unittest.TestCase):
+    def test_ok_report_passes(self):
+        errors = check_daemon.check(load(FIXTURES / "report_ok.json"),
+                                    envelope())
+        self.assertEqual(errors, [])
+
+    def test_injected_p99_regression_fails(self):
+        errors = check_daemon.check(
+            load(FIXTURES / "report_p99_regressed.json"), envelope())
+        self.assertEqual(len(errors), 1)
+        self.assertIn("p99_us", errors[0])
+        self.assertIn("client", errors[0])
+
+    def test_empty_report_fails(self):
+        errors = check_daemon.check(load(FIXTURES / "report_empty.json"),
+                                    envelope())
+        self.assertTrue(any("no cells" in e for e in errors))
+
+    def test_missing_schema_key_fails(self):
+        report = load(FIXTURES / "report_ok.json")
+        del report["cells"][1]["eviction_hash"]
+        errors = check_daemon.check(report, envelope())
+        self.assertTrue(any("missing keys" in e and "eviction_hash" in e
+                            for e in errors))
+
+    def test_missing_server_cell_fails(self):
+        report = load(FIXTURES / "report_ok.json")
+        report["cells"] = [c for c in report["cells"]
+                           if c["side"] != "server"]
+        errors = check_daemon.check(report, envelope())
+        self.assertTrue(any("server: cell missing" in e for e in errors))
+
+    def test_unanswered_frames_fail(self):
+        report = load(FIXTURES / "report_ok.json")
+        report["cells"][0]["replies"] -= 7
+        errors = check_daemon.check(report, envelope())
+        self.assertTrue(any("unanswered" in e for e in errors))
+
+    def test_request_count_drift_fails(self):
+        report = load(FIXTURES / "report_ok.json")
+        report["cells"][0]["requests"] += 1
+        errors = check_daemon.check(report, envelope())
+        self.assertTrue(any("schedule drifted" in e for e in errors))
+
+    def test_server_replay_drift_fails(self):
+        report = load(FIXTURES / "report_ok.json")
+        report["cells"][1]["requests"] -= 1
+        errors = check_daemon.check(report, envelope())
+        self.assertTrue(any("replay drifted" in e for e in errors))
+
+    def test_transport_error_fails(self):
+        report = load(FIXTURES / "report_ok.json")
+        report["cells"][0]["errors"] = 1
+        errors = check_daemon.check(report, envelope())
+        self.assertTrue(any("errors = 1 > 0" in e for e in errors))
+
+    def test_no_trainings_fails(self):
+        report = load(FIXTURES / "report_ok.json")
+        report["cells"][1]["trainings"] = 0
+        errors = check_daemon.check(report, envelope())
+        self.assertTrue(any("trainings" in e for e in errors))
+
+    def test_zero_eviction_hash_fails(self):
+        report = load(FIXTURES / "report_ok.json")
+        report["cells"][1]["eviction_hash"] = "0x0000000000000000"
+        errors = check_daemon.check(report, envelope())
+        self.assertTrue(any("fingerprint dead" in e for e in errors))
+
+    def test_checked_in_envelopes_are_loadable(self):
+        live = load(HERE / "envelopes.json")
+        for side in ("client", "server"):
+            self.assertIn(side, live)
+        # Every key the checker reads must be present so CI never fails
+        # on a KeyError instead of a clean violation message.
+        for key in ("requests", "max_errors", "max_retries", "max_shed",
+                    "min_achieved_rps", "p50_us", "p99_us", "p999_us"):
+            self.assertIn(key, live["client"])
+        for key in ("requests", "file_hit_rate", "trainings",
+                    "max_shed_requests", "max_retrain_timeouts"):
+            self.assertIn(key, live["server"])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,63 @@
+// Fixture: the daemon-worker-shaped violations the net coverage of
+// hotpath-alloc and bounded-retry exists to catch — an accept/read loop
+// with no shutdown predicate, and per-request heap traffic inside the
+// gather/serve loop. Opted into both file sets via pragma, the same way
+// src/net/daemon.cpp is listed in HOTPATH_FILES and RETRY_PATH_FILES.
+// Expected hits: bounded-retry x2, hotpath-alloc x3.
+// otac-lint: retry-path
+// otac-lint: hotpath-file
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace otac_fixture {
+
+struct Frame {
+  std::uint64_t sequence = 0;
+};
+
+int accept_connection(int listen_fd);
+bool read_frame(int fd, Frame* frame);
+void serve(const Frame& frame);
+
+// An acceptor that can never be asked to stop: a persistent fault (or a
+// plain shutdown request) leaves this thread spinning forever.
+void acceptor_loop(int listen_fd) {
+  while (true) {  // hit 1: bounded-retry
+    const int fd = accept_connection(listen_fd);
+    if (fd < 0) continue;
+  }
+}
+
+// Same defect in the per-connection reader: the loop condition must be
+// the stop flag / EOF, not an unconditional spin.
+void reader_loop(int fd) {
+  for (;;) {  // hit 2: bounded-retry
+    Frame frame;
+    if (!read_frame(fd, &frame)) break;
+    serve(frame);
+  }
+}
+
+// The worker gather loop runs once per served request: a fresh batch
+// buffer or a growing reply vector here is a per-request allocation the
+// daemon's zero-allocation contract forbids (pre-size at construction).
+void worker_loop(int fd, bool* stop) {
+  std::vector<Frame> replies;
+  while (!*stop) {
+    auto batch = std::make_unique<Frame[]>(64);  // hit 3: hotpath-alloc
+    if (!read_frame(fd, batch.get())) return;
+    replies.push_back(batch[0]);  // hit 4: hotpath-alloc
+    replies.resize(0);            // hit 5: hotpath-alloc
+  }
+}
+
+// Cold sites (construction, teardown) suppress with an allow() pragma
+// stating why, exactly as src/net/daemon.cpp does.
+std::unique_ptr<Frame> make_scratch() {
+  // otac-lint: allow(hotpath-alloc) one-time construction, not per-request
+  return std::make_unique<Frame>();
+}
+
+}  // namespace otac_fixture

@@ -75,6 +75,8 @@ HOTPATH_FILES = {
     "src/core/serving_core.cpp",
     "src/core/sharded_cache.cpp",
     "src/ml/compiled_tree.cpp",
+    "src/net/daemon.cpp",
+    "src/net/protocol.cpp",
 }
 
 # Files on the serving / checkpoint retry paths (DESIGN.md §13): every
@@ -88,6 +90,10 @@ RETRY_PATH_FILES = {
     "src/core/shard_queue.cpp",
     "src/core/sharded_cache.cpp",
     "src/core/trainer_watchdog.cpp",
+    "src/net/daemon.cpp",
+    "src/net/loadgen.cpp",
+    "src/net/protocol.cpp",
+    "src/net/socket.cpp",
     "src/util/backoff.h",
 }
 
@@ -459,13 +465,15 @@ class GoldenHashRule(Rule):
 
     name = "golden-hash"
     summary = ("util/fnv.h is the only hash for golden sequences: no "
-               "std::hash, crc32 only in util/crc32.* and core/checkpoint.*")
+               "std::hash, crc32 only in util/crc32.*, core/checkpoint.*, "
+               "and net/protocol.cpp")
 
     CRC_EXEMPT = {
         "src/util/crc32.h",
         "src/util/crc32.cpp",
         "src/core/checkpoint.h",
         "src/core/checkpoint.cpp",
+        "src/net/protocol.cpp",
     }
     STD_HASH_RE = re.compile(r"\bstd\s*::\s*hash\s*<")
     CRC_RE = re.compile(r'(?<![A-Za-z0-9_])crc32\s*\(|"util/crc32\.h"')

@@ -28,6 +28,7 @@ EXPECTED = {
     "golden_hash_violation.cpp": {"golden-hash": 3},
     "hotpath_alloc_violation.cpp": {"hotpath-alloc": 6},
     "unbounded_retry_violation.cpp": {"bounded-retry": 3},
+    "daemon_net_violation.cpp": {"bounded-retry": 2, "hotpath-alloc": 3},
     "header_hygiene_violation.h": {"header-hygiene": 2},
     "allow_pragma_clean.cpp": {},
 }
