@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Run the whole-program invariant gate (tools/otac_analyze): module
+# layering DAG vs the real include graph, nm-level hot-path symbol gate
+# against the audited allowlist (tools/otac_analyze/hotpath_symbols.json),
+# and lock discipline against src/core/lock_names.h — self-test first,
+# then the real tree, with JSON findings + DOT layering graph emitted
+# under <build-dir>/analyze/.
+#
+# Thin wrapper: the commands live in scripts/ci.sh (the `analyze` job),
+# shared byte for byte with .github/workflows/ci.yml.
+#
+# Usage: scripts/check_analyze.sh [build-dir]   (default: build)
+set -euo pipefail
+
+exec "$(dirname "$0")/ci.sh" analyze "${1:-}"

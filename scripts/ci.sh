@@ -33,7 +33,16 @@
 #                e2e suite runs under TSan
 #   lint         three-layer static-analysis gate: otac-lint invariants,
 #                hardened-warning build (OTAC_WERROR=ON), curated
-#                clang-tidy over the compile database
+#                clang-tidy over the compile database (mandatory when
+#                CI=true, skipped with a notice on tool-less local boxes)
+#   analyze      whole-program invariant gate (tools/otac_analyze): the
+#                analyzer self-test (violation fixtures must fail with
+#                their pinned counts), then the real tree across all
+#                three checks — module layering DAG vs the real include
+#                graph, hot-path symbol gate over the built objects
+#                (nm, audited allowlist), and lock discipline against
+#                src/core/lock_names.h. Emits JSON findings + the DOT
+#                layering graph as artifacts.
 #   format       clang-format drift check over the tracked C++ sources
 #
 # Compiler/launcher selection flows through the standard environment
@@ -224,6 +233,25 @@ EOF
 
   lint)
     BUILD_DIR="${BUILD_DIR:-build-lint}"
+    # Layer 3's prerequisites are checked up front: in CI (CI=true, set by
+    # GitHub Actions) a runner image missing clang-tidy must FAIL the job
+    # immediately — a silent skip would let the curated .clang-tidy config
+    # stop gating merges without anyone noticing. Local gcc-only boxes
+    # still get the skip-with-notice path.
+    HAVE_TIDY=0
+    if command -v clang-tidy >/dev/null 2>&1 && \
+       command -v run-clang-tidy >/dev/null 2>&1; then
+      HAVE_TIDY=1
+    elif [ "${CI:-false}" = "true" ]; then
+      echo "lint: CI mode requires clang-tidy + run-clang-tidy (layer 3);" \
+           "install clang-tidy and clang-tools on the runner" >&2
+      exit 1
+    fi
+    # The compile database is configured before any lint layer runs, so
+    # layer 3 always has compile_commands.json even if an earlier layer's
+    # diagnostics need it for reproduction.
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DOTAC_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
     # Layer 1: otac-lint — project determinism/invariant rules
     # (tools/otac_lint; rule table via --list-rules, docs in DESIGN.md §11).
     python3 tools/otac_lint/otac_lint.py
@@ -231,26 +259,48 @@ EOF
     # Layer 2: hardened-warning build — OTAC_WERROR=ON promotes the
     # OTAC_HARDENED_WARNINGS set (-Wshadow -Wconversion -Wdouble-promotion
     # -Wnon-virtual-dtor -Wimplicit-fallthrough) to errors across src/,
-    # bench/, and examples/. Also exports the compile database layer 3
-    # consumes.
-    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-      -DOTAC_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+    # bench/, and examples/.
     cmake --build "$BUILD_DIR" -j"$(nproc)"
     echo "hardened-warning build clean (-Werror)"
     # Layer 3: curated clang-tidy (.clang-tidy) over the compile database,
-    # restricted to the product tree. Skipped with a notice when the tool
-    # is not installed (the CI lint job installs it; local boxes may be
-    # gcc-only).
-    if command -v clang-tidy >/dev/null 2>&1 && \
-       command -v run-clang-tidy >/dev/null 2>&1; then
+    # restricted to the product tree.
+    if [ "$HAVE_TIDY" = 1 ]; then
       clang-tidy --version
       run-clang-tidy -p "$BUILD_DIR" -quiet "/(src|bench|examples)/"
       echo "clang-tidy clean"
     else
       echo "clang-tidy/run-clang-tidy not found; skipping layer 3" \
-           "(installed in CI)"
+           "(mandatory in CI)"
     fi
     echo "lint gate passed"
+    ;;
+
+  analyze)
+    BUILD_DIR="${BUILD_DIR:-build}"
+    # The symbol gate inspects real objects, so build the libraries that
+    # own the designated hot-path TUs (core: serving_core, sharded_cache,
+    # history_table; ml: compiled_tree; net: daemon, protocol) against
+    # the exported compile database.
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$BUILD_DIR" --target otac_core otac_ml otac_net \
+      -j"$(nproc)"
+    # Self-test first: the violation fixtures (layering back-edge +
+    # cycle, leaky hot-path object, lock-held I/O/wait/fit, rank
+    # inversion, stale registry entries) must fail with their exact
+    # pinned counts — a gate that cannot fail cannot pass the job.
+    OTAC_ANALYZE_BUILD_DIR="$BUILD_DIR" \
+      python3 tools/otac_analyze/otac_analyze_test.py
+    echo "otac-analyze self-test passed (fixtures fail as required)"
+    # The real tree: all three checks, artifacts alongside the findings.
+    mkdir -p "$BUILD_DIR/analyze"
+    python3 tools/otac_analyze/otac_analyze.py \
+      --root "$PWD" --build-dir "$BUILD_DIR" \
+      --json-out "$BUILD_DIR/analyze/ANALYZE_findings.json" \
+      --dot "$BUILD_DIR/analyze/layering.dot"
+    python3 -m json.tool "$BUILD_DIR/analyze/ANALYZE_findings.json" \
+      > /dev/null
+    echo "otac-analyze clean (layering DAG, hot-path symbol gate," \
+         "lock discipline); artifacts in $BUILD_DIR/analyze"
     ;;
 
   format)
@@ -260,7 +310,7 @@ EOF
     ;;
 
   *)
-    echo "usage: scripts/ci.sh {build|robustness|concurrency|chaos|bench-smoke|scenarios|daemon|lint|format} [build-dir]" >&2
+    echo "usage: scripts/ci.sh {build|robustness|concurrency|chaos|bench-smoke|scenarios|daemon|lint|analyze|format} [build-dir]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,94 @@
+// Central registry of every mutex in src/ — the lock-discipline twin of
+// the failpoint/metric/scenario name registries. `tools/otac_analyze`
+// (check `locks`) cross-checks this table against the tree both ways:
+// a std::mutex / std::shared_mutex declaration missing from the table is
+// a finding (every lock must be audited and classified), and a table
+// entry whose declaration no longer exists is a stale-entry finding (the
+// audit may not rot). Guard scopes (`std::lock_guard` / `unique_lock` /
+// `scoped_lock` / `shared_lock`) on a registered mutex are then scanned
+// token-by-token for the blocking operations its class forbids, and
+// nested guard acquisitions must follow ascending `rank` (the pinned
+// lock order).
+//
+// Classes — what may happen while the lock is held:
+//   hot        nothing blocking at all: no file/socket I/O, no condition
+//              waits or sleeps, no trainer fit. These are the locks a
+//              serving request can hit; anything slow under one is a
+//              tail-latency cliff multiplied by every queued waiter.
+//   queue      condition waits and sleeps allowed (the mutex exists to
+//              pair with a condition variable); I/O and trainer fits
+//              still forbidden.
+//   barrier    waits and trainer fits allowed (the retrain barrier's
+//              entire purpose is to quiesce and refit under exclusion);
+//              file/socket I/O still forbidden — a barrier that blocks
+//              on a peer stalls every shard.
+//   io_writer  socket/file I/O allowed (the mutex exists to serialize
+//              writers to one descriptor); waits and trainer fits still
+//              forbidden.
+//
+// `unit` is the translation-unit stem the declaration lives in (header
+// and source share one unit); `identifier` is the variable name, member
+// or local. To add a mutex: declare it, add a row here (keep ranks
+// unique, ordered outermost-first), and re-run `scripts/ci.sh analyze`.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace otac::lock {
+
+enum class LockClass : std::uint8_t { hot, queue, barrier, io_writer };
+
+struct LockInfo {
+  std::string_view name;        ///< registry name, dotted like metric names
+  std::string_view unit;        ///< TU stem, e.g. "src/net/daemon"
+  std::string_view identifier;  ///< variable name of the mutex
+  LockClass cls;
+  int rank;  ///< pinned lock order; nested acquisition must ascend
+};
+
+inline constexpr LockInfo kKnownLocks[] = {
+    // The daemon's epoch lock: readers dispatch under a shared hold, a
+    // retrain barrier (or end-of-stream snapshot) takes it exclusively,
+    // quiesces every shard queue, and refits — hence class barrier.
+    {"net.daemon.dispatch", "src/net/daemon", "dispatch_mutex",
+     LockClass::barrier, 10},
+    {"net.daemon.connections", "src/net/daemon", "connections_mutex",
+     LockClass::hot, 20},
+    {"net.daemon.inbound_queue", "src/net/daemon", "mutex_",
+     LockClass::queue, 30},
+    {"net.daemon.shutdown", "src/net/daemon", "shutdown_mutex",
+     LockClass::queue, 40},
+    // Innermost daemon lock: serializes reply writes to one client fd
+    // (reader thread and shard workers may answer concurrently).
+    {"net.daemon.connection_write", "src/net/daemon", "write_mutex",
+     LockClass::io_writer, 50},
+    // Coordinator/worker handshake. The fit itself must NOT run under
+    // this lock (class queue forbids it): the worker unlocks around
+    // run_attempts(), which is exactly the invariant the analyzer pins.
+    {"core.trainer_watchdog.coordination", "src/core/trainer_watchdog",
+     "mutex_", LockClass::queue, 60},
+    // Seqlock publisher side; readers are wait-free and never touch it.
+    {"core.model_slot.writer", "src/core/model_slot", "writer_mutex_",
+     LockClass::hot, 70},
+    // Hit-rate memo. The estimating simulation runs between the lookup
+    // hold and the insert hold, never under either.
+    {"core.intelligent_cache.hit_rate", "src/core/intelligent_cache",
+     "hit_rate_mutex_", LockClass::hot, 80},
+    {"util.thread_pool.queue", "src/util/thread_pool", "mutex_",
+     LockClass::queue, 90},
+    // parallel_for's first-exception capture; held for one assignment.
+    {"util.thread_pool.parallel_error", "src/util/thread_pool",
+     "error_mutex", LockClass::hot, 91},
+    {"util.failpoint.registry", "src/util/failpoint", "mutex_",
+     LockClass::hot, 100},
+};
+
+[[nodiscard]] constexpr bool is_known_lock(std::string_view name) {
+  for (const LockInfo& info : kKnownLocks) {
+    if (info.name == name) return true;
+  }
+  return false;
+}
+
+}  // namespace otac::lock

@@ -1,0 +1,85 @@
+// The lock registry (src/core/lock_names.h) is cross-checked against the
+// tree by tools/otac_analyze; these tests pin the C++-side contract the
+// analyzer's parser assumes: names/ranks/(unit,identifier) keys unique,
+// ranks ordered outermost-first within each unit's documented nesting,
+// and is_known_lock usable in constant expressions.
+#include "core/lock_names.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+
+namespace otac::lock {
+namespace {
+
+TEST(LockNames, NamesAreUniqueAndDotted) {
+  std::set<std::string_view> names;
+  for (const LockInfo& info : kKnownLocks) {
+    EXPECT_TRUE(names.insert(info.name).second)
+        << "duplicate lock name: " << info.name;
+    EXPECT_NE(info.name.find('.'), std::string_view::npos)
+        << "lock names are dotted like metric names: " << info.name;
+  }
+}
+
+TEST(LockNames, RanksAreUnique) {
+  std::set<int> ranks;
+  for (const LockInfo& info : kKnownLocks) {
+    EXPECT_TRUE(ranks.insert(info.rank).second)
+        << "duplicate lock rank: " << info.rank << " (" << info.name << ")";
+  }
+}
+
+TEST(LockNames, UnitIdentifierKeysAreUnique) {
+  std::set<std::pair<std::string, std::string>> keys;
+  for (const LockInfo& info : kKnownLocks) {
+    EXPECT_TRUE(keys
+                    .insert({std::string(info.unit),
+                             std::string(info.identifier)})
+                    .second)
+        << "duplicate (unit, identifier): " << info.unit << ", "
+        << info.identifier;
+  }
+}
+
+TEST(LockNames, UnitsAreTranslationUnitStems) {
+  for (const LockInfo& info : kKnownLocks) {
+    EXPECT_EQ(info.unit.substr(0, 4), "src/")
+        << "unit must be a src/-relative TU stem: " << info.unit;
+    EXPECT_EQ(info.unit.find(".h"), std::string_view::npos)
+        << "unit is a stem, not a file: " << info.unit;
+  }
+}
+
+TEST(LockNames, IsKnownLockIsConstexpr) {
+  static_assert(is_known_lock("net.daemon.dispatch"));
+  static_assert(is_known_lock("core.trainer_watchdog.coordination"));
+  static_assert(!is_known_lock("net.daemon.nonexistent"));
+  EXPECT_TRUE(is_known_lock("util.failpoint.registry"));
+  EXPECT_FALSE(is_known_lock(""));
+}
+
+// The daemon's documented nesting is dispatch -> connections -> queue ->
+// shutdown -> write; pin that the registry ranks encode exactly that
+// order so the analyzer's ascending-rank rule matches the comments.
+TEST(LockNames, DaemonRanksFollowDocumentedNesting) {
+  auto rank_of = [](std::string_view name) {
+    for (const LockInfo& info : kKnownLocks) {
+      if (info.name == name) return info.rank;
+    }
+    ADD_FAILURE() << "missing lock: " << name;
+    return -1;
+  };
+  EXPECT_LT(rank_of("net.daemon.dispatch"), rank_of("net.daemon.connections"));
+  EXPECT_LT(rank_of("net.daemon.connections"),
+            rank_of("net.daemon.inbound_queue"));
+  EXPECT_LT(rank_of("net.daemon.inbound_queue"),
+            rank_of("net.daemon.shutdown"));
+  EXPECT_LT(rank_of("net.daemon.shutdown"),
+            rank_of("net.daemon.connection_write"));
+}
+
+}  // namespace
+}  // namespace otac::lock

@@ -1,0 +1,23 @@
+// Fixture: a "hot-path" TU that references every banned symbol family.
+// otac_analyze_test.py compiles this to an object and feeds it to the
+// symbol gate via --hotpath-object, pinning one symbol-banned finding
+// per undefined symbol: _Znwm (operator new), __cxa_allocate_exception +
+// __cxa_throw, malloc, clock_gettime, rand.
+#include <cstdlib>
+#include <ctime>
+
+int* leak_operator_new() { return new int(42); }
+
+void leak_throw(bool arm) {
+  if (arm) throw 42;
+}
+
+long leak_wall_clock() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_nsec;
+}
+
+int leak_rand() { return std::rand(); }
+
+void* leak_malloc(std::size_t n) { return std::malloc(n); }

@@ -1,0 +1,30 @@
+// Fixture registry for otac_analyze_test.py — a miniature lock_names.h
+// with one deliberately stale entry (core.engine.gone: no such mutex is
+// declared anywhere in this tree, so the analyzer must flag the rotted
+// audit) and a rank inversion set up between queue (20) and sink (5).
+#pragma once
+
+namespace fixture {
+
+enum class LockClass { hot, queue, barrier, io_writer };
+
+struct LockInfo {
+  const char* name;
+  const char* unit;
+  const char* identifier;
+  LockClass cls;
+  int rank;
+};
+
+inline constexpr LockInfo kKnownLocks[] = {
+    {"core.engine.state", "src/core/engine", "state_mutex_",
+     LockClass::hot, 10},
+    {"core.engine.queue", "src/core/engine", "queue_mutex_",
+     LockClass::queue, 20},
+    {"core.engine.sink", "src/core/engine", "sink_mutex_",
+     LockClass::io_writer, 5},
+    {"core.engine.gone", "src/core/engine", "gone_mutex_",
+     LockClass::hot, 30},
+};
+
+}  // namespace fixture

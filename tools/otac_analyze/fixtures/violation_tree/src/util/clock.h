@@ -1,0 +1,12 @@
+// Fixture: a util header reaching up into core — the canonical layering
+// back-edge (util may depend on nothing), which together with core's
+// legal core -> util edge also forms an include cycle.
+#pragma once
+
+#include "core/engine.h"
+
+namespace fixture {
+
+inline int poll_engine() { return 0; }
+
+}  // namespace fixture

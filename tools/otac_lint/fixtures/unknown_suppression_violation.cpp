@@ -1,0 +1,16 @@
+// Fixture: suppression pragmas naming rules that do not exist. Each one
+// silently suppresses nothing, so the linter must reject the pragma
+// itself rather than let the typo mask a future violation.
+
+// otac-lint: allow-file(wall-clok)
+
+namespace fixture {
+
+// otac-lint: allow(hotpath-aloc)
+inline int misspelled_single() { return 1; }
+
+// A pragma mixing one real rule with one typo: only the typo is flagged.
+// otac-lint: allow(wall-clock, ambient-randomness)
+inline int misspelled_among_valid() { return 2; }
+
+}  // namespace fixture

@@ -13,8 +13,14 @@ Usage:
     otac_lint.py [--root DIR] [--list-rules] [paths...]
 
 With no paths, lints src/, bench/, and examples/ under --root (default:
-the repository root containing this tool). Paths may be files or
-directories. Exit status: 0 clean, 1 violations found, 2 usage error.
+the repository root containing this tool) with every rule, plus tools/
+and tests/ with the determinism rules (wall-clock, ambient-random,
+unknown-suppression) — gate tooling and tests must obey the same
+no-ambient-time/no-ambient-randomness contract as the product tree, with
+audited exceptions listed in AUX_WALLCLOCK_ALLOWLIST. Violation-fixture
+directories (any path component named `fixtures`) are skipped in the
+aux tree. Paths may be files or directories; explicitly named paths get
+every rule. Exit status: 0 clean, 1 violations found, 2 usage error.
 
 Suppression pragmas (all rules are suppressible; a suppression should say
 why in a neighbouring comment):
@@ -48,6 +54,20 @@ from pathlib import Path
 
 CXX_SUFFIXES = {".h", ".cpp"}
 DEFAULT_SCAN_DIRS = ("src", "bench", "examples")
+
+# The aux tree: gate tooling and tests. Scanned by default with the
+# determinism subset below — a load generator that timestamps requests
+# from the wall clock or a test that seeds from std::random_device
+# breaks reproducibility exactly like product code would.
+AUX_SCAN_DIRS = ("tools", "tests")
+AUX_RULES = ("wall-clock", "ambient-random", "unknown-suppression")
+
+# Audited aux-tree wall-clock exceptions: rel paths here may reference
+# ambient time (e.g. a future loadgen feature stamping report metadata
+# with a capture date). Every entry must say why in a comment. Currently
+# empty on purpose: the loadgen and daemon tooling measure with
+# std::chrono::steady_clock, which the wall-clock rule already permits.
+AUX_WALLCLOCK_ALLOWLIST: set[str] = set()
 
 FAILPOINT_REGISTRY = "src/util/failpoint_names.h"
 METRIC_REGISTRY = "src/obs/metric_names.h"
@@ -603,6 +623,39 @@ class HeaderHygieneRule(Rule):
         return out
 
 
+class UnknownSuppressionRule(Rule):
+    """A typo'd rule name inside allow()/allow-file() suppresses nothing —
+    and looks exactly like it does, so the masking is invisible in review.
+    Reject any pragma naming a rule that does not exist."""
+
+    name = "unknown-suppression"
+    summary = ("allow()/allow-file() pragmas may only name rules that "
+               "exist (--list-rules); a typo'd suppression masks itself")
+
+    def __init__(self, known_rules: set[str]):
+        self.known_rules = known_rules
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out = []
+        for lineno, line in enumerate(ctx.raw_lines, start=1):
+            for regex, kind in ((ALLOW_FILE_RE, "allow-file"),
+                                (ALLOW_RE, "allow")):
+                m = regex.search(line)
+                if not m:
+                    continue
+                for rule_name in sorted(_split_rules(m.group(1))):
+                    if rule_name in self.known_rules:
+                        continue
+                    if ctx.allowed(self.name, lineno):
+                        continue
+                    out.append(self._hit(
+                        ctx, lineno,
+                        f"{kind}() pragma names unknown rule "
+                        f"'{rule_name}', so it suppresses nothing; "
+                        f"see --list-rules for the rule table"))
+        return out
+
+
 def parse_registry_names(root: Path, rel_path: str) -> set[str]:
     """All quoted names inside the registry header's initializer lists
     (comments stripped, so prose examples don't register names)."""
@@ -614,7 +667,7 @@ def parse_registry_names(root: Path, rel_path: str) -> set[str]:
 
 
 def build_rules(root: Path) -> list[Rule]:
-    return [
+    rules: list[Rule] = [
         WallClockRule(),
         AmbientRandomRule(),
         UnorderedSerializationRule(),
@@ -626,6 +679,9 @@ def build_rules(root: Path) -> list[Rule]:
         BoundedRetryRule(),
         HeaderHygieneRule(),
     ]
+    known = {rule.name for rule in rules} | {UnknownSuppressionRule.name}
+    rules.append(UnknownSuppressionRule(known))
+    return rules
 
 
 def collect_files(root: Path, paths: list[str]) -> list[Path]:
@@ -643,6 +699,23 @@ def collect_files(root: Path, paths: list[str]) -> list[Path]:
             print(f"otac-lint: no such file or directory: {p}",
                   file=sys.stderr)
             sys.exit(2)
+    return files
+
+
+def collect_aux_files(root: Path) -> list[Path]:
+    """tools/ and tests/ sources, minus violation-fixture directories
+    (their whole point is to trip rules)."""
+    files: list[Path] = []
+    for d in AUX_SCAN_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for f in sorted(base.rglob("*")):
+            if f.suffix not in CXX_SUFFIXES or not f.is_file():
+                continue
+            if "fixtures" in f.relative_to(root).parts:
+                continue
+            files.append(f)
     return files
 
 
@@ -673,6 +746,19 @@ def main(argv: list[str]) -> int:
         ctx = FileContext(root, path)
         for rule in rules:
             violations.extend(rule.check(ctx))
+
+    # Default runs also sweep the aux tree (tools/, tests/) with the
+    # determinism subset; explicitly named paths already got every rule.
+    if not args.paths:
+        for path in collect_aux_files(root):
+            ctx = FileContext(root, path)
+            for rule in rules:
+                if rule.name not in AUX_RULES:
+                    continue
+                if (rule.name == "wall-clock"
+                        and ctx.rel_path in AUX_WALLCLOCK_ALLOWLIST):
+                    continue
+                violations.extend(rule.check(ctx))
 
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
     for violation in violations:

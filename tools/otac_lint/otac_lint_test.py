@@ -6,8 +6,11 @@ Run directly (`python3 tools/otac_lint/otac_lint_test.py`) or via ctest
 (label `lint`).
 """
 
+import contextlib
+import io
 import subprocess
 import sys
+import tempfile
 import unittest
 from collections import Counter
 from pathlib import Path
@@ -30,6 +33,7 @@ EXPECTED = {
     "unbounded_retry_violation.cpp": {"bounded-retry": 3},
     "daemon_net_violation.cpp": {"bounded-retry": 2, "hotpath-alloc": 3},
     "header_hygiene_violation.h": {"header-hygiene": 2},
+    "unknown_suppression_violation.cpp": {"unknown-suppression": 3},
     "allow_pragma_clean.cpp": {},
 }
 
@@ -44,12 +48,17 @@ ALL_RULES = {
     "hotpath-alloc",
     "bounded-retry",
     "header-hygiene",
+    "unknown-suppression",
 }
 
 
 def run_linter(*args: str) -> subprocess.CompletedProcess:
+    return run_linter_at(REPO_ROOT, *args)
+
+
+def run_linter_at(root: Path, *args: str) -> subprocess.CompletedProcess:
     return subprocess.run(
-        [sys.executable, str(LINTER), "--root", str(REPO_ROOT), *args],
+        [sys.executable, str(LINTER), "--root", str(root), *args],
         capture_output=True, text=True, check=False)
 
 
@@ -109,10 +118,130 @@ class FixtureTest(unittest.TestCase):
 
     def test_clean_tree(self):
         # The invariant the CI gate relies on: src/, bench/, examples/ are
-        # lint-clean at head.
+        # lint-clean at head, and so are tools/ and tests/ under the
+        # determinism subset.
         result = run_linter()
         self.assertEqual(result.returncode, 0,
                          f"tree not lint-clean:\n{result.stdout}")
+
+
+class PragmaEdgeCaseTest(unittest.TestCase):
+    """Suppression-pragma scope semantics, pinned line by line: a pragma
+    covers exactly its own line and the one directly below — stacking
+    chains through adjacent pragma lines, a blank line breaks the chain,
+    and a trailing pragma at end-of-file must not crash the scanner."""
+
+    def _lint_snippet(self, text: str) -> Counter:
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "snippet.cpp"
+            path.write_text(text)
+            result = run_linter_at(Path(tmp), "snippet.cpp")
+            return rule_hits(result.stdout)
+
+    def test_stacked_allow_lines_chain_to_the_statement(self):
+        hits = self._lint_snippet(
+            "// otac-lint: allow(wall-clock)\n"
+            "// otac-lint: allow(wall-clock)\n"
+            "long stacked = time(0);\n")
+        self.assertEqual(dict(hits), {})
+
+    def test_pragma_reaches_only_one_line_down(self):
+        hits = self._lint_snippet(
+            "// otac-lint: allow(wall-clock)\n"
+            "int pad = 0;\n"
+            "long beyond = time(0);\n")
+        self.assertEqual(dict(hits), {"wall-clock": 1})
+
+    def test_blank_line_breaks_the_suppression(self):
+        hits = self._lint_snippet(
+            "// otac-lint: allow(wall-clock)\n"
+            "\n"
+            "long after_blank = time(0);\n")
+        self.assertEqual(dict(hits), {"wall-clock": 1})
+
+    def test_multiple_rules_in_one_pragma(self):
+        hits = self._lint_snippet(
+            "// otac-lint: allow(wall-clock, ambient-random)\n"
+            "long both = time(0) + rand();\n")
+        self.assertEqual(dict(hits), {})
+
+    def test_pragma_on_last_line_without_trailing_newline(self):
+        hits = self._lint_snippet(
+            "long last = time(0);  // otac-lint: allow(wall-clock)")
+        self.assertEqual(dict(hits), {})
+
+    def test_dangling_pragma_at_eof_suppresses_nothing_and_no_crash(self):
+        hits = self._lint_snippet(
+            "long hit = time(0);\n"
+            "// otac-lint: allow(wall-clock)")
+        self.assertEqual(dict(hits), {"wall-clock": 1})
+
+
+class AuxTreeTest(unittest.TestCase):
+    """Default runs sweep tools/ and tests/ with the determinism rules
+    (wall-clock, ambient-random, unknown-suppression) only; fixture
+    directories are exempt, and the audited wall-clock allowlist
+    (AUX_WALLCLOCK_ALLOWLIST) exempts named files."""
+
+    def _make_tree(self, root: Path) -> None:
+        (root / "src").mkdir()
+        (root / "tools" / "gate").mkdir(parents=True)
+        (root / "tests").mkdir()
+        (root / "tools" / "gate" / "g.cpp").write_text(
+            "int g() { return rand(); }\n")
+        (root / "tests" / "t.cpp").write_text(
+            "auto t = std::chrono::system_clock::now();\n")
+        # A registry-family violation: out of scope for the aux sweep
+        # (the full rule set stays src/bench/examples-only by default).
+        (root / "tests" / "m.cpp").write_text(
+            'void f(Metrics& m) { m.counter("not.registered"); }\n')
+        # Violation fixtures under tools/ are skipped wholesale.
+        (root / "tools" / "gate" / "fixtures").mkdir()
+        (root / "tools" / "gate" / "fixtures" / "bad.cpp").write_text(
+            "int b() { return rand(); }\n")
+
+    def test_aux_dirs_scanned_with_determinism_rules_only(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            self._make_tree(root)
+            result = run_linter_at(root)
+            self.assertEqual(result.returncode, 1)
+            self.assertEqual(dict(rule_hits(result.stdout)),
+                             {"ambient-random": 1, "wall-clock": 1})
+
+    def test_aux_wallclock_allowlist_exempts_audited_files(self):
+        sys.path.insert(0, str(TOOL_DIR))
+        try:
+            import otac_lint
+        finally:
+            sys.path.pop(0)
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            self._make_tree(root)
+            saved = otac_lint.AUX_WALLCLOCK_ALLOWLIST
+            otac_lint.AUX_WALLCLOCK_ALLOWLIST = {"tests/t.cpp"}
+            try:
+                stdout = io.StringIO()
+                with contextlib.redirect_stdout(stdout), \
+                        contextlib.redirect_stderr(io.StringIO()):
+                    code = otac_lint.main(["--root", str(root)])
+            finally:
+                otac_lint.AUX_WALLCLOCK_ALLOWLIST = saved
+            self.assertEqual(code, 1)
+            self.assertEqual(dict(rule_hits(stdout.getvalue())),
+                             {"ambient-random": 1})
+
+    def test_unknown_suppression_applies_in_aux_tree(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            (root / "src").mkdir()
+            (root / "tools").mkdir()
+            (root / "tools" / "g.cpp").write_text(
+                "// otac-lint: allow(wall-clok)\n"
+                "int g() { return 0; }\n")
+            result = run_linter_at(root)
+            self.assertEqual(dict(rule_hits(result.stdout)),
+                             {"unknown-suppression": 1})
 
 
 if __name__ == "__main__":
